@@ -1,0 +1,251 @@
+(* ovs-repro: command-line front end to the simulation.
+
+     ovs-repro scenario --datapath afxdp --topology pvp-vhost --flows 1000
+     ovs-repro tcp --datapath kernel --virt tap --tso --cross-host
+     ovs-repro rr --datapath dpdk --containers
+     ovs-repro xdp --list | --show task_b | --verify all
+     ovs-repro ruleset --rules 20000 --sample 5
+     ovs-repro tools
+
+   The full paper reproduction lives in `dune exec bench/main.exe`. *)
+
+open Cmdliner
+module Scenario = Ovs_trafficgen.Scenario
+module Dpif = Ovs_datapath.Dpif
+
+(* -- shared argument parsers -- *)
+
+let datapath_conv =
+  let parse = function
+    | "kernel" -> Ok Dpif.Kernel
+    | "ebpf" -> Ok Dpif.Kernel_ebpf
+    | "dpdk" -> Ok Dpif.Dpdk
+    | "afxdp" -> Ok (Dpif.Afxdp Dpif.afxdp_default)
+    | s -> Error (`Msg (Printf.sprintf "unknown datapath %S (kernel|ebpf|dpdk|afxdp)" s))
+  in
+  Arg.conv (parse, fun ppf k -> Fmt.string ppf (Dpif.kind_name k))
+
+let datapath_arg =
+  Arg.(value & opt datapath_conv (Dpif.Afxdp Dpif.afxdp_default)
+       & info [ "d"; "datapath" ] ~docv:"DP" ~doc:"Datapath: kernel, ebpf, dpdk or afxdp.")
+
+(* -- scenario command -- *)
+
+let topology_conv =
+  let parse = function
+    | "p2p" -> Ok Scenario.P2P
+    | "pvp-tap" -> Ok (Scenario.PVP Scenario.Vm_tap)
+    | "pvp-vhost" -> Ok (Scenario.PVP Scenario.Vm_vhost)
+    | "pcp-veth" -> Ok (Scenario.PCP Scenario.Ct_veth)
+    | "pcp-xdp" -> Ok (Scenario.PCP Scenario.Ct_xdp)
+    | "pcp-afpacket" -> Ok (Scenario.PCP Scenario.Ct_afpacket)
+    | s ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "unknown topology %S (p2p|pvp-tap|pvp-vhost|pcp-veth|pcp-xdp|pcp-afpacket)"
+               s))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf -> function
+        | Scenario.P2P -> Fmt.string ppf "p2p"
+        | Scenario.PVP v -> Fmt.pf ppf "pvp-%s" (Scenario.virt_name v)
+        | Scenario.PCP v -> Fmt.pf ppf "pcp-%s" (Scenario.virt_name v) )
+
+let scenario_cmd =
+  let run datapath topology flows frame queues gbps =
+    let cfg =
+      {
+        Scenario.default_config with
+        kind = datapath;
+        topology;
+        n_flows = flows;
+        frame_len = frame;
+        queues;
+        gbps;
+      }
+    in
+    let r = Scenario.run cfg in
+    Fmt.pr "%a@." Scenario.pp_result r
+  in
+  let topology =
+    Arg.(value & opt topology_conv Scenario.P2P
+         & info [ "t"; "topology" ] ~docv:"TOPO" ~doc:"Loopback topology.")
+  in
+  let flows = Arg.(value & opt int 1 & info [ "flows" ] ~doc:"Concurrent flows.") in
+  let frame = Arg.(value & opt int 64 & info [ "frame" ] ~doc:"Frame length in bytes.") in
+  let queues = Arg.(value & opt int 1 & info [ "queues" ] ~doc:"NIC receive queues / PMD threads.") in
+  let gbps = Arg.(value & opt float 25. & info [ "gbps" ] ~doc:"Link speed.") in
+  Cmd.v
+    (Cmd.info "scenario" ~doc:"Run a Sec 5.2-style forwarding-rate scenario")
+    Term.(const run $ datapath_arg $ topology $ flows $ frame $ queues $ gbps)
+
+(* -- tcp command -- *)
+
+let tcp_cmd =
+  let run datapath virt csum tso cross =
+    let dp =
+      match datapath with
+      | Dpif.Kernel | Dpif.Kernel_ebpf -> Ovs_trafficgen.Tcp_model.Dp_kernel
+      | Dpif.Dpdk -> Ovs_trafficgen.Tcp_model.Dp_afxdp_poll (* closest userspace analogue *)
+      | Dpif.Afxdp _ -> Ovs_trafficgen.Tcp_model.Dp_afxdp_poll
+    in
+    let virt =
+      match virt with
+      | "tap" -> Ovs_trafficgen.Tcp_model.Tap
+      | "vhost" -> Ovs_trafficgen.Tcp_model.Vhost
+      | "veth" -> Ovs_trafficgen.Tcp_model.Veth
+      | "xdp" -> Ovs_trafficgen.Tcp_model.Xdp_redirect
+      | other -> Fmt.failwith "unknown virt %S (tap|vhost|veth|xdp)" other
+    in
+    let cfg =
+      {
+        Ovs_trafficgen.Tcp_model.datapath = dp;
+        virt;
+        offloads = { Ovs_trafficgen.Tcp_model.csum; tso };
+        cross_host = cross;
+        link_gbps = 10.;
+      }
+    in
+    let r = Ovs_trafficgen.Tcp_model.run Ovs_sim.Costs.default cfg in
+    Fmt.pr "%a@.stages:@." Ovs_trafficgen.Tcp_model.pp_result r;
+    List.iter
+      (fun (name, ns) -> Fmt.pr "  %-18s %a/segment@." name Ovs_sim.Time.pp_ns ns)
+      r.Ovs_trafficgen.Tcp_model.stages
+  in
+  let virt =
+    Arg.(value & opt string "vhost" & info [ "virt" ] ~doc:"Endpoint: tap, vhost, veth or xdp.")
+  in
+  let csum = Arg.(value & flag & info [ "csum" ] ~doc:"Checksum offload.") in
+  let tso = Arg.(value & flag & info [ "tso" ] ~doc:"TCP segmentation offload.") in
+  let cross = Arg.(value & flag & info [ "cross-host" ] ~doc:"Geneve over a 10G link.") in
+  Cmd.v
+    (Cmd.info "tcp" ~doc:"Run a Fig 8-style bulk-TCP throughput estimate")
+    Term.(const run $ datapath_arg $ virt $ csum $ tso $ cross)
+
+(* -- rr command -- *)
+
+let rr_cmd =
+  let run datapath containers =
+    let cfg =
+      match datapath with
+      | Dpif.Kernel | Dpif.Kernel_ebpf -> Ovs_trafficgen.Rr_model.Rr_kernel
+      | Dpif.Dpdk -> Ovs_trafficgen.Rr_model.Rr_dpdk
+      | Dpif.Afxdp _ -> Ovs_trafficgen.Rr_model.Rr_afxdp
+    in
+    let c = Ovs_sim.Costs.default in
+    let path =
+      if containers then Ovs_trafficgen.Rr_model.intrahost_container_path c cfg
+      else Ovs_trafficgen.Rr_model.interhost_path c cfg
+    in
+    Fmt.pr "%a@." Ovs_trafficgen.Rr_model.pp_result (Ovs_trafficgen.Rr_model.run path)
+  in
+  let containers =
+    Arg.(value & flag & info [ "containers" ] ~doc:"Intra-host containers (Fig 11) instead of inter-host VM (Fig 10).")
+  in
+  Cmd.v
+    (Cmd.info "rr" ~doc:"Run a netperf TCP_RR latency estimate")
+    Term.(const run $ datapath_arg $ containers)
+
+(* -- xdp command -- *)
+
+let library_programs () =
+  Ovs_ebpf.Maps.reset_registry ();
+  let l2_table = Ovs_ebpf.Maps.create ~name:"l2" ~kind:Ovs_ebpf.Maps.Hash ~max_entries:64 in
+  let sessions = Ovs_ebpf.Maps.create ~name:"lb" ~kind:Ovs_ebpf.Maps.Hash ~max_entries:64 in
+  let xskmap = Ovs_ebpf.Maps.create ~name:"xsk" ~kind:Ovs_ebpf.Maps.Xskmap ~max_entries:16 in
+  let mac_to_dev = Ovs_ebpf.Maps.create ~name:"macs" ~kind:Ovs_ebpf.Maps.Devmap ~max_entries:16 in
+  Ovs_ebpf.Progs.all ~l2_table ~sessions ~xskmap ~mac_to_dev
+
+let xdp_cmd =
+  let run list show verify =
+    let progs = library_programs () in
+    if list then
+      List.iter
+        (fun (name, prog) -> Fmt.pr "%-18s %3d instructions@." name (Array.length prog))
+        progs;
+    (match show with
+    | Some name -> begin
+        match List.assoc_opt name progs with
+        | Some prog -> Fmt.pr "%a" Ovs_ebpf.Insn.pp_program prog
+        | None -> Fmt.epr "unknown program %S@." name
+      end
+    | None -> ());
+    match verify with
+    | Some "all" ->
+        List.iter
+          (fun (name, prog) ->
+            match Ovs_ebpf.Verifier.verify prog with
+            | Ok () -> Fmt.pr "%-18s OK@." name
+            | Error e -> Fmt.pr "%-18s REJECTED: %a@." name Ovs_ebpf.Verifier.pp_error e)
+          progs
+    | Some name -> begin
+        match List.assoc_opt name progs with
+        | Some prog -> begin
+            match Ovs_ebpf.Verifier.verify prog with
+            | Ok () -> Fmt.pr "%s: verifier accepts@." name
+            | Error e -> Fmt.pr "%s: REJECTED %a@." name Ovs_ebpf.Verifier.pp_error e
+          end
+        | None -> Fmt.epr "unknown program %S@." name
+      end
+    | None -> ()
+  in
+  let list = Arg.(value & flag & info [ "list" ] ~doc:"List the XDP program library.") in
+  let show =
+    Arg.(value & opt (some string) None & info [ "show" ] ~docv:"NAME" ~doc:"Disassemble a program.")
+  in
+  let verify =
+    Arg.(value & opt (some string) None
+         & info [ "verify" ] ~docv:"NAME" ~doc:"Run the verifier on NAME (or 'all').")
+  in
+  Cmd.v
+    (Cmd.info "xdp" ~doc:"Inspect and verify the XDP program library")
+    Term.(const run $ list $ show $ verify)
+
+(* -- ruleset command -- *)
+
+let ruleset_cmd =
+  let run rules sample =
+    let spec =
+      if rules = 0 then Ovs_nsx.Ruleset.table3_spec
+      else { Ovs_nsx.Ruleset.table3_spec with Ovs_nsx.Ruleset.target_rules = rules }
+    in
+    let lines = Ovs_nsx.Ruleset.generate spec in
+    let pipeline = Ovs_ofproto.Pipeline.create ~n_tables:40 () in
+    ignore (Ovs_ofproto.Parser.install_flows pipeline lines);
+    Fmt.pr "%a@." Ovs_nsx.Ruleset.pp_stats (Ovs_nsx.Ruleset.stats_of_pipeline spec pipeline);
+    if sample > 0 then begin
+      Fmt.pr "@.sample rules:@.";
+      List.iteri (fun i l -> if i < sample then Fmt.pr "  %s@." l) lines
+    end
+  in
+  let rules =
+    Arg.(value & opt int 0 & info [ "rules" ] ~doc:"Rule budget (0 = the Table 3 size, 103302).")
+  in
+  let sample = Arg.(value & opt int 0 & info [ "sample" ] ~doc:"Print the first N rules.") in
+  Cmd.v
+    (Cmd.info "ruleset" ~doc:"Generate the NSX-style rule set and report its Table 3 shape")
+    Term.(const run $ rules $ sample)
+
+(* -- tools command -- *)
+
+let tools_cmd =
+  let run () =
+    Fmt.pr "%-12s %8s %8s %8s@." "command" "kernel" "AF_XDP" "DPDK";
+    List.iter
+      (fun (cmd, k, a, d) ->
+        let s b = if b then "works" else "FAILS" in
+        Fmt.pr "%-12s %8s %8s %8s@." cmd (s k) (s a) (s d))
+      (Ovs_tools.Tools.compatibility_matrix ())
+  in
+  Cmd.v
+    (Cmd.info "tools" ~doc:"Print the Table 1 tooling-compatibility matrix")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "ovs-repro" ~version:"1.0.0"
+      ~doc:"Reproduction toolkit for 'Revisiting the Open vSwitch Dataplane Ten Years Later'"
+  in
+  exit (Cmd.eval (Cmd.group info [ scenario_cmd; tcp_cmd; rr_cmd; xdp_cmd; ruleset_cmd; tools_cmd ]))

@@ -1,0 +1,1 @@
+examples/container_networking.ml: Fmt List Ovs_datapath Ovs_sim Ovs_trafficgen String

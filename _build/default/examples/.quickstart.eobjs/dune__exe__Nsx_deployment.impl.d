@@ -1,0 +1,1 @@
+examples/nsx_deployment.ml: Fmt List Ovs_conntrack Ovs_datapath Ovs_netdev Ovs_nsx Ovs_ofproto Ovs_packet Ovs_sim Printf

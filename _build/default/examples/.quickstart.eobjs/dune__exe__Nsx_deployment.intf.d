@@ -1,0 +1,1 @@
+examples/nsx_deployment.mli:

@@ -1,0 +1,1 @@
+examples/openflow_wire.ml: Bytes Fmt Int List Ovs_core Ovs_netdev Ovs_ofproto Ovs_ovsdb Ovs_packet Ovs_sim Ovs_tools Printf String

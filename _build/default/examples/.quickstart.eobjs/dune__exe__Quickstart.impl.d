@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Ovs_core Ovs_datapath Ovs_netdev Ovs_packet Ovs_sim Ovs_tools Printf

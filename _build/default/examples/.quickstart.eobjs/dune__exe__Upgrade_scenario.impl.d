@@ -1,0 +1,1 @@
+examples/upgrade_scenario.ml: Fmt List Ovs_core Ovs_datapath Ovs_netdev Ovs_packet Ovs_sim Printf

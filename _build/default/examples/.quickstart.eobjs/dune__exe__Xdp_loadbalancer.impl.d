@@ -1,0 +1,1 @@
+examples/xdp_loadbalancer.ml: Array Field Fmt Int64 Ovs_datapath Ovs_ebpf Ovs_netdev Ovs_ofproto Ovs_packet Ovs_sim Printf

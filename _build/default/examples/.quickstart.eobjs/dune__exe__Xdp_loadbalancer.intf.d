@@ -1,0 +1,1 @@
+examples/xdp_loadbalancer.mli:

@@ -1,0 +1,58 @@
+(* Container networking (paper Sec 3.4, Fig 5): compare path A — packets
+   climb to OVS userspace through an AF_XDP socket and come back down to
+   the container's veth — against path C — an XDP program redirects them
+   between the NIC and the veth entirely inside the driver layer.
+
+     dune exec examples/container_networking.exe
+*)
+
+module Scenario = Ovs_trafficgen.Scenario
+module Dpif = Ovs_datapath.Dpif
+
+let () =
+  Fmt.pr "== container networking: OVS userspace round trip vs XDP redirect ==@.@.";
+  Fmt.pr "physical-container-physical loopback, 64B UDP at 25 GbE (Fig 9c):@.@.";
+  let run name topology kind =
+    let r =
+      Scenario.run { Scenario.default_config with kind; topology; gbps = 25. }
+    in
+    Fmt.pr "  %-34s %a@." name Scenario.pp_result r;
+    r
+  in
+  let xdp =
+    run "AF_XDP, XDP redirect (path C)" (Scenario.PCP Scenario.Ct_xdp)
+      (Dpif.Afxdp Dpif.afxdp_default)
+  in
+  let kernel = run "kernel datapath + veth" (Scenario.PCP Scenario.Ct_veth) Dpif.Kernel in
+  let dpdk = run "DPDK + af_packet" (Scenario.PCP Scenario.Ct_afpacket) Dpif.Dpdk in
+  Fmt.pr "@.XDP redirect vs kernel: %.1fx; vs DPDK: %.1fx (Outcome 2: AF_XDP@."
+    (xdp.Scenario.rate_mpps /. kernel.Scenario.rate_mpps)
+    (xdp.Scenario.rate_mpps /. dpdk.Scenario.rate_mpps);
+  Fmt.pr "outperforms the other solutions when the endpoints are containers)@.";
+
+  (* the TCP side of the story (Fig 8c): for bulk TCP the kernel's TSO
+     still wins until AF_XDP grows TSO support (Outcome 1) *)
+  Fmt.pr "@.container-to-container bulk TCP within one host (Fig 8c):@.@.";
+  let c = Ovs_sim.Costs.default in
+  List.iter
+    (fun (name, cfg, paper) ->
+      if String.length name > 2 && name.[0] = 'c' then begin
+        let r = Ovs_trafficgen.Tcp_model.run c cfg in
+        Fmt.pr "  %-36s paper %5.1f  model %a@." name paper
+          Ovs_trafficgen.Tcp_model.pp_result r
+      end)
+    Ovs_trafficgen.Tcp_model.figure8_bars;
+
+  (* latency between two containers (Fig 11) *)
+  Fmt.pr "@.netperf TCP_RR latency between containers (Fig 11):@.@.";
+  List.iter
+    (fun cfg ->
+      let r =
+        Ovs_trafficgen.Rr_model.(run (intrahost_container_path c cfg))
+      in
+      Fmt.pr "  %-8s %a@."
+        (Ovs_trafficgen.Rr_model.config_name cfg)
+        Ovs_trafficgen.Rr_model.pp_result r)
+    [ Ovs_trafficgen.Rr_model.Rr_kernel; Ovs_trafficgen.Rr_model.Rr_afxdp;
+      Ovs_trafficgen.Rr_model.Rr_dpdk ];
+  Fmt.pr "@.done.@."

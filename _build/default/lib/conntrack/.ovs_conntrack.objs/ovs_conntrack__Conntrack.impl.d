@@ -1,0 +1,1 @@
+lib/conntrack/conntrack.ml: Buffer Hashtbl Icmp Ipv4 List Ovs_packet Ovs_sim

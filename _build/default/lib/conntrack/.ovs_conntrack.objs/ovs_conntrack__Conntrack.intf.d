@@ -1,0 +1,1 @@
+lib/conntrack/conntrack.mli: Ovs_packet Ovs_sim

@@ -1,0 +1,344 @@
+(** Connection tracking: the userspace reimplementation of the kernel's
+    netfilter conntrack that OVS needed once the datapath left the kernel
+    (Sec 4). Supports zones (NSX uses one zone per virtual network for
+    firewall separation), a TCP state machine, UDP/ICMP pseudo-state,
+    source/destination NAT, expiry, and per-zone connection limits (the
+    feature whose kernel backport cost the paper quantifies in Sec 2.1.1). *)
+
+module FK = Ovs_packet.Flow_key
+
+(** Canonical 5-tuple plus zone; directionality is derived by comparing
+    against the stored original direction. *)
+type tuple = {
+  src : int;
+  dst : int;
+  proto : int;
+  sport : int;
+  dport : int;
+  zone : int;
+}
+
+let tuple_reverse t = { t with src = t.dst; dst = t.src; sport = t.dport; dport = t.sport }
+
+let tuple_of_key ~zone (k : FK.t) =
+  {
+    src = FK.get k FK.Field.Nw_src;
+    dst = FK.get k FK.Field.Nw_dst;
+    proto = FK.get k FK.Field.Nw_proto;
+    sport = FK.get k FK.Field.Tp_src;
+    dport = FK.get k FK.Field.Tp_dst;
+    zone;
+  }
+
+type tcp_state =
+  | Syn_sent
+  | Syn_recv
+  | Established
+  | Fin_wait
+  | Close_wait
+  | Time_wait
+  | Closed
+
+let tcp_state_name = function
+  | Syn_sent -> "SYN_SENT"
+  | Syn_recv -> "SYN_RECV"
+  | Established -> "ESTABLISHED"
+  | Fin_wait -> "FIN_WAIT"
+  | Close_wait -> "CLOSE_WAIT"
+  | Time_wait -> "TIME_WAIT"
+  | Closed -> "CLOSED"
+
+type proto_state = Tcp of tcp_state | Udp_single | Udp_multiple | Icmp_active
+
+type nat_action = {
+  nat_src : (int * int) option;  (** translated (ip, port) for SNAT *)
+  nat_dst : (int * int) option;  (** translated (ip, port) for DNAT *)
+}
+
+type conn = {
+  orig : tuple;
+  mutable state : proto_state;
+  mutable mark : int;
+  mutable created_at : Ovs_sim.Time.ns;
+  mutable last_seen : Ovs_sim.Time.ns;
+  mutable packets : int;
+  nat : nat_action option;
+}
+
+(** Timeouts, in virtual ns, following netfilter's defaults (scaled). *)
+let timeout_of = function
+  | Tcp Established -> Ovs_sim.Time.s 7440.
+  | Tcp Time_wait | Tcp Close_wait | Tcp Fin_wait -> Ovs_sim.Time.s 120.
+  | Tcp _ -> Ovs_sim.Time.s 60.
+  | Udp_single -> Ovs_sim.Time.s 30.
+  | Udp_multiple -> Ovs_sim.Time.s 120.
+  | Icmp_active -> Ovs_sim.Time.s 30.
+
+type t = {
+  conns : (tuple, conn) Hashtbl.t;  (** both directions map to the conn *)
+  zone_counts : (int, int ref) Hashtbl.t;
+  zone_limits : (int, int) Hashtbl.t;
+  mutable lookups : int;
+  mutable committed : int;
+  mutable limit_drops : int;
+}
+
+let create () =
+  {
+    conns = Hashtbl.create 4096;
+    zone_counts = Hashtbl.create 64;
+    zone_limits = Hashtbl.create 64;
+    lookups = 0;
+    committed = 0;
+    limit_drops = 0;
+  }
+
+(** Per-zone connection limit (Sec 2.1.1's nf_conncount feature). *)
+let set_zone_limit t ~zone ~limit = Hashtbl.replace t.zone_limits zone limit
+
+let zone_count t ~zone =
+  match Hashtbl.find_opt t.zone_counts zone with Some r -> !r | None -> 0
+
+let active_conns t = Hashtbl.length t.conns / 2
+
+(** Result of passing a packet through conntrack: the ct_state bits OVS
+    sets on the packet for the recirculated lookup. *)
+type verdict = { ct_state : int; conn : conn option }
+
+let state_bits ~is_new ~established ~reply ~invalid =
+  let open FK.Ct_state_bits in
+  trk
+  lor (if is_new then new_ else 0)
+  lor (if established then est else 0)
+  lor (if reply then rpl else 0)
+  lor if invalid then inv else 0
+
+let tcp_flags_of_key k = FK.get k FK.Field.Tcp_flags
+
+(* advance the TCP state machine for a packet in the given direction *)
+let tcp_advance st ~flags ~is_reply =
+  let open Ovs_packet.Tcp.Flags in
+  let has f = flags land f <> 0 in
+  if has rst then Closed
+  else
+    match st with
+    | Syn_sent when is_reply && has syn && has ack -> Syn_recv
+    | Syn_sent -> Syn_sent
+    | Syn_recv when (not is_reply) && has ack -> Established
+    | Syn_recv -> Syn_recv
+    | Established when has fin -> Fin_wait
+    | Established -> Established
+    | Fin_wait when has fin -> Close_wait
+    | Fin_wait -> Fin_wait
+    | Close_wait when has ack -> Time_wait
+    | Close_wait -> Close_wait
+    | Time_wait -> Time_wait
+    | Closed -> Closed
+
+(* ICMP errors (destination unreachable, time exceeded) embed the header
+   of the offending packet; if that packet belongs to a tracked
+   connection, the error is "related" (+rel), which firewalls must admit
+   for PMTU discovery and friends to work. *)
+let related_conn t ~zone (buf : Ovs_packet.Buffer.t) : conn option =
+  let open Ovs_packet in
+  match Icmp.parse buf with
+  | Some ic
+    when ic.Icmp.icmp_type = Icmp.Kind.dest_unreachable
+         || ic.Icmp.icmp_type = Icmp.Kind.time_exceeded -> begin
+      (* the embedded original IP header starts after the 8-byte ICMP
+         header; it is followed by at least 8 bytes of its L4 header *)
+      let inner_l3 = buf.Buffer.l4_ofs + Icmp.header_len in
+      if Buffer.length buf < inner_l3 + Ipv4.header_len + 8 then None
+      else begin
+        let saved_l3 = buf.Buffer.l3_ofs and saved_l4 = buf.Buffer.l4_ofs in
+        buf.Buffer.l3_ofs <- inner_l3;
+        let result =
+          match Ipv4.parse buf with
+          | Some ip when not (Ipv4.is_later_fragment ip) ->
+              let sport = Buffer.get_u16 buf buf.Buffer.l4_ofs in
+              let dport = Buffer.get_u16 buf (buf.Buffer.l4_ofs + 2) in
+              let tup =
+                { src = ip.Ipv4.src; dst = ip.Ipv4.dst; proto = ip.Ipv4.proto;
+                  sport; dport; zone }
+              in
+              Hashtbl.find_opt t.conns tup
+          | Some _ | None -> None
+        in
+        buf.Buffer.l3_ofs <- saved_l3;
+        buf.Buffer.l4_ofs <- saved_l4;
+        result
+      end
+    end
+  | Some _ | None -> None
+
+(** Track a packet without committing: reports what the connection state
+    would be ([+trk] and friends), as the [ct] action does before the
+    pipeline decides to commit. Pass [buf] to let ICMP errors be matched
+    to the connection they relate to ([+rel]). *)
+let track ?buf t ~now ~zone (k : FK.t) : verdict =
+  t.lookups <- t.lookups + 1;
+  let tup = tuple_of_key ~zone k in
+  match Hashtbl.find_opt t.conns tup with
+  | None -> begin
+      let related =
+        if FK.get k FK.Field.Nw_proto = Ovs_packet.Ipv4.Proto.icmp then
+          match buf with Some b -> related_conn t ~zone b | None -> None
+        else None
+      in
+      match related with
+      | Some conn ->
+          { ct_state = FK.Ct_state_bits.(trk lor rel); conn = Some conn }
+      | None ->
+          { ct_state = state_bits ~is_new:true ~established:false ~reply:false ~invalid:false;
+            conn = None }
+    end
+  | Some conn ->
+      let is_reply = tup = tuple_reverse conn.orig && tup <> conn.orig in
+      let expired = now -. conn.last_seen > timeout_of conn.state in
+      if expired then begin
+        Hashtbl.remove t.conns conn.orig;
+        Hashtbl.remove t.conns (tuple_reverse conn.orig);
+        (match Hashtbl.find_opt t.zone_counts zone with
+        | Some r -> decr r
+        | None -> ());
+        { ct_state = state_bits ~is_new:true ~established:false ~reply:false ~invalid:false; conn = None }
+      end
+      else begin
+        conn.last_seen <- now;
+        conn.packets <- conn.packets + 1;
+        (match conn.state with
+        | Tcp st ->
+            let flags = tcp_flags_of_key k in
+            conn.state <- Tcp (tcp_advance st ~flags ~is_reply)
+        | Udp_single when is_reply -> conn.state <- Udp_multiple
+        | Udp_single | Udp_multiple | Icmp_active -> ());
+        let invalid = conn.state = Tcp Closed in
+        let established =
+          match conn.state with
+          | Tcp Established | Tcp Fin_wait | Tcp Close_wait -> true
+          | Udp_multiple -> true
+          | Tcp _ | Udp_single | Icmp_active -> false
+        in
+        {
+          ct_state =
+            state_bits ~is_new:false ~established:(established && not invalid)
+              ~reply:is_reply ~invalid;
+          conn = Some conn;
+        }
+      end
+
+(** Commit a new connection (the [ct(commit)] action). Applies the zone
+    limit; returns [None] when the zone is full (packet should drop). *)
+let commit t ~now ~zone ?nat (k : FK.t) : conn option =
+  let tup = tuple_of_key ~zone k in
+  match Hashtbl.find_opt t.conns tup with
+  | Some conn -> Some conn  (* already committed *)
+  | None -> begin
+      let count =
+        match Hashtbl.find_opt t.zone_counts zone with
+        | Some r -> r
+        | None ->
+            let r = ref 0 in
+            Hashtbl.replace t.zone_counts zone r;
+            r
+      in
+      let limit = Hashtbl.find_opt t.zone_limits zone in
+      match limit with
+      | Some l when !count >= l ->
+          t.limit_drops <- t.limit_drops + 1;
+          None
+      | _ ->
+          let state =
+            if tup.proto = Ovs_packet.Ipv4.Proto.tcp then Tcp Syn_sent
+            else if tup.proto = Ovs_packet.Ipv4.Proto.udp then Udp_single
+            else Icmp_active
+          in
+          let conn =
+            {
+              orig = tup;
+              state;
+              mark = 0;
+              created_at = now;
+              last_seen = now;
+              packets = 1;
+              nat;
+            }
+          in
+          Hashtbl.replace t.conns tup conn;
+          Hashtbl.replace t.conns (tuple_reverse tup) conn;
+          incr count;
+          t.committed <- t.committed + 1;
+          Some conn
+    end
+
+(** Apply a connection's NAT rewrite to a packet (and its extracted key),
+    translating forward on original-direction packets and reversing on
+    replies. Returns [true] if the packet was rewritten. *)
+let apply_nat (conn : conn) ~is_reply (buf : Ovs_packet.Buffer.t) (k : FK.t) =
+  match conn.nat with
+  | None -> false
+  | Some { nat_src; nat_dst } ->
+      let set_ip_src v =
+        Ovs_packet.Ipv4.set_src buf v;
+        FK.set k FK.Field.Nw_src v
+      and set_ip_dst v =
+        Ovs_packet.Ipv4.set_dst buf v;
+        FK.set k FK.Field.Nw_dst v
+      in
+      let set_port_src p =
+        (if FK.get k FK.Field.Nw_proto = Ovs_packet.Ipv4.Proto.tcp then
+           Ovs_packet.Tcp.set_src_port buf p
+         else Ovs_packet.Udp.set_src_port buf p);
+        FK.set k FK.Field.Tp_src p
+      and set_port_dst p =
+        (if FK.get k FK.Field.Nw_proto = Ovs_packet.Ipv4.Proto.tcp then
+           Ovs_packet.Tcp.set_dst_port buf p
+         else Ovs_packet.Udp.set_dst_port buf p);
+        FK.set k FK.Field.Tp_dst p
+      in
+      let changed = ref false in
+      (match nat_src with
+      | Some (ip, port) ->
+          changed := true;
+          if is_reply then begin
+            set_ip_dst conn.orig.src;
+            set_port_dst conn.orig.sport
+          end
+          else begin
+            set_ip_src ip;
+            set_port_src port
+          end
+      | None -> ());
+      (match nat_dst with
+      | Some (ip, port) ->
+          changed := true;
+          if is_reply then begin
+            set_ip_src conn.orig.dst;
+            set_port_src conn.orig.dport
+          end
+          else begin
+            set_ip_dst ip;
+            set_port_dst port
+          end
+      | None -> ());
+      if !changed then Ovs_packet.Ipv4.update_csum buf;
+      !changed
+
+(** Expire connections idle past their protocol timeout. Returns how many
+    were reclaimed. *)
+let sweep t ~now =
+  let dead = ref [] in
+  Hashtbl.iter
+    (fun tup conn ->
+      if tup = conn.orig && now -. conn.last_seen > timeout_of conn.state then
+        dead := conn :: !dead)
+    t.conns;
+  List.iter
+    (fun conn ->
+      Hashtbl.remove t.conns conn.orig;
+      Hashtbl.remove t.conns (tuple_reverse conn.orig);
+      match Hashtbl.find_opt t.zone_counts conn.orig.zone with
+      | Some r -> decr r
+      | None -> ())
+    !dead;
+  List.length !dead

@@ -1,0 +1,1 @@
+lib/core/kernel_compat.ml: Ovs_datapath String

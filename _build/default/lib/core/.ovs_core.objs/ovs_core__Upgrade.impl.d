@@ -1,0 +1,1 @@
+lib/core/upgrade.ml: Fmt

@@ -1,0 +1,1 @@
+lib/core/upgrade.mli: Format

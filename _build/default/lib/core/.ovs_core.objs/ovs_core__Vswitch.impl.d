@@ -1,0 +1,1 @@
+lib/core/vswitch.ml: Bytes Fmt Hashtbl Kernel_compat List Ovs_datapath Ovs_netdev Ovs_ofproto Ovs_packet

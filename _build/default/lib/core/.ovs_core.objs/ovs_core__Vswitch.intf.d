@@ -1,0 +1,1 @@
+lib/core/vswitch.mli: Format Hashtbl Kernel_compat Ovs_conntrack Ovs_datapath Ovs_netdev Ovs_ofproto Ovs_packet Ovs_sim

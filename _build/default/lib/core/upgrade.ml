@@ -1,0 +1,61 @@
+(** The operability model of Sec 2 ("Operability") and Sec 6 ("Easier
+    upgrading and patching"): what a dataplane upgrade or security fix
+    costs operators under each architecture.
+
+    A kernel-module fix means draining or migrating every workload, a
+    kernel update, and a reboot; an eBPF or userspace fix means reloading
+    a program or restarting a process. The numbers are deliberately
+    round, deployment-scale estimates; the orders of magnitude are the
+    point. *)
+
+type architecture = Arch_kernel_module | Arch_ebpf | Arch_userspace
+
+let arch_name = function
+  | Arch_kernel_module -> "kernel module"
+  | Arch_ebpf -> "eBPF program"
+  | Arch_userspace -> "userspace (AF_XDP/DPDK)"
+
+type upgrade_cost = {
+  dataplane_downtime_s : float;  (** traffic interruption per host *)
+  workloads_disrupted : bool;  (** VMs/containers must migrate or restart *)
+  needs_reboot : bool;
+  needs_vendor_revalidation : bool;
+      (** enterprise distros must re-certify third-party kernel modules *)
+}
+
+let upgrade = function
+  | Arch_kernel_module ->
+      {
+        dataplane_downtime_s = 300.;  (* drain + reboot + rejoin *)
+        workloads_disrupted = true;
+        needs_reboot = true;
+        needs_vendor_revalidation = true;
+      }
+  | Arch_ebpf ->
+      {
+        dataplane_downtime_s = 0.05;  (* atomic program replace *)
+        workloads_disrupted = false;
+        needs_reboot = false;
+        needs_vendor_revalidation = false;
+      }
+  | Arch_userspace ->
+      {
+        dataplane_downtime_s = 2.0;  (* process restart, caches rebuilt *)
+        workloads_disrupted = false;
+        needs_reboot = false;
+        needs_vendor_revalidation = false;
+      }
+
+(** Fleet-level annual cost of staying patched: [fixes_per_year] dataplane
+    fixes rolled to [hosts] hosts, in host-hours of disruption. *)
+let annual_fleet_disruption_hours arch ~hosts ~fixes_per_year =
+  let c = upgrade arch in
+  float_of_int hosts *. float_of_int fixes_per_year
+  *. (c.dataplane_downtime_s
+     +. if c.workloads_disrupted then 600. (* migration traffic and risk *) else 0.)
+  /. 3600.
+
+let pp_cost ppf c =
+  Fmt.pf ppf "downtime %.2fs reboot=%b workloads-disrupted=%b revalidation=%b"
+    c.dataplane_downtime_s c.needs_reboot c.workloads_disrupted
+    c.needs_vendor_revalidation

@@ -1,0 +1,22 @@
+(** The operability model of paper Secs 2 and 6: what a dataplane fix
+    costs under each architecture. *)
+
+type architecture = Arch_kernel_module | Arch_ebpf | Arch_userspace
+
+val arch_name : architecture -> string
+
+type upgrade_cost = {
+  dataplane_downtime_s : float;  (** traffic interruption per host *)
+  workloads_disrupted : bool;  (** VMs/containers must migrate or restart *)
+  needs_reboot : bool;
+  needs_vendor_revalidation : bool;
+      (** enterprise distros must re-certify third-party kernel modules *)
+}
+
+val upgrade : architecture -> upgrade_cost
+
+val annual_fleet_disruption_hours :
+  architecture -> hosts:int -> fixes_per_year:int -> float
+(** Host-hours of disruption to keep a fleet patched for a year. *)
+
+val pp_cost : Format.formatter -> upgrade_cost -> unit

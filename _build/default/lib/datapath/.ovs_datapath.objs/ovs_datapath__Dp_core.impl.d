@@ -1,0 +1,1 @@
+lib/datapath/dp_core.ml: Array Float Fmt Hashtbl Int List Ovs_conntrack Ovs_flow Ovs_ofproto Ovs_packet Ovs_sim Printf Set_field String

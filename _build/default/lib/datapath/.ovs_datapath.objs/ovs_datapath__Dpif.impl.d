@@ -1,0 +1,1 @@
+lib/datapath/dpif.ml: Array Dp_core Int Int64 List Ovs_ebpf Ovs_netdev Ovs_packet Ovs_sim Ovs_xsk

@@ -1,0 +1,1 @@
+lib/datapath/dpif.mli: Dp_core Ovs_conntrack Ovs_ebpf Ovs_netdev Ovs_ofproto Ovs_sim Ovs_xsk

@@ -1,0 +1,1 @@
+lib/datapath/rxq_sched.ml: Array Float

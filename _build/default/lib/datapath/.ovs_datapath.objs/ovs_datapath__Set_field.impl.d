@@ -1,0 +1,1 @@
+lib/datapath/set_field.ml: Buffer Ethernet Ipv4 Ovs_packet Tcp Udp

@@ -1,0 +1,431 @@
+(** The datapath core shared by every flavor: the cache hierarchy, the
+    slow-path upcall, and datapath-action execution with recirculation.
+
+    Flavors differ in which caches exist (the kernel module has no
+    exact-match cache — Sec 2.1 records its upstream rejection), what each
+    step costs, and which CPU-time category the work lands in:
+
+    - [Flavor_userspace]: miniflow extract → EMC → dpcls → upcall; costs
+      charged as [User] time (the DPDK and AF_XDP datapaths).
+    - [Flavor_kernel]: flow extract → megaflow table → netlink upcall;
+      [Softirq] time.
+    - [Flavor_kernel_ebpf]: like the kernel, but parse and lookup run as
+      interpreted eBPF (the Sec 2.2.2 prototype) with the sandbox's
+      per-instruction overhead and no megaflow semantics beneath the hood
+      (we keep dpcls mechanics for correctness; costs model hash-map
+      chains). *)
+
+module FK = Ovs_packet.Flow_key
+module Action = Ovs_ofproto.Action
+
+type flavor = Flavor_userspace | Flavor_kernel | Flavor_kernel_ebpf
+
+type charge_fn = Ovs_sim.Cpu.category -> Ovs_sim.Time.ns -> unit
+
+type counters = {
+  mutable packets : int;
+  mutable passes : int;  (** datapath lookups, incl. recirculations *)
+  mutable upcalls : int;
+  mutable emc_hits : int;
+  mutable dpcls_hits : int;
+  mutable dropped : int;
+  mutable sent : int;
+}
+
+(** An OpenFlow meter: a token bucket refilled in virtual time. The
+    userspace reimplementation of the kernel's policers the paper had to
+    leave behind (Sec 6: "we currently use the OpenFlow meter action to
+    support rate limiting"). *)
+type meter = {
+  rate_pps : float;
+  burst : float;  (** bucket depth, in packets *)
+  mutable tokens : float;
+  mutable last_refill : Ovs_sim.Time.ns;
+  mutable m_passed : int;
+  mutable m_dropped : int;
+}
+
+type t = {
+  flavor : flavor;
+  costs : Ovs_sim.Costs.t;
+  pipeline : Ovs_ofproto.Pipeline.t;
+  emc : Action.odp list Ovs_flow.Emc.t option;
+  mutable emc_enabled : bool;  (** ablation switch; upstream rejected the
+                                   in-kernel EMC, userspace keeps it *)
+  smc : Action.odp list Ovs_flow.Smc.t option;
+  mutable smc_enabled : bool;  (** the optional signature-match cache *)
+  dpcls : Action.odp list Ovs_flow.Dpcls.t;
+  conntrack : Ovs_conntrack.Conntrack.t;
+  mutable output : charge_fn -> int -> Ovs_packet.Buffer.t -> unit;
+      (** bound by the enclosing datapath once ports exist *)
+  mutable now : Ovs_sim.Time.ns;
+  counters : counters;
+  mutable csum_offload : bool;  (** absorb software checksum refreshes *)
+  meters : (int, meter) Hashtbl.t;
+  mutable controller : (Ovs_packet.Buffer.t -> unit) option;
+      (** where the [controller] action punts packets (PACKET_IN) *)
+}
+
+let fresh_counters () =
+  {
+    packets = 0;
+    passes = 0;
+    upcalls = 0;
+    emc_hits = 0;
+    dpcls_hits = 0;
+    dropped = 0;
+    sent = 0;
+  }
+
+let create ~flavor ~costs ~pipeline () =
+  let userspace = flavor = Flavor_userspace in
+  {
+    flavor;
+    costs;
+    pipeline;
+    emc = (if userspace then Some (Ovs_flow.Emc.create ()) else None);
+    emc_enabled = true;
+    smc = (if userspace then Some (Ovs_flow.Smc.create ()) else None);
+    smc_enabled = false;  (* upstream default: other_config:smc-enable=false *)
+    dpcls = Ovs_flow.Dpcls.create ();
+    conntrack = Ovs_conntrack.Conntrack.create ();
+    output = (fun _ _ _ -> ());
+    now = 0.;
+    counters = fresh_counters ();
+    csum_offload = true;
+    meters = Hashtbl.create 8;
+    controller = None;
+  }
+
+(** Configure a token-bucket meter (the [meter:N] action's target). *)
+let set_meter t ~id ~rate_pps ~burst =
+  Hashtbl.replace t.meters id
+    { rate_pps; burst; tokens = burst; last_refill = 0.; m_passed = 0; m_dropped = 0 }
+
+let meter_stats t ~id =
+  match Hashtbl.find_opt t.meters id with
+  | Some m -> Some (m.m_passed, m.m_dropped)
+  | None -> None
+
+(* token-bucket admission at virtual time [t.now] *)
+let meter_admits t id =
+  match Hashtbl.find_opt t.meters id with
+  | None -> true  (* unconfigured meters pass everything, like OVS *)
+  | Some m ->
+      let elapsed = Float.max 0. (t.now -. m.last_refill) in
+      m.last_refill <- t.now;
+      m.tokens <- Float.min m.burst (m.tokens +. (m.rate_pps *. elapsed /. 1e9));
+      if m.tokens >= 1. then begin
+        m.tokens <- m.tokens -. 1.;
+        m.m_passed <- m.m_passed + 1;
+        true
+      end
+      else begin
+        m.m_dropped <- m.m_dropped + 1;
+        false
+      end
+
+(** The CPU category fast-path work lands in for this flavor. *)
+let fastpath_category t =
+  match t.flavor with
+  | Flavor_userspace -> Ovs_sim.Cpu.User
+  | Flavor_kernel | Flavor_kernel_ebpf -> Ovs_sim.Cpu.Softirq
+
+(* working sets beyond ~256 flows spill L1/L2; lookups pay a miss *)
+let cold_penalty t =
+  let working_set =
+    match t.emc with
+    | Some emc ->
+        Int.max (Ovs_flow.Emc.occupancy emc) (Ovs_flow.Dpcls.flow_count t.dpcls)
+    | None -> Ovs_flow.Dpcls.flow_count t.dpcls
+  in
+  if working_set > 256 then t.costs.Ovs_sim.Costs.cache_miss else 0.
+
+let extract_cost t =
+  let c = t.costs in
+  match t.flavor with
+  | Flavor_userspace -> c.Ovs_sim.Costs.miniflow_extract
+  | Flavor_kernel -> c.Ovs_sim.Costs.kmod_flow_extract
+  | Flavor_kernel_ebpf ->
+      (* a parse chain of ~60 interpreted instructions plus hook overhead *)
+      c.Ovs_sim.Costs.xdp_prog_overhead
+      +. (60. *. c.Ovs_sim.Costs.ebpf_insn)
+
+(** Look up the cached actions for [key], charging the flavor's costs.
+    Falls back to the slow path (ofproto translation) on a full miss and
+    installs the resulting megaflow. *)
+let lookup t (charge : charge_fn) (key : FK.t) : Action.odp list =
+  let c = t.costs in
+  let cat = fastpath_category t in
+  t.counters.passes <- t.counters.passes + 1;
+  let emc_result =
+    match t.emc with
+    | Some emc when t.emc_enabled -> begin
+        match Ovs_flow.Emc.lookup emc key with
+        | Some actions ->
+            charge cat (c.Ovs_sim.Costs.emc_hit +. cold_penalty t);
+            t.counters.emc_hits <- t.counters.emc_hits + 1;
+            Some actions
+        | None ->
+            charge cat c.Ovs_sim.Costs.emc_miss_probe;
+            None
+      end
+    | Some _ | None -> None
+  in
+  let smc_result =
+    match emc_result with
+    | Some _ -> None
+    | None -> begin
+        match t.smc with
+        | Some smc when t.smc_enabled -> begin
+            match Ovs_flow.Smc.lookup smc key with
+            | Some actions ->
+                (* signature probe + one masked comparison *)
+                charge cat
+                  (c.Ovs_sim.Costs.emc_hit +. c.Ovs_sim.Costs.emc_miss_probe
+                  +. cold_penalty t);
+                Some actions
+            | None ->
+                charge cat c.Ovs_sim.Costs.emc_miss_probe;
+                None
+          end
+        | Some _ | None -> None
+      end
+  in
+  match (emc_result, smc_result) with
+  | Some actions, _ | None, Some actions -> actions
+  | None, None -> begin
+      let per_probe =
+        (match t.flavor with
+        | Flavor_userspace -> c.Ovs_sim.Costs.dpcls_subtable
+        | Flavor_kernel -> c.Ovs_sim.Costs.kmod_flow_lookup
+        | Flavor_kernel_ebpf ->
+            (* hash-map lookup from interpreted code, one per "subtable" *)
+            c.Ovs_sim.Costs.ebpf_map_lookup +. (12. *. c.Ovs_sim.Costs.ebpf_insn))
+        +. cold_penalty t
+      in
+      match Ovs_flow.Dpcls.lookup_full t.dpcls key with
+      | Some (actions, probes, mf_mask) ->
+          charge cat (float_of_int probes *. per_probe);
+          t.counters.dpcls_hits <- t.counters.dpcls_hits + 1;
+          (match t.emc with
+          | Some emc when t.emc_enabled -> Ovs_flow.Emc.insert emc key actions
+          | Some _ | None -> ());
+          (match t.smc with
+          | Some smc when t.smc_enabled ->
+              Ovs_flow.Smc.insert smc key ~mask:mf_mask actions
+          | Some _ | None -> ());
+          actions
+      | None ->
+          let probes =
+            Int.max 1 (Ovs_flow.Dpcls.subtable_count t.dpcls)
+          in
+          charge cat (float_of_int probes *. per_probe);
+          (* slow path: upcall into ovs-vswitchd / ofproto translation *)
+          t.counters.upcalls <- t.counters.upcalls + 1;
+          let upcall_cost =
+            match t.flavor with
+            | Flavor_userspace -> c.Ovs_sim.Costs.upcall
+            | Flavor_kernel | Flavor_kernel_ebpf -> c.Ovs_sim.Costs.netlink_upcall
+          in
+          let result = Ovs_ofproto.Pipeline.translate t.pipeline key in
+          charge Ovs_sim.Cpu.User
+            (upcall_cost
+            +. (float_of_int result.Ovs_ofproto.Pipeline.tables_visited
+               *. c.Ovs_sim.Costs.ofproto_table_lookup));
+          let actions = result.Ovs_ofproto.Pipeline.odp_actions in
+          Ovs_flow.Dpcls.insert t.dpcls
+            ~mask:result.Ovs_ofproto.Pipeline.megaflow_mask ~key actions;
+          charge cat c.Ovs_sim.Costs.megaflow_insert;
+          (match t.emc with
+          | Some emc when t.emc_enabled -> Ovs_flow.Emc.insert emc key actions
+          | Some _ | None -> ());
+          (match t.smc with
+          | Some smc when t.smc_enabled ->
+              Ovs_flow.Smc.insert smc key
+                ~mask:result.Ovs_ofproto.Pipeline.megaflow_mask actions
+          | Some _ | None -> ());
+          actions
+    end
+
+(** Execute datapath actions over the packet, recirculating as needed.
+    This is odp-execute: real byte rewrites, real tunnel push/pop, real
+    conntrack. *)
+let rec execute t (charge : charge_fn) (pkt : Ovs_packet.Buffer.t) (key : FK.t)
+    (actions : Action.odp list) =
+  let c = t.costs in
+  let cat = fastpath_category t in
+  let action_cost =
+    match t.flavor with
+    | Flavor_userspace -> c.Ovs_sim.Costs.action_exec
+    | Flavor_kernel -> c.Ovs_sim.Costs.kmod_action
+    | Flavor_kernel_ebpf -> c.Ovs_sim.Costs.action_exec +. (8. *. c.Ovs_sim.Costs.ebpf_insn)
+  in
+  let refresh_csums need =
+    if need && not t.csum_offload then
+      charge cat (Ovs_sim.Costs.csum c ~bytes:(Ovs_packet.Buffer.length pkt))
+  in
+  let rec go = function
+    | [] -> ()
+    | act :: rest ->
+      charge cat action_cost;
+      match act with
+      | Action.Odp_output port ->
+          t.counters.sent <- t.counters.sent + 1;
+          t.output charge port pkt;
+          go rest
+      | Action.Odp_drop ->
+          t.counters.dropped <- t.counters.dropped + 1;
+          go rest
+      | Action.Odp_set (f, v) ->
+          let need = Set_field.apply pkt key f v in
+          refresh_csums need;
+          go rest
+      | Action.Odp_push_vlan tci ->
+          Ovs_packet.Ethernet.push_vlan pkt ~tci;
+          FK.set key FK.Field.Vlan_tci (tci lor 0x1000);
+          go rest
+      | Action.Odp_pop_vlan ->
+          Ovs_packet.Ethernet.pop_vlan pkt;
+          FK.set key FK.Field.Vlan_tci 0;
+          go rest
+      | Action.Odp_tnl_push ts ->
+          pkt.Ovs_packet.Buffer.rss_hash <- FK.rss_hash key;
+          Ovs_packet.Tunnel.encap pkt ts.Action.tnl_kind
+            ~fill_csum:(not t.csum_offload) ~vni:ts.Action.vni
+            ~src_mac:ts.Action.local_mac ~dst_mac:ts.Action.remote_mac
+            ~src_ip:ts.Action.local_ip ~dst_ip:ts.Action.remote_ip ();
+          charge cat
+            (if t.csum_offload then 0.
+             else Ovs_sim.Costs.csum c ~bytes:(Ovs_packet.Buffer.length pkt));
+          t.counters.sent <- t.counters.sent + 1;
+          t.output charge ts.Action.out_port pkt;
+          go rest
+      | Action.Odp_tnl_pop resume ->
+          (match Ovs_packet.Tunnel.decap pkt with
+          | Some _ ->
+              pkt.Ovs_packet.Buffer.recirc_id <- resume;
+              recirculate t charge pkt
+          | None -> t.counters.dropped <- t.counters.dropped + 1);
+          go rest
+      | Action.Odp_ct { zone; commit; nat; resume_table } -> begin
+          let ct = t.conntrack in
+          let verdict = Ovs_conntrack.Conntrack.track ~buf:pkt ct ~now:t.now ~zone key in
+          let conn =
+            if commit && verdict.Ovs_conntrack.Conntrack.conn = None then begin
+              let nat' =
+                match nat with
+                | None -> None
+                | Some { Action.snat; dnat } ->
+                    Some { Ovs_conntrack.Conntrack.nat_src = snat; nat_dst = dnat }
+              in
+              Ovs_conntrack.Conntrack.commit ct ~now:t.now ~zone ?nat:nat' key
+            end
+            else verdict.Ovs_conntrack.Conntrack.conn
+          in
+          let ct_state =
+            match (verdict.Ovs_conntrack.Conntrack.conn, conn, commit) with
+            | None, Some _, true ->
+                (* freshly committed: +new+trk *)
+                verdict.Ovs_conntrack.Conntrack.ct_state
+            | None, None, true ->
+                (* zone limit hit: drop *)
+                FK.Ct_state_bits.inv lor FK.Ct_state_bits.trk
+            | _ -> verdict.Ovs_conntrack.Conntrack.ct_state
+          in
+          (match conn with
+          | Some conn_ ->
+              let is_reply =
+                ct_state land FK.Ct_state_bits.rpl <> 0
+              in
+              ignore
+                (Ovs_conntrack.Conntrack.apply_nat conn_ ~is_reply pkt key)
+          | None -> ());
+          pkt.Ovs_packet.Buffer.ct_state <- ct_state;
+          pkt.Ovs_packet.Buffer.ct_zone <- zone;
+          FK.set key FK.Field.Ct_state ct_state;
+          FK.set key FK.Field.Ct_zone zone;
+          if resume_table >= 0 then begin
+            pkt.Ovs_packet.Buffer.recirc_id <- resume_table;
+            recirculate t charge pkt
+          end;
+          go rest
+        end
+      | Action.Odp_meter id ->
+          (* the token bucket decides: over-rate packets die here and the
+             remaining actions never run (OpenFlow meter semantics) *)
+          if meter_admits t id then go rest
+          else t.counters.dropped <- t.counters.dropped + 1
+      | Action.Odp_userspace ->
+          (* punt to the controller: a PACKET_IN plus the slow-path cost *)
+          charge Ovs_sim.Cpu.User c.Ovs_sim.Costs.upcall;
+          (match t.controller with Some f -> f pkt | None -> ());
+          go rest
+  in
+  go actions
+
+(** A recirculation: re-extract (the packet changed or gained ct state) and
+    run another datapath pass — this is why the NSX pipeline costs three
+    lookups per packet (Sec 5.1). *)
+and recirculate t charge pkt =
+  charge (fastpath_category t) (extract_cost t);
+  let key = FK.extract pkt in
+  let actions = lookup t charge key in
+  execute t charge pkt key actions
+
+(** Full per-packet fast path: extract, look up, execute. *)
+let process t (charge : charge_fn) (pkt : Ovs_packet.Buffer.t) =
+  t.counters.packets <- t.counters.packets + 1;
+  charge (fastpath_category t) (extract_cost t);
+  let key = FK.extract pkt in
+  let actions = lookup t charge key in
+  execute t charge pkt key actions
+
+(** Drop all cached flows (OpenFlow rule changes invalidate megaflows). *)
+let flush_caches t =
+  (match t.emc with Some emc -> Ovs_flow.Emc.flush emc | None -> ());
+  Ovs_flow.Dpcls.flush t.dpcls
+
+(** Render the installed megaflows in ovs-appctl dpctl/dump-flows style:
+    the fast-path view (masked match, hit count, cached actions). *)
+let dump_megaflows t : string list =
+  let out = ref [] in
+  Ovs_flow.Dpcls.iter t.dpcls (fun ~mask ~key actions hits ->
+      let parts =
+        Array.to_list FK.Field.all
+        |> List.filter_map (fun f ->
+               let m = FK.get mask f in
+               if m = 0 then None
+               else Some (Printf.sprintf "%s=0x%x/0x%x" (FK.Field.name f) (FK.get key f) m))
+      in
+      out :=
+        Fmt.str "%s, packets:%d, actions:%a"
+          (String.concat "," parts)
+          hits
+          Fmt.(list ~sep:(any ",") Action.pp_odp)
+          actions
+        :: !out);
+  List.rev !out
+
+(** Revalidation: what OVS's revalidator threads do — walk the installed
+    megaflows, re-translate each through the current OpenFlow tables, and
+    evict entries whose cached actions no longer match the policy. Returns
+    the number of megaflows evicted. The microflow caches are flushed when
+    anything was stale (they reference the same cached actions). *)
+let revalidate t =
+  let stale = ref [] in
+  Ovs_flow.Dpcls.iter t.dpcls (fun ~mask ~key actions _hits ->
+      let fresh = Ovs_ofproto.Pipeline.translate t.pipeline key in
+      (* stale when the policy now produces different actions, or when the
+         megaflow's wildcards are wrong for the new rule set (a rule added
+         to a previously-unprobed subtable narrows the required mask) *)
+      if
+        fresh.Ovs_ofproto.Pipeline.odp_actions <> actions
+        || not (FK.equal fresh.Ovs_ofproto.Pipeline.megaflow_mask mask)
+      then stale := (FK.copy mask, FK.copy key) :: !stale);
+  List.iter (fun (mask, key) -> ignore (Ovs_flow.Dpcls.remove t.dpcls ~mask ~key)) !stale;
+  if !stale <> [] then begin
+    (match t.emc with Some emc -> Ovs_flow.Emc.flush emc | None -> ());
+    match t.smc with Some smc -> Ovs_flow.Smc.flush smc | None -> ()
+  end;
+  List.length !stale

@@ -1,0 +1,94 @@
+(** The datapath interface: one engine, four flavors.
+
+    [Kernel] is the traditional openvswitch.ko module; [Kernel_ebpf] the
+    paper's Sec 2.2.2 eBPF prototype; [Dpdk] the all-userspace OVS-DPDK;
+    [Afxdp] the paper's contribution, with every Sec 3.2 optimization as a
+    switch. The engine moves real packets through real caches and rings,
+    charging calibrated virtual time to the supplied execution contexts;
+    experiments read throughput as packets over the bottleneck context's
+    busy time and CPU usage from the context breakdown. *)
+
+type afxdp_opts = {
+  pmd_threads : bool;  (** O1: dedicated poll-mode threads *)
+  lock : Ovs_xsk.Umempool.lock_strategy;  (** O2/O3 *)
+  metadata : Ovs_xsk.Dp_packet_pool.mode;  (** O4 *)
+  csum_offload : bool;  (** O5: emulated checksum offload *)
+  copy_mode : bool;  (** XDP_SKB universal fallback (extra copy) *)
+  batch_size : int;
+}
+
+val afxdp_default : afxdp_opts
+(** The fully optimized configuration (the merged upstream default). *)
+
+val afxdp_ladder : (string * afxdp_opts) list
+(** Table 2's cumulative optimization levels, "none" through O1..O5. *)
+
+type kind = Kernel | Kernel_ebpf | Dpdk | Afxdp of afxdp_opts
+
+val kind_name : kind -> string
+
+(** How a port is attached to this datapath. *)
+type attach =
+  | At_phy_kernel  (** kernel driver rx/tx in softirq *)
+  | At_phy_dpdk  (** userspace PMD driver *)
+  | At_phy_xsk of {
+      xsks : Ovs_xsk.Xsk.t array;  (** one per queue *)
+      pool : Ovs_xsk.Umempool.t;
+      mutable prog : Ovs_ebpf.Xdp.t;  (** replaceable without restarting *)
+    }
+  | At_tap
+  | At_vhost
+  | At_veth
+
+type port = { dev : Ovs_netdev.Netdev.t; attach : attach; port_no : int }
+
+type t = {
+  kind : kind;
+  costs : Ovs_sim.Costs.t;
+  core : Dp_core.t;
+  mutable ports : port list;
+  mutable next_port : int;
+  mutable serialized_tx : Ovs_sim.Time.ns;
+      (** kernel tx-queue critical-section accumulation: a rate floor the
+          harness applies to the wall time in multiqueue runs *)
+  mutable active_queues : int;
+  metadata_pool : Ovs_xsk.Dp_packet_pool.t;
+  vm : Ovs_ebpf.Vm.t;
+}
+
+val create :
+  ?costs:Ovs_sim.Costs.t -> kind:kind -> pipeline:Ovs_ofproto.Pipeline.t -> unit -> t
+
+val add_port : ?queues_override:int option -> t -> Ovs_netdev.Netdev.t -> int
+(** Attach a device (attachment inferred from its kind and the datapath
+    flavor; AF_XDP physical ports get a umem, per-queue XSKs and the
+    default redirect program). Returns the port number. *)
+
+val port : t -> int -> port option
+val conntrack : t -> Ovs_conntrack.Conntrack.t
+val counters : t -> Dp_core.counters
+
+val poll :
+  t ->
+  softirq:Ovs_sim.Cpu.ctx ->
+  pmd:Ovs_sim.Cpu.ctx ->
+  ?max:int ->
+  port_no:int ->
+  queue:int ->
+  unit ->
+  int
+(** Poll one port's queue and run every dequeued packet through the
+    datapath: kernel-side work (driver, XDP, XSK delivery) charges
+    [softirq]; userspace work charges [pmd]. Returns packets seen. *)
+
+val set_active_queues : t -> int -> unit
+(** How many receive queues carry traffic (drives the kernel's multiqueue
+    contention model). *)
+
+val set_xdp_program : t -> port_no:int -> Ovs_ebpf.Xdp.t -> unit
+(** Swap the XDP program on an AF_XDP physical port without restarting
+    OVS (Secs 3.4/3.5). *)
+
+val reset_measurement : t -> unit
+(** Zero the counters and serialized-time accumulators between a warmup
+    and a measurement phase (caches stay warm). *)

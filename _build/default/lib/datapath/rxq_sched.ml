@@ -1,0 +1,57 @@
+(** PMD receive-queue assignment (pmd-rxq-assign): distributing NIC
+    receive queues over the dedicated poll-mode threads of O1.
+
+    OVS supports a naive round-robin placement and the cycles-based
+    placement (sort queues by measured processing cycles, then greedily
+    give each to the least-loaded PMD — longest-processing-time
+    scheduling). With skewed queue loads the difference decides whether
+    one PMD saturates while others idle, which is why Fig 12's scaling
+    depends on where the rxqs land. *)
+
+type assignment = { queue_to_pmd : int array; n_pmds : int }
+
+let round_robin ~n_queues ~n_pmds =
+  if n_pmds <= 0 then invalid_arg "Rxq_sched.round_robin";
+  { queue_to_pmd = Array.init n_queues (fun q -> q mod n_pmds); n_pmds }
+
+(** Cycles-based placement: queues sorted by descending load, each placed
+    on the currently least-loaded PMD. [loads.(q)] is queue [q]'s measured
+    cost (cycles or packets — only ratios matter). *)
+let cycles_based ~(loads : float array) ~n_pmds =
+  if n_pmds <= 0 then invalid_arg "Rxq_sched.cycles_based";
+  let n_queues = Array.length loads in
+  let order = Array.init n_queues (fun i -> i) in
+  Array.sort (fun a b -> compare loads.(b) loads.(a)) order;
+  let pmd_load = Array.make n_pmds 0. in
+  let queue_to_pmd = Array.make n_queues 0 in
+  Array.iter
+    (fun q ->
+      let best = ref 0 in
+      for p = 1 to n_pmds - 1 do
+        if pmd_load.(p) < pmd_load.(!best) then best := p
+      done;
+      queue_to_pmd.(q) <- !best;
+      pmd_load.(!best) <- pmd_load.(!best) +. loads.(q))
+    order;
+  { queue_to_pmd; n_pmds }
+
+(** Per-PMD aggregate load under an assignment. *)
+let pmd_loads t ~(loads : float array) =
+  let acc = Array.make t.n_pmds 0. in
+  Array.iteri (fun q p -> acc.(p) <- acc.(p) +. loads.(q)) t.queue_to_pmd;
+  acc
+
+(** Imbalance factor: the bottleneck PMD's load over the mean (1.0 is a
+    perfect split; the pipeline's throughput scales with its inverse). *)
+let imbalance t ~loads =
+  let per_pmd = pmd_loads t ~loads in
+  let total = Array.fold_left ( +. ) 0. per_pmd in
+  if total <= 0. then 1.
+  else begin
+    let max_load = Array.fold_left Float.max 0. per_pmd in
+    max_load /. (total /. float_of_int t.n_pmds)
+  end
+
+(** Effective throughput scale of [n_pmds] under this assignment: ideal
+    scaling divided by the imbalance. *)
+let effective_scaling t ~loads = float_of_int t.n_pmds /. imbalance t ~loads

@@ -1,0 +1,1 @@
+lib/ebpf/asm.ml: Array Hashtbl Insn List Maps

@@ -1,0 +1,1 @@
+lib/ebpf/maps.ml: Array Hashtbl Int Int64 Printf

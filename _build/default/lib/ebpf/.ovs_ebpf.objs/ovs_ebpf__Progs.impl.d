@@ -1,0 +1,1 @@
+lib/ebpf/progs.ml: Asm Insn Maps

@@ -1,0 +1,1 @@
+lib/ebpf/verifier.ml: Array Fmt Insn Int List Maps Printf

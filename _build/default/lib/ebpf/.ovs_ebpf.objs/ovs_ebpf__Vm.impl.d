@@ -1,0 +1,1 @@
+lib/ebpf/vm.ml: Array Bytes Hashtbl Insn Int64 List Maps Ovs_packet Printf

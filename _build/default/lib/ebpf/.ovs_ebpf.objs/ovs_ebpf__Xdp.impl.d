@@ -1,0 +1,1 @@
+lib/ebpf/xdp.ml: Array Fmt Insn Int64 Maps Ovs_packet Ovs_sim Verifier Vm

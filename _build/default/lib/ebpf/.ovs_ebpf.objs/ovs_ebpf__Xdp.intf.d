@@ -1,0 +1,1 @@
+lib/ebpf/xdp.mli: Insn Maps Ovs_packet Ovs_sim Verifier Vm

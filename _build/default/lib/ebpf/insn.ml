@@ -1,0 +1,135 @@
+(** The eBPF instruction set, as a typed representation.
+
+    This mirrors the kernel's ISA closely enough that programs written
+    against it have the same shape, instruction counts, and verification
+    obligations as their C/LLVM-compiled counterparts: 11 registers, 64-bit
+    and 32-bit ALU ops, sized loads/stores, conditional jumps, helper calls,
+    and the pseudo-instruction that loads a map file descriptor. *)
+
+type reg = R0 | R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | R10
+
+let reg_index = function
+  | R0 -> 0
+  | R1 -> 1
+  | R2 -> 2
+  | R3 -> 3
+  | R4 -> 4
+  | R5 -> 5
+  | R6 -> 6
+  | R7 -> 7
+  | R8 -> 8
+  | R9 -> 9
+  | R10 -> 10
+
+let reg_name r = "r" ^ string_of_int (reg_index r)
+
+type src = Reg of reg | Imm of int
+
+type alu_op =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Or
+  | And
+  | Lsh
+  | Rsh
+  | Mod
+  | Xor
+  | Mov
+  | Arsh
+
+let alu_op_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Or -> "or"
+  | And -> "and"
+  | Lsh -> "lsh"
+  | Rsh -> "rsh"
+  | Mod -> "mod"
+  | Xor -> "xor"
+  | Mov -> "mov"
+  | Arsh -> "arsh"
+
+type size = B | H | W | DW
+
+let size_bytes = function B -> 1 | H -> 2 | W -> 4 | DW -> 8
+let size_name = function B -> "b" | H -> "h" | W -> "w" | DW -> "dw"
+
+type cond = Jeq | Jne | Jgt | Jge | Jlt | Jle | Jsgt | Jsge | Jslt | Jsle | Jset
+
+let cond_name = function
+  | Jeq -> "jeq"
+  | Jne -> "jne"
+  | Jgt -> "jgt"
+  | Jge -> "jge"
+  | Jlt -> "jlt"
+  | Jle -> "jle"
+  | Jsgt -> "jsgt"
+  | Jsge -> "jsge"
+  | Jslt -> "jslt"
+  | Jsle -> "jsle"
+  | Jset -> "jset"
+
+(** Helper functions callable from eBPF, the subset the OVS XDP programs
+    need. Numbers are not the kernel's; dispatch is by constructor. *)
+type helper =
+  | Map_lookup  (** r1=map, r2=ptr to key; r0=value ptr or NULL *)
+  | Map_update  (** r1=map, r2=key ptr, r3=value ptr, r4=flags *)
+  | Map_delete  (** r1=map, r2=key ptr *)
+  | Redirect_map  (** r1=devmap/xskmap, r2=index, r3=flags; r0=action *)
+  | Tail_call
+      (** r1=ctx, r2=prog_array map, r3=index; on success jumps into the
+          target program and never returns (max depth 32); on a missing
+          slot execution falls through — the chaining mechanism the eBPF
+          datapath built its pipeline stages on (Sec 2.2.2) *)
+  | Ktime_get_ns  (** r0=virtual time *)
+  | Get_hash  (** r0=the packet's RSS hash, a stand-in for xdp hints *)
+  | Trace  (** debugging aid: records r1 *)
+
+let helper_name = function
+  | Map_lookup -> "map_lookup_elem"
+  | Map_update -> "map_update_elem"
+  | Map_delete -> "map_delete_elem"
+  | Tail_call -> "tail_call"
+  | Redirect_map -> "redirect_map"
+  | Ktime_get_ns -> "ktime_get_ns"
+  | Get_hash -> "get_hash"
+  | Trace -> "trace"
+
+type t =
+  | Alu64 of alu_op * reg * src
+  | Alu32 of alu_op * reg * src
+  | Neg of reg
+  | Ld of size * reg * reg * int  (** dst = mem[src + off], sized *)
+  | St of size * reg * int * src  (** mem[dst + off] = src, sized *)
+  | Ja of int  (** unconditional jump, relative to next insn *)
+  | Jcond of cond * reg * src * int  (** conditional jump *)
+  | Call of helper
+  | Exit
+  | Ld_map_fd of reg * int  (** pseudo-insn: load map handle [id] into dst *)
+
+let pp_src ppf = function
+  | Reg r -> Fmt.string ppf (reg_name r)
+  | Imm i -> Fmt.pf ppf "#%d" i
+
+let pp ppf = function
+  | Alu64 (op, d, s) -> Fmt.pf ppf "%s %s, %a" (alu_op_name op) (reg_name d) pp_src s
+  | Alu32 (op, d, s) ->
+      Fmt.pf ppf "%s32 %s, %a" (alu_op_name op) (reg_name d) pp_src s
+  | Neg d -> Fmt.pf ppf "neg %s" (reg_name d)
+  | Ld (sz, d, s, off) ->
+      Fmt.pf ppf "ld%s %s, [%s%+d]" (size_name sz) (reg_name d) (reg_name s) off
+  | St (sz, d, off, s) ->
+      Fmt.pf ppf "st%s [%s%+d], %a" (size_name sz) (reg_name d) off pp_src s
+  | Ja off -> Fmt.pf ppf "ja %+d" off
+  | Jcond (c, r, s, off) ->
+      Fmt.pf ppf "%s %s, %a, %+d" (cond_name c) (reg_name r) pp_src s off
+  | Call h -> Fmt.pf ppf "call %s" (helper_name h)
+  | Exit -> Fmt.string ppf "exit"
+  | Ld_map_fd (d, id) -> Fmt.pf ppf "ld_map_fd %s, map#%d" (reg_name d) id
+
+let pp_program ppf (prog : t array) =
+  Array.iteri (fun i insn -> Fmt.pf ppf "%4d: %a@." i pp insn) prog

@@ -1,0 +1,203 @@
+(** The XDP program library: every eBPF program the paper's system loads.
+
+    [xsk_default] is the "tiny eBPF helper program" of Sec 2.2.3 that sends
+    every packet to OVS userspace. [task_a]..[task_d] are Table 5's
+    complexity ladder. [l4_load_balancer], [veth_redirect] and
+    [steer_control] are the Sec 3.5 extensions (and path C of Figure 5).
+
+    All programs pass {!Verifier.verify}; the test suite enforces this. *)
+
+open Insn
+
+(* Common prologue: r6 = data, r7 = data_end, with [bytes] proven readable;
+   jumps to [out] when the packet is shorter. *)
+let bounds_check b ~bytes ~out =
+  Asm.ld b W R6 R1 0;
+  Asm.ld b W R7 R1 4;
+  Asm.mov_reg b R8 R6;
+  Asm.add b R8 bytes;
+  Asm.jcond b Jgt R8 (Reg R7) out
+
+(** Send every packet up the AF_XDP socket for its receive queue; packets
+    arriving on a queue with no bound socket fall through to the kernel
+    stack (XDP_PASS), so management traffic keeps working. *)
+let xsk_default ~(xskmap : Maps.t) : Insn.t array =
+  let b = Asm.builder () in
+  Asm.ld b W R2 R1 12;  (* rx_queue_index *)
+  Asm.ld_map_fd b R1 xskmap;
+  Asm.mov b R3 Asm.xdp_pass;
+  Asm.call b Redirect_map;
+  Asm.exit_ b;
+  Asm.finish b
+
+(** Pass everything to the network stack (the no-op hook). *)
+let pass_all : Insn.t array =
+  let b = Asm.builder () in
+  Asm.ret b Asm.xdp_pass;
+  Asm.finish b
+
+(** Table 5, task A: drop every packet without reading it. *)
+let task_a : Insn.t array =
+  let b = Asm.builder () in
+  Asm.ret b Asm.xdp_drop;
+  Asm.finish b
+
+(* Parse Ethernet + IPv4 into r0-scratch registers; non-IPv4 and short
+   packets jump to [bad]. After this: r6=data, 38 bytes proven, r5=proto. *)
+let parse_eth_ipv4 b ~bad =
+  bounds_check b ~bytes:38 ~out:bad;
+  Asm.ld b H R2 R6 12;  (* ethertype *)
+  Asm.jcond b Jne R2 (Imm 0x0800) bad;
+  Asm.ld b B R2 R6 14;  (* version/ihl *)
+  Asm.and_ b R2 0xF0;
+  Asm.jcond b Jne R2 (Imm 0x40) bad;
+  Asm.ld b B R5 R6 23 (* protocol *)
+
+(** Table 5, task B: parse Ethernet and IPv4 headers, then drop. *)
+let task_b : Insn.t array =
+  let b = Asm.builder () in
+  parse_eth_ipv4 b ~bad:"drop";
+  Asm.label b "drop";
+  Asm.ret b Asm.xdp_drop;
+  Asm.finish b
+
+(** Table 5, task C: parse, look the destination MAC up in an L2 table,
+    then drop. *)
+let task_c ~(l2_table : Maps.t) : Insn.t array =
+  let b = Asm.builder () in
+  parse_eth_ipv4 b ~bad:"drop";
+  (* compose the 48-bit destination MAC into r2 *)
+  Asm.ld b W R2 R6 0;
+  Asm.emit b (Alu64 (Lsh, R2, Imm 16));
+  Asm.ld b H R3 R6 4;
+  Asm.emit b (Alu64 (Or, R2, Reg R3));
+  Asm.st b DW R10 (-8) (Reg R2);
+  Asm.ld_map_fd b R1 l2_table;
+  Asm.mov_reg b R2 R10;
+  Asm.add b R2 (-8);
+  Asm.call b Map_lookup;
+  Asm.label b "drop";
+  Asm.ret b Asm.xdp_drop;
+  Asm.finish b
+
+(** Table 5, task D: parse, swap source and destination MACs, and transmit
+    back out the same port. *)
+let task_d : Insn.t array =
+  let b = Asm.builder () in
+  parse_eth_ipv4 b ~bad:"drop";
+  (* load both MACs (as 4+2 bytes), store them swapped *)
+  Asm.ld b W R2 R6 0;
+  Asm.ld b H R3 R6 4;
+  Asm.ld b W R4 R6 6;
+  Asm.ld b H R5 R6 10;
+  Asm.st b W R6 0 (Reg R4);
+  Asm.st b H R6 4 (Reg R5);
+  Asm.st b W R6 6 (Reg R2);
+  Asm.st b H R6 10 (Reg R3);
+  Asm.ret b Asm.xdp_tx;
+  Asm.label b "drop";
+  Asm.ret b Asm.xdp_drop;
+  Asm.finish b
+
+(** Sec 3.5: an L4 load balancer in XDP. Packets whose 5-tuple hash hits
+    [sessions] are rewritten to the chosen backend's MAC and transmitted
+    directly; everything else goes to OVS userspace via [xskmap]. *)
+let l4_load_balancer ~(sessions : Maps.t) ~(xskmap : Maps.t) : Insn.t array =
+  let b = Asm.builder () in
+  (* ctx must survive the map_lookup call (r1-r5 are caller-saved) *)
+  Asm.mov_reg b R9 R1;
+  bounds_check b ~bytes:42 ~out:"upcall";
+  Asm.ld b H R2 R6 12;
+  Asm.jcond b Jne R2 (Imm 0x0800) "upcall";
+  (* 5-tuple key: src ip ^ (dst ip << 17) ^ (ports << 31) ^ proto *)
+  Asm.ld b W R2 R6 26;
+  Asm.ld b W R3 R6 30;
+  Asm.emit b (Alu64 (Lsh, R3, Imm 17));
+  Asm.emit b (Alu64 (Xor, R2, Reg R3));
+  Asm.ld b W R3 R6 34;  (* both L4 ports *)
+  Asm.emit b (Alu64 (Lsh, R3, Imm 31));
+  Asm.emit b (Alu64 (Xor, R2, Reg R3));
+  Asm.ld b B R3 R6 23;
+  Asm.emit b (Alu64 (Xor, R2, Reg R3));
+  Asm.st b DW R10 (-8) (Reg R2);
+  Asm.ld_map_fd b R1 sessions;
+  Asm.mov_reg b R2 R10;
+  Asm.add b R2 (-8);
+  Asm.call b Map_lookup;
+  Asm.jcond b Jeq R0 (Imm 0) "upcall";
+  (* rewrite the destination MAC to the backend stored in the session *)
+  Asm.ld b DW R2 R0 0;
+  Asm.mov_reg b R3 R2;
+  Asm.emit b (Alu64 (Rsh, R3, Imm 16));
+  Asm.st b W R6 0 (Reg R3);
+  Asm.st b H R6 4 (Reg R2);
+  Asm.ret b Asm.xdp_tx;
+  Asm.label b "upcall";
+  (* miss: hand the packet to OVS userspace through the XSK *)
+  Asm.ld b W R2 R9 12;
+  Asm.ld_map_fd b R1 xskmap;
+  Asm.mov b R3 Asm.xdp_pass;
+  Asm.call b Redirect_map;
+  Asm.exit_ b;
+  Asm.finish b
+
+(** Sec 3.4 / Fig 5 path C: redirect container-bound packets straight to
+    the destination veth at the driver level, bypassing OVS userspace.
+    [mac_to_dev] maps destination MACs to devmap slots; misses go to
+    userspace via XDP_PASS handling in the caller (we return PASS). *)
+let veth_redirect ~(mac_to_dev : Maps.t) : Insn.t array =
+  let b = Asm.builder () in
+  bounds_check b ~bytes:14 ~out:"pass";
+  Asm.ld b W R2 R6 0;
+  Asm.emit b (Alu64 (Lsh, R2, Imm 16));
+  Asm.ld b H R3 R6 4;
+  Asm.emit b (Alu64 (Or, R2, Reg R3));
+  Asm.ld_map_fd b R1 mac_to_dev;
+  Asm.mov b R3 Asm.xdp_pass;
+  Asm.call b Redirect_map;
+  Asm.exit_ b;
+  Asm.label b "pass";
+  Asm.ret b Asm.xdp_pass;
+  Asm.finish b
+
+(** Sec 4: steer control-plane traffic (OpenFlow/OVSDB over TCP 6653/6640,
+    and all ARP) into the kernel network stack, and everything else to OVS
+    userspace — the refinement the paper proposes if the tap-based control
+    path proves too slow. *)
+let steer_control ~(xskmap : Maps.t) : Insn.t array =
+  let b = Asm.builder () in
+  bounds_check b ~bytes:14 ~out:"pass";
+  Asm.ld b H R2 R6 12;
+  Asm.jcond b Jeq R2 (Imm 0x0806) "pass";  (* ARP to the stack *)
+  Asm.jcond b Jne R2 (Imm 0x0800) "to_ovs";
+  Asm.mov_reg b R8 R6;
+  Asm.add b R8 38;
+  Asm.jcond b Jgt R8 (Reg R7) "to_ovs";
+  Asm.ld b B R2 R6 23;
+  Asm.jcond b Jne R2 (Imm 6) "to_ovs";  (* only TCP is control traffic *)
+  Asm.ld b H R2 R6 36;  (* TCP destination port *)
+  Asm.jcond b Jeq R2 (Imm 6653) "pass";
+  Asm.jcond b Jeq R2 (Imm 6640) "pass";
+  Asm.label b "to_ovs";
+  Asm.ld b W R2 R1 12;
+  Asm.ld_map_fd b R1 xskmap;
+  Asm.mov b R3 Asm.xdp_pass;
+  Asm.call b Redirect_map;
+  Asm.exit_ b;
+  Asm.label b "pass";
+  Asm.ret b Asm.xdp_pass;
+  Asm.finish b
+
+(** All named programs, for the tests that verify the whole library. *)
+let all ~l2_table ~sessions ~xskmap ~mac_to_dev =
+  [
+    ("xsk_default", xsk_default ~xskmap);
+    ("pass_all", pass_all);
+    ("task_a", task_a);
+    ("task_b", task_b);
+    ("task_c", task_c ~l2_table);
+    ("task_d", task_d);
+    ("l4_load_balancer", l4_load_balancer ~sessions ~xskmap);
+    ("veth_redirect", veth_redirect ~mac_to_dev);
+    ("steer_control", steer_control ~xskmap);
+  ]

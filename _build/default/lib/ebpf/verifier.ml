@@ -1,0 +1,328 @@
+(** Static verifier for eBPF programs.
+
+    Models the kernel verifier's contract that makes distributions willing
+    to run third-party bytecode (Sec 2.2.2): programs are bounded (no back
+    edges, bounded size), memory-safe (packet access only after an explicit
+    bounds check against [data_end]; stack access within the 512-byte frame
+    and only after initialization), and type-safe (map values must be
+    null-checked before dereference, helpers get the argument types they
+    expect, pointers don't leak through arbitrary arithmetic).
+
+    Verification explores every branch path (programs are DAGs since back
+    edges are rejected), with a state-count ceiling standing in for the
+    kernel's complexity limit — the same ceiling that makes a full OVS
+    datapath impractical to express in eBPF. *)
+
+type rtype =
+  | Uninit
+  | Scalar
+  | Ptr_ctx
+  | Ptr_stack of int  (** offset relative to the frame top (r10); <= 0 *)
+  | Ptr_packet of int  (** fixed offset from packet start *)
+  | Ptr_packet_end
+  | Ptr_map_value of int  (** map id, non-null *)
+  | Null_or_map_value of int  (** result of map_lookup before the null check *)
+  | Map_handle of int
+
+let rtype_name = function
+  | Uninit -> "uninit"
+  | Scalar -> "scalar"
+  | Ptr_ctx -> "ctx"
+  | Ptr_stack o -> Printf.sprintf "stack%+d" o
+  | Ptr_packet o -> Printf.sprintf "pkt%+d" o
+  | Ptr_packet_end -> "pkt_end"
+  | Ptr_map_value m -> Printf.sprintf "map_value#%d" m
+  | Null_or_map_value m -> Printf.sprintf "map_value_or_null#%d" m
+  | Map_handle m -> Printf.sprintf "map#%d" m
+
+type state = {
+  regs : rtype array;
+  mutable pkt_checked : int;  (** packet bytes proven in-bounds on this path *)
+  stack_init : bool array;  (** per-byte initialization of the 512B frame *)
+}
+
+type error = { pc : int; msg : string }
+
+let max_insns = 4096
+let max_states = 200_000
+let stack_size = 512
+
+exception Reject of error
+
+let reject pc fmt = Fmt.kstr (fun msg -> raise (Reject { pc; msg })) fmt
+
+let clone_state s =
+  {
+    regs = Array.copy s.regs;
+    pkt_checked = s.pkt_checked;
+    stack_init = Array.copy s.stack_init;
+  }
+
+let initial_state () =
+  let regs = Array.make 11 Uninit in
+  regs.(Insn.reg_index Insn.R1) <- Ptr_ctx;
+  regs.(Insn.reg_index Insn.R10) <- Ptr_stack 0;
+  { regs; pkt_checked = 0; stack_init = Array.make stack_size false }
+
+let get s r = s.regs.(Insn.reg_index r)
+let set s r t = s.regs.(Insn.reg_index r) <- t
+
+let check_readable pc s r =
+  match get s r with
+  | Uninit -> reject pc "read of uninitialized register %s" (Insn.reg_name r)
+  | _ -> ()
+
+let src_type pc s = function
+  | Insn.Imm _ -> Scalar
+  | Insn.Reg r ->
+      check_readable pc s r;
+      get s r
+
+(** Validate an [Exit]-reachable, loop-free program against the machine's
+    safety contract. Returns [Ok ()] or the first violation found. *)
+let verify (prog : Insn.t array) : (unit, error) result =
+  let n = Array.length prog in
+  let states_visited = ref 0 in
+  try
+    if n = 0 then reject 0 "empty program";
+    if n > max_insns then reject 0 "program too large (%d > %d insns)" n max_insns;
+    (* structural pass: jump targets and loop freedom *)
+    Array.iteri
+      (fun pc insn ->
+        let check_target off =
+          let target = pc + 1 + off in
+          if off < 0 then reject pc "back-edge (loop) detected";
+          if target < 0 || target >= n then reject pc "jump out of bounds"
+        in
+        match insn with
+        | Insn.Ja off -> check_target off
+        | Insn.Jcond (_, _, _, off) -> check_target off
+        | Insn.Alu64 ((Insn.Div | Insn.Mod), _, Insn.Imm 0)
+        | Insn.Alu32 ((Insn.Div | Insn.Mod), _, Insn.Imm 0) ->
+            reject pc "division by zero"
+        | _ -> ())
+      prog;
+    (* abstract interpretation over every path *)
+    let rec walk pc s =
+      incr states_visited;
+      if !states_visited > max_states then
+        reject pc "program too complex (state limit exceeded)";
+      if pc >= n then reject pc "fell off the end of the program";
+      let insn = prog.(pc) in
+      let continue s = walk (pc + 1) s in
+      match insn with
+      | Insn.Exit -> begin
+          match get s Insn.R0 with
+          | Uninit -> reject pc "r0 not initialized at exit"
+          | _ -> ()
+        end
+      | Insn.Ja off -> walk (pc + 1 + off) s
+      | Insn.Ld_map_fd (dst, map_id) ->
+          if dst = Insn.R10 then reject pc "r10 is read-only";
+          set s dst (Map_handle map_id);
+          continue s
+      | Insn.Alu64 (op, dst, src) | Insn.Alu32 (op, dst, src) -> begin
+          if dst = Insn.R10 then reject pc "r10 is read-only";
+          let sty = src_type pc s src in
+          (match op with Insn.Mov -> () | _ -> check_readable pc s dst);
+          (match op with
+          | Insn.Mov -> set s dst sty
+          | Insn.Add | Insn.Sub -> begin
+              match (get s dst, sty, src) with
+              | Scalar, Scalar, _ -> ()
+              | Ptr_packet o, Scalar, Insn.Imm i ->
+                  set s dst (Ptr_packet (o + if op = Insn.Add then i else -i))
+              | Ptr_stack o, Scalar, Insn.Imm i ->
+                  let o' = o + if op = Insn.Add then i else -i in
+                  if o' < -stack_size || o' > 0 then
+                    reject pc "stack pointer out of frame (%+d)" o';
+                  set s dst (Ptr_stack o')
+              | Ptr_packet _, Scalar, Insn.Reg _ ->
+                  (* variable-offset packet pointer: the real verifier tracks
+                     ranges; we conservatively invalidate the bounds proof *)
+                  set s dst (Ptr_packet max_int)
+              | (Ptr_map_value _ as t), Scalar, Insn.Imm _ -> set s dst t
+              | Scalar, _, _ -> reject pc "scalar %s pointer" (Insn.alu_op_name op)
+              | t, _, _ ->
+                  reject pc "bad pointer arithmetic on %s" (rtype_name t)
+            end
+          | _ -> begin
+              match (get s dst, sty) with
+              | Scalar, Scalar -> ()
+              | t, _ when t <> Scalar ->
+                  reject pc "ALU op %s on pointer %s" (Insn.alu_op_name op)
+                    (rtype_name t)
+              | _, t -> reject pc "ALU op with pointer source %s" (rtype_name t)
+            end);
+          continue s
+        end
+      | Insn.Neg dst ->
+          if dst = Insn.R10 then reject pc "r10 is read-only";
+          check_readable pc s dst;
+          if get s dst <> Scalar then reject pc "neg on pointer";
+          continue s
+      | Insn.Ld (sz, dst, srcr, off) -> begin
+          if dst = Insn.R10 then reject pc "r10 is read-only";
+          check_readable pc s srcr;
+          let nbytes = Insn.size_bytes sz in
+          (match get s srcr with
+          | Ptr_ctx ->
+              if off < 0 || off + nbytes > 16 then
+                reject pc "ctx access out of bounds (off %d)" off;
+              (* xdp_md: data / data_end / ifindex / rx_queue_index *)
+              if off = 0 then set s dst (Ptr_packet 0)
+              else if off = 4 then set s dst Ptr_packet_end
+              else set s dst Scalar
+          | Ptr_packet o ->
+              if o = max_int then
+                reject pc "packet pointer with unknown offset dereferenced";
+              let last = o + off + nbytes in
+              if o + off < 0 then reject pc "negative packet offset";
+              if last > s.pkt_checked then
+                reject pc
+                  "packet access [%d, %d) beyond verified bounds (%d checked)"
+                  (o + off) last s.pkt_checked;
+              set s dst Scalar
+          | Ptr_stack o ->
+              let a = o + off in
+              if a < -stack_size || a + nbytes > 0 then
+                reject pc "stack read out of frame";
+              for i = a + stack_size to a + stack_size + nbytes - 1 do
+                if not s.stack_init.(i) then
+                  reject pc "read of uninitialized stack at %+d" a
+              done;
+              set s dst Scalar
+          | Ptr_map_value _ ->
+              if off < 0 || off + nbytes > 8 then
+                reject pc "map value access out of bounds";
+              set s dst Scalar
+          | Null_or_map_value _ ->
+              reject pc "map value dereferenced without null check"
+          | t -> reject pc "load through non-pointer %s" (rtype_name t));
+          continue s
+        end
+      | Insn.St (sz, dstr, off, src) -> begin
+          check_readable pc s dstr;
+          let sty = src_type pc s src in
+          let nbytes = Insn.size_bytes sz in
+          (match get s dstr with
+          | Ptr_ctx -> reject pc "store to read-only ctx"
+          | Ptr_packet o ->
+              if o = max_int then
+                reject pc "packet pointer with unknown offset dereferenced";
+              let last = o + off + nbytes in
+              if o + off < 0 then reject pc "negative packet offset";
+              if last > s.pkt_checked then
+                reject pc "packet store beyond verified bounds";
+              if sty <> Scalar then reject pc "storing pointer into packet"
+          | Ptr_stack o ->
+              let a = o + off in
+              if a < -stack_size || a + nbytes > 0 then
+                reject pc "stack store out of frame";
+              for i = a + stack_size to a + stack_size + nbytes - 1 do
+                s.stack_init.(i) <- true
+              done
+          | Ptr_map_value _ ->
+              if off < 0 || off + nbytes > 8 then
+                reject pc "map value store out of bounds";
+              if sty <> Scalar then reject pc "storing pointer into map value"
+          | Null_or_map_value _ ->
+              reject pc "map value dereferenced without null check"
+          | t -> reject pc "store through non-pointer %s" (rtype_name t));
+          continue s
+        end
+      | Insn.Jcond (cond, r, src, off) -> begin
+          check_readable pc s r;
+          let sty = src_type pc s src in
+          let taken = clone_state s and fallthrough = clone_state s in
+          (* packet bounds refinement: `if (pkt + K > data_end) goto slow`
+             proves K bytes readable on the fall-through path *)
+          (match (cond, get s r, sty) with
+          | Insn.Jgt, Ptr_packet o, Ptr_packet_end when o <> max_int ->
+              fallthrough.pkt_checked <- Int.max fallthrough.pkt_checked o
+          | Insn.Jge, Ptr_packet o, Ptr_packet_end when o <> max_int ->
+              (* >= proves only o-1, but compilers emit >, keep exact *)
+              fallthrough.pkt_checked <- Int.max fallthrough.pkt_checked (o - 1)
+          | Insn.Jle, Ptr_packet o, Ptr_packet_end when o <> max_int ->
+              taken.pkt_checked <- Int.max taken.pkt_checked o
+          | _ -> ());
+          (* null-check refinement on map values *)
+          (match (cond, get s r, src) with
+          | Insn.Jeq, Null_or_map_value m, Insn.Imm 0 ->
+              set fallthrough r (Ptr_map_value m);
+              set taken r Scalar
+          | Insn.Jne, Null_or_map_value m, Insn.Imm 0 ->
+              set taken r (Ptr_map_value m);
+              set fallthrough r Scalar
+          | _ -> ());
+          (* comparing two pointers of different provenance is rejected,
+             except packet-vs-packet_end which is the bounds check *)
+          (match (get s r, sty) with
+          | Ptr_packet _, Ptr_packet_end
+          | Ptr_packet_end, Ptr_packet _
+          | Scalar, Scalar
+          | Null_or_map_value _, Scalar
+          | Scalar, Null_or_map_value _ -> ()
+          | Ptr_packet _, Ptr_packet _ | Ptr_stack _, Ptr_stack _ -> ()
+          | a, b when a = b -> ()
+          | a, b ->
+              reject pc "comparison between %s and %s" (rtype_name a)
+                (rtype_name b));
+          walk (pc + 1 + off) taken;
+          walk (pc + 1) fallthrough
+        end
+      | Insn.Call helper -> begin
+          let arg r = get s r in
+          (match helper with
+          | Insn.Map_lookup -> begin
+              match (arg Insn.R1, arg Insn.R2) with
+              | Map_handle m, Ptr_stack _ -> set s Insn.R0 (Null_or_map_value m)
+              | Map_handle _, t ->
+                  reject pc "map_lookup key must be a stack pointer, got %s"
+                    (rtype_name t)
+              | t, _ -> reject pc "map_lookup arg1 must be a map, got %s"
+                    (rtype_name t)
+            end
+          | Insn.Map_update -> begin
+              match (arg Insn.R1, arg Insn.R2, arg Insn.R3) with
+              | Map_handle _, Ptr_stack _, (Ptr_stack _ | Scalar) ->
+                  set s Insn.R0 Scalar
+              | _ -> reject pc "map_update argument types"
+            end
+          | Insn.Map_delete -> begin
+              match (arg Insn.R1, arg Insn.R2) with
+              | Map_handle _, Ptr_stack _ -> set s Insn.R0 Scalar
+              | _ -> reject pc "map_delete argument types"
+            end
+          | Insn.Tail_call -> begin
+              match (arg Insn.R1, arg Insn.R2, arg Insn.R3) with
+              | Ptr_ctx, Map_handle m, Scalar ->
+                  (* the map must really be a program array, as the kernel
+                     checks map types at verification time *)
+                  (match Maps.find_exn m with
+                  | { Maps.kind = Maps.Prog_array; _ } -> set s Insn.R0 Scalar
+                  | _ -> reject pc "tail_call needs a prog_array map"
+                  | exception _ -> reject pc "tail_call on unknown map")
+              | _ -> reject pc "tail_call argument types"
+            end
+          | Insn.Redirect_map -> begin
+              match (arg Insn.R1, arg Insn.R2) with
+              | Map_handle _, Scalar -> set s Insn.R0 Scalar
+              | _ -> reject pc "redirect_map argument types"
+            end
+          | Insn.Ktime_get_ns | Insn.Get_hash -> set s Insn.R0 Scalar
+          | Insn.Trace ->
+              check_readable pc s Insn.R1;
+              set s Insn.R0 Scalar);
+          (* caller-saved registers are clobbered by the call *)
+          List.iter
+            (fun r -> if r <> Insn.R0 then set s r Uninit)
+            [ Insn.R1; Insn.R2; Insn.R3; Insn.R4; Insn.R5 ];
+          continue s
+        end
+    in
+    walk 0 (initial_state ());
+    Ok ()
+  with Reject e -> Error e
+
+let pp_error ppf e = Fmt.pf ppf "at insn %d: %s" e.pc e.msg

@@ -1,0 +1,1 @@
+lib/flow/dpcls.ml: Hashtbl List Ovs_packet

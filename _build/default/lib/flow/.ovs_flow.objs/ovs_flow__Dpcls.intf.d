@@ -1,0 +1,1 @@
+lib/flow/dpcls.mli: Ovs_packet

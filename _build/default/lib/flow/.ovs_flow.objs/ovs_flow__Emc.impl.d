@@ -1,0 +1,1 @@
+lib/flow/emc.ml: Array Ovs_packet

@@ -1,0 +1,1 @@
+lib/flow/emc.mli: Ovs_packet

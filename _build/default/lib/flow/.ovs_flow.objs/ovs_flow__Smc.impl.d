@@ -1,0 +1,1 @@
+lib/flow/smc.ml: Array Ovs_packet

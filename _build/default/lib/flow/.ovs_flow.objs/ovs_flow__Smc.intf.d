@@ -1,0 +1,1 @@
+lib/flow/smc.mli: Ovs_packet

@@ -1,0 +1,45 @@
+(** The megaflow cache: a tuple-space-search classifier (dpcls), the
+    second level of the datapath lookup hierarchy. One subtable per
+    distinct wildcard mask; megaflows are disjoint so there are no
+    priorities; subtables are probed in descending hit-count order and
+    re-sorted periodically. Lookup cost is proportional to the number of
+    subtables probed, which the API reports. *)
+
+module FK = Ovs_packet.Flow_key
+
+type 'a t
+
+val create : unit -> 'a t
+
+val subtable_count : 'a t -> int
+(** Distinct wildcard masks currently installed. *)
+
+val flow_count : 'a t -> int
+(** Total megaflow entries. *)
+
+val insert : 'a t -> mask:FK.t -> key:FK.t -> 'a -> unit
+(** Install (or replace) the megaflow matching [key] under [mask]. [key]
+    need not be pre-masked. *)
+
+val lookup_full : 'a t -> FK.t -> ('a * int * FK.t) option
+(** [lookup_full t key] is [Some (value, subtables_probed, mask)] for the
+    first subtable containing a match, or [None] after probing them all.
+    The returned mask identifies the matching megaflow's subtable so upper
+    cache layers can be populated. *)
+
+val lookup : 'a t -> FK.t -> ('a * int) option
+(** {!lookup_full} without the mask. *)
+
+val remove : 'a t -> mask:FK.t -> key:FK.t -> bool
+(** Remove one megaflow; empty subtables are garbage-collected. Returns
+    whether an entry was removed. *)
+
+val flush : 'a t -> unit
+
+val iter :
+  'a t -> (mask:FK.t -> key:FK.t -> 'a -> int -> unit) -> unit
+(** Visit every megaflow as [(mask, masked key, value, hit count)] — the
+    dpctl/dump-flows view. *)
+
+val mean_probes : 'a t -> float
+(** Mean subtables probed per lookup since creation. *)

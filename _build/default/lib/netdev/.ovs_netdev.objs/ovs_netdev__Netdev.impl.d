@@ -1,0 +1,1 @@
+lib/netdev/netdev.ml: Array Fmt List Ovs_ebpf Ovs_packet Ovs_xsk Queue

@@ -1,0 +1,1 @@
+lib/nsx/agent.ml: Bytes List Ovs_ofproto Ovs_ovsdb Ruleset

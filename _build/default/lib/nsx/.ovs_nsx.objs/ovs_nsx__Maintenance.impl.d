@@ -1,0 +1,1 @@
+lib/nsx/maintenance.ml: Array Int List

@@ -1,0 +1,1 @@
+lib/nsx/ruleset.ml: Array Fmt Hashtbl List Ovs_ofproto Ovs_packet Ovs_sim Printf

@@ -1,0 +1,1 @@
+lib/ofproto/action.ml: Fmt Ovs_packet Printf

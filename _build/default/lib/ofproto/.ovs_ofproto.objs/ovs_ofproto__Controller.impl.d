@@ -1,0 +1,1 @@
+lib/ofproto/controller.ml: Action Bytes List Match_ Ofp_codec Ovs_packet Stdlib

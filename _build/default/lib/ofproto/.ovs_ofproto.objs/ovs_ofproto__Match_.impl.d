@@ -1,0 +1,1 @@
+lib/ofproto/match_.ml: Array Fmt List Ovs_packet Printf String

@@ -1,0 +1,1 @@
+lib/ofproto/ofconn.ml: Array Bytes List Ofp_codec Pipeline Stdlib Table

@@ -1,0 +1,1 @@
+lib/ofproto/ofp_codec.ml: Action Array Bytes Fmt Int Int32 Int64 List Match_ Option Ovs_packet Printf

@@ -1,0 +1,1 @@
+lib/ofproto/parser.ml: Action Fmt List Match_ Ovs_packet Pipeline Stdlib String

@@ -1,0 +1,1 @@
+lib/ofproto/pipeline.ml: Action Array Fmt Hashtbl List Match_ Ovs_packet Table

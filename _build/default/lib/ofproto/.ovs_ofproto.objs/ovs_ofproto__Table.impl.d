@@ -1,0 +1,1 @@
+lib/ofproto/table.ml: Hashtbl Int List Match_ Ovs_packet

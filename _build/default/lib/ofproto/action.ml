@@ -1,0 +1,89 @@
+(** OpenFlow-level actions (what the controller installs) and datapath
+    actions (what translation emits into megaflows). The split mirrors
+    ofproto vs odp-execute in OVS. *)
+
+module FK = Ovs_packet.Flow_key
+
+type nat_spec = {
+  snat : (int * int) option;  (** translate source to (ip, port) *)
+  dnat : (int * int) option;
+}
+
+type tunnel_spec = {
+  tnl_kind : Ovs_packet.Tunnel.kind;
+  vni : int;
+  remote_ip : int;
+  local_ip : int;
+  remote_mac : Ovs_packet.Mac.t;
+  local_mac : Ovs_packet.Mac.t;
+  out_port : int;  (** underlay port to emit the encapsulated frame on *)
+}
+
+(** Controller-visible actions. *)
+type t =
+  | Output of int
+  | In_port_output  (** output:in_port *)
+  | Normal  (** L2 learning-switch behaviour *)
+  | Flood
+  | Drop
+  | Set_field of FK.Field.t * int
+  | Push_vlan of int  (** the TCI to push *)
+  | Pop_vlan
+  | Tunnel_push of tunnel_spec
+  | Tunnel_pop of int
+      (** decapsulate, then recirculate into the given table to match on
+          the inner packet (OVS recirculates after tnl_pop) *)
+  | Ct of { zone : int; commit : bool; nat : nat_spec option; table : int option }
+  | Goto_table of int
+  | Meter of int  (** rate-limit through meter id (Sec 6: QoS stand-in) *)
+  | Controller  (** punt to the controller (slow) *)
+
+(** Datapath actions: the fully resolved form cached in megaflows. *)
+type odp =
+  | Odp_output of int
+  | Odp_drop
+  | Odp_set of FK.Field.t * int
+  | Odp_push_vlan of int
+  | Odp_pop_vlan
+  | Odp_tnl_push of tunnel_spec
+  | Odp_tnl_pop of int  (** decap + recirculate into the given table *)
+  | Odp_ct of { zone : int; commit : bool; nat : nat_spec option; resume_table : int }
+  | Odp_meter of int
+  | Odp_userspace  (** punt to ovs-vswitchd (controller action) *)
+
+let pp ppf = function
+  | Output p -> Fmt.pf ppf "output:%d" p
+  | In_port_output -> Fmt.string ppf "in_port"
+  | Normal -> Fmt.string ppf "NORMAL"
+  | Flood -> Fmt.string ppf "FLOOD"
+  | Drop -> Fmt.string ppf "drop"
+  | Set_field (f, v) -> Fmt.pf ppf "set_field:%s=0x%x" (FK.Field.name f) v
+  | Push_vlan tci -> Fmt.pf ppf "push_vlan:%d" (tci land 0xFFF)
+  | Pop_vlan -> Fmt.string ppf "pop_vlan"
+  | Tunnel_push ts ->
+      Fmt.pf ppf "%s(vni=%d,remote=%s)"
+        (Ovs_packet.Tunnel.kind_to_string ts.tnl_kind)
+        ts.vni
+        (Ovs_packet.Ipv4.addr_to_string ts.remote_ip)
+  | Tunnel_pop t -> Fmt.pf ppf "tnl_pop,goto_table:%d" t
+  | Ct { zone; commit; table; _ } ->
+      Fmt.pf ppf "ct(%szone=%d%s)"
+        (if commit then "commit," else "")
+        zone
+        (match table with Some t -> Printf.sprintf ",table=%d" t | None -> "")
+  | Goto_table n -> Fmt.pf ppf "goto_table:%d" n
+  | Meter m -> Fmt.pf ppf "meter:%d" m
+  | Controller -> Fmt.string ppf "CONTROLLER"
+
+let pp_odp ppf = function
+  | Odp_output p -> Fmt.pf ppf "output(%d)" p
+  | Odp_drop -> Fmt.string ppf "drop"
+  | Odp_set (f, v) -> Fmt.pf ppf "set(%s=0x%x)" (FK.Field.name f) v
+  | Odp_push_vlan tci -> Fmt.pf ppf "push_vlan(%d)" (tci land 0xFFF)
+  | Odp_pop_vlan -> Fmt.string ppf "pop_vlan"
+  | Odp_tnl_push ts -> Fmt.pf ppf "tnl_push(vni=%d)" ts.vni
+  | Odp_tnl_pop t -> Fmt.pf ppf "tnl_pop,recirc(%d)" t
+  | Odp_ct { zone; resume_table; _ } ->
+      Fmt.pf ppf "ct(zone=%d),recirc(%d)" zone resume_table
+  | Odp_meter m -> Fmt.pf ppf "meter(%d)" m
+  | Odp_userspace -> Fmt.string ppf "userspace"

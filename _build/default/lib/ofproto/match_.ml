@@ -1,0 +1,49 @@
+(** An OpenFlow match: a flow key with a per-field bitmask and a priority.
+    Built incrementally; compiled against {!Ovs_packet.Flow_key}. *)
+
+module FK = Ovs_packet.Flow_key
+
+type t = { key : FK.t; mask : FK.t }
+
+let catchall () = { key = FK.create (); mask = FK.create () }
+
+(** Match [field] exactly against [value]. *)
+let with_field m field value =
+  FK.set m.key field value;
+  FK.set m.mask field (FK.Field.full_mask field);
+  m
+
+(** Match [field] under an explicit bitmask (CIDR prefixes, ct_state with
+    +bit/-bit semantics, tcp_flags). *)
+let with_masked m field value mask =
+  FK.set m.key field (value land mask);
+  FK.set m.mask field mask;
+  m
+
+(** CIDR convenience for the IPv4 address fields. *)
+let with_prefix m field addr prefix_len =
+  if prefix_len < 0 || prefix_len > 32 then invalid_arg "Match.with_prefix";
+  let mask = if prefix_len = 0 then 0 else 0xFFFFFFFF lsl (32 - prefix_len) land 0xFFFFFFFF in
+  with_masked m field addr mask
+
+let matches m (key : FK.t) = FK.equal_masked m.key key m.mask
+
+(** Number of fields constrained (Table 3 reports the count of distinct
+    matching fields across a rule set). *)
+let fields_used m =
+  let n = ref 0 in
+  Array.iter (fun f -> if FK.get m.mask f <> 0 then incr n) FK.Field.all;
+  !n
+
+let used_fields m =
+  Array.to_list FK.Field.all
+  |> List.filter (fun f -> FK.get m.mask f <> 0)
+
+let pp ppf m =
+  let parts =
+    used_fields m
+    |> List.map (fun f ->
+           Printf.sprintf "%s=0x%x/0x%x" (FK.Field.name f) (FK.get m.key f)
+             (FK.get m.mask f))
+  in
+  Fmt.pf ppf "%s" (if parts = [] then "any" else String.concat "," parts)

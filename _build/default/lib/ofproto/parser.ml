@@ -1,0 +1,366 @@
+(** Parser for the textual flow syntax of [ovs-ofctl add-flow]:
+
+    {v table=2,priority=100,ip,nw_src=10.0.0.0/8,ct_state=+trk+est,
+       actions=ct(commit,zone=5,table=3),output:4 v}
+
+    The NSX rule generator and the examples speak this syntax, and the
+    tests round-trip through it. *)
+
+module FK = Ovs_packet.Flow_key
+
+type flow = {
+  table : int;
+  priority : int;
+  cookie : int;
+  match_ : Match_.t;
+  actions : Action.t list;
+}
+
+exception Parse_error of string
+
+let fail fmt = Fmt.kstr (fun m -> raise (Parse_error m)) fmt
+
+let int_of_value s =
+  let s = String.trim s in
+  try if String.length s > 2 && s.[0] = '0' && (s.[1] = 'x' || s.[1] = 'X')
+      then int_of_string s
+      else int_of_string s
+  with Failure _ -> fail "bad integer %S" s
+
+(* split on commas that are not inside parentheses *)
+let split_top_level s =
+  let parts = ref [] in
+  let buf = Stdlib.Buffer.create 32 in
+  let depth = ref 0 in
+  String.iter
+    (fun c ->
+      match c with
+      | '(' ->
+          incr depth;
+          Stdlib.Buffer.add_char buf c
+      | ')' ->
+          decr depth;
+          Stdlib.Buffer.add_char buf c
+      | ',' when !depth = 0 ->
+          parts := Stdlib.Buffer.contents buf :: !parts;
+          Stdlib.Buffer.clear buf
+      | c -> Stdlib.Buffer.add_char buf c)
+    s;
+  if Stdlib.Buffer.length buf > 0 then parts := Stdlib.Buffer.contents buf :: !parts;
+  List.rev !parts |> List.map String.trim |> List.filter (fun p -> p <> "")
+
+let parse_ct_state spec =
+  let open FK.Ct_state_bits in
+  let bit_of = function
+    | "new" -> new_
+    | "est" -> est
+    | "rel" -> rel
+    | "rpl" -> rpl
+    | "inv" -> inv
+    | "trk" -> trk
+    | other -> fail "unknown ct_state flag %S" other
+  in
+  let value = ref 0 and mask = ref 0 in
+  let n = String.length spec in
+  let rec go i =
+    if i < n then begin
+      let sign = spec.[i] in
+      if sign <> '+' && sign <> '-' then fail "ct_state must use +flag/-flag";
+      let j = ref (i + 1) in
+      while !j < n && spec.[!j] <> '+' && spec.[!j] <> '-' do
+        incr j
+      done;
+      let b = bit_of (String.sub spec (i + 1) (!j - i - 1)) in
+      mask := !mask lor b;
+      if sign = '+' then value := !value lor b;
+      go !j
+    end
+  in
+  go 0;
+  (!value, !mask)
+
+let parse_ip_maybe_cidr m field v =
+  match String.index_opt v '/' with
+  | None -> Match_.with_field m field (Ovs_packet.Ipv4.addr_of_string v)
+  | Some i ->
+      let addr = Ovs_packet.Ipv4.addr_of_string (String.sub v 0 i) in
+      let plen = int_of_string (String.sub v (i + 1) (String.length v - i - 1)) in
+      Match_.with_prefix m field addr plen
+
+let apply_match_token (m : Match_.t) ~table ~priority ~cookie tok =
+  match String.index_opt tok '=' with
+  | None -> begin
+      (* protocol shorthands *)
+      let ip () = Match_.with_field m FK.Field.Dl_type Ovs_packet.Ethernet.Ethertype.ipv4 in
+      match tok with
+      | "ip" -> ignore (ip ())
+      | "tcp" ->
+          ignore (ip ());
+          ignore (Match_.with_field m FK.Field.Nw_proto Ovs_packet.Ipv4.Proto.tcp)
+      | "udp" ->
+          ignore (ip ());
+          ignore (Match_.with_field m FK.Field.Nw_proto Ovs_packet.Ipv4.Proto.udp)
+      | "icmp" ->
+          ignore (ip ());
+          ignore (Match_.with_field m FK.Field.Nw_proto Ovs_packet.Ipv4.Proto.icmp)
+      | "arp" ->
+          ignore (Match_.with_field m FK.Field.Dl_type Ovs_packet.Ethernet.Ethertype.arp)
+      | "ipv6" ->
+          ignore (Match_.with_field m FK.Field.Dl_type Ovs_packet.Ethernet.Ethertype.ipv6)
+      | other -> fail "unknown match token %S" other
+    end
+  | Some i -> begin
+      let name = String.sub tok 0 i in
+      let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+      match name with
+      | "table" -> table := int_of_value v
+      | "priority" -> priority := int_of_value v
+      | "cookie" -> cookie := int_of_value v
+      | "in_port" -> ignore (Match_.with_field m FK.Field.In_port (int_of_value v))
+      | "dl_src" -> ignore (Match_.with_field m FK.Field.Dl_src (Ovs_packet.Mac.of_string v))
+      | "dl_dst" -> ignore (Match_.with_field m FK.Field.Dl_dst (Ovs_packet.Mac.of_string v))
+      | "dl_type" -> ignore (Match_.with_field m FK.Field.Dl_type (int_of_value v))
+      | "dl_vlan" ->
+          ignore (Match_.with_masked m FK.Field.Vlan_tci (int_of_value v lor 0x1000) 0x1FFF)
+      | "nw_src" -> ignore (parse_ip_maybe_cidr m FK.Field.Nw_src v)
+      | "nw_dst" -> ignore (parse_ip_maybe_cidr m FK.Field.Nw_dst v)
+      | "nw_proto" -> ignore (Match_.with_field m FK.Field.Nw_proto (int_of_value v))
+      | "nw_tos" -> ignore (Match_.with_field m FK.Field.Nw_tos (int_of_value v))
+      | "nw_ttl" -> ignore (Match_.with_field m FK.Field.Nw_ttl (int_of_value v))
+      | "tp_src" -> ignore (Match_.with_field m FK.Field.Tp_src (int_of_value v))
+      | "tp_dst" -> ignore (Match_.with_field m FK.Field.Tp_dst (int_of_value v))
+      | "tcp_flags" -> ignore (Match_.with_field m FK.Field.Tcp_flags (int_of_value v))
+      | "tun_id" -> ignore (Match_.with_field m FK.Field.Tun_id (int_of_value v))
+      | "tun_src" -> ignore (Match_.with_field m FK.Field.Tun_src (Ovs_packet.Ipv4.addr_of_string v))
+      | "tun_dst" -> ignore (Match_.with_field m FK.Field.Tun_dst (Ovs_packet.Ipv4.addr_of_string v))
+      | "ct_zone" -> ignore (Match_.with_field m FK.Field.Ct_zone (int_of_value v))
+      | "ct_mark" -> ignore (Match_.with_field m FK.Field.Ct_mark (int_of_value v))
+      | "recirc_id" -> ignore (Match_.with_field m FK.Field.Recirc_id (int_of_value v))
+      | "ct_state" ->
+          let value, mask = parse_ct_state v in
+          ignore (Match_.with_masked m FK.Field.Ct_state value mask)
+      | other -> begin
+          match FK.Field.of_name other with
+          | Some f -> ignore (Match_.with_field m f (int_of_value v))
+          | None -> fail "unknown match field %S" other
+        end
+    end
+
+let parse_ct_action spec =
+  (* spec looks like "commit,zone=5,table=3,nat(src=1.2.3.4:100)" *)
+  let commit = ref false and zone = ref 0 and table = ref None and nat = ref None in
+  let parse_nat inner ~dst =
+    match String.index_opt inner ':' with
+    | Some i ->
+        let ip = Ovs_packet.Ipv4.addr_of_string (String.sub inner 0 i) in
+        let port = int_of_string (String.sub inner (i + 1) (String.length inner - i - 1)) in
+        if dst then nat := Some { Action.snat = None; dnat = Some (ip, port) }
+        else nat := Some { Action.snat = Some (ip, port); dnat = None }
+    | None ->
+        let ip = Ovs_packet.Ipv4.addr_of_string inner in
+        if dst then nat := Some { Action.snat = None; dnat = Some (ip, 0) }
+        else nat := Some { Action.snat = Some (ip, 0); dnat = None }
+  in
+  List.iter
+    (fun part ->
+      if part = "commit" then commit := true
+      else if String.length part > 5 && String.sub part 0 5 = "zone=" then
+        zone := int_of_value (String.sub part 5 (String.length part - 5))
+      else if String.length part > 6 && String.sub part 0 6 = "table=" then
+        table := Some (int_of_value (String.sub part 6 (String.length part - 6)))
+      else if String.length part > 4 && String.sub part 0 4 = "nat(" then begin
+        let inner = String.sub part 4 (String.length part - 5) in
+        match String.index_opt inner '=' with
+        | Some i ->
+            let kind = String.sub inner 0 i in
+            let rest = String.sub inner (i + 1) (String.length inner - i - 1) in
+            parse_nat rest ~dst:(kind = "dst")
+        | None -> fail "bad nat spec %S" part
+      end
+      else fail "unknown ct() argument %S" part)
+    (split_top_level spec);
+  Action.Ct { zone = !zone; commit = !commit; nat = !nat; table = !table }
+
+(* split "VALUE->FIELD" at the arrow *)
+let split_arrow spec =
+  let n = String.length spec in
+  let rec find i =
+    if i + 1 >= n then raise Not_found
+    else if spec.[i] = '-' && spec.[i + 1] = '>' then i
+    else find (i + 1)
+  in
+  let i = find 0 in
+  (String.sub spec 0 i, String.sub spec (i + 2) (n - i - 2))
+
+(* "geneve_push(vni=5,remote=10.0.0.2,local=10.0.0.1,remote_mac=..,local_mac=..,out=3)" *)
+let parse_tunnel_push kind spec =
+  let vni = ref 0 and remote = ref 0 and local = ref 0 and out = ref 0 in
+  let remote_mac = ref 0 and local_mac = ref 0 in
+  List.iter
+    (fun part ->
+      match String.index_opt part '=' with
+      | None -> fail "bad tunnel_push argument %S" part
+      | Some i -> begin
+          let k = String.sub part 0 i in
+          let v = String.sub part (i + 1) (String.length part - i - 1) in
+          match k with
+          | "vni" -> vni := int_of_value v
+          | "remote" -> remote := Ovs_packet.Ipv4.addr_of_string v
+          | "local" -> local := Ovs_packet.Ipv4.addr_of_string v
+          | "remote_mac" -> remote_mac := Ovs_packet.Mac.of_string v
+          | "local_mac" -> local_mac := Ovs_packet.Mac.of_string v
+          | "out" -> out := int_of_value v
+          | other -> fail "unknown tunnel_push argument %S" other
+        end)
+    (split_top_level spec);
+  Action.Tunnel_push
+    {
+      Action.tnl_kind = kind;
+      vni = !vni;
+      remote_ip = !remote;
+      local_ip = !local;
+      remote_mac = !remote_mac;
+      local_mac = !local_mac;
+      out_port = !out;
+    }
+
+let parse_set_field spec =
+  match split_arrow spec with
+  | exception Not_found -> fail "bad set_field %S" spec
+  | value, fieldname -> begin
+      match FK.Field.of_name fieldname with
+      | None -> fail "unknown field %S in set_field" fieldname
+      | Some f ->
+          let v =
+            match f with
+            | FK.Field.Dl_src | FK.Field.Dl_dst -> Ovs_packet.Mac.of_string value
+            | FK.Field.Nw_src | FK.Field.Nw_dst | FK.Field.Tun_src | FK.Field.Tun_dst
+              -> (try Ovs_packet.Ipv4.addr_of_string value with _ -> int_of_value value)
+            | _ -> int_of_value value
+          in
+          Action.Set_field (f, v)
+    end
+
+let parse_action tok =
+  let prefixed p =
+    if String.length tok > String.length p && String.sub tok 0 (String.length p) = p
+    then Some (String.sub tok (String.length p) (String.length tok - String.length p))
+    else None
+  in
+  match tok with
+  | "drop" -> Action.Drop
+  | "normal" | "NORMAL" -> Action.Normal
+  | "flood" | "FLOOD" -> Action.Flood
+  | "controller" | "CONTROLLER" -> Action.Controller
+  | "in_port" -> Action.In_port_output
+  | "pop_vlan" | "strip_vlan" -> Action.Pop_vlan
+  | _ -> begin
+      match prefixed "output:" with
+      | Some v -> Action.Output (int_of_value v)
+      | None -> begin
+          match prefixed "goto_table:" with
+          | Some v -> Action.Goto_table (int_of_value v)
+          | None -> begin
+              match prefixed "meter:" with
+              | Some v -> Action.Meter (int_of_value v)
+              | None -> begin
+                  match prefixed "push_vlan:" with
+                  | Some v -> Action.Push_vlan (int_of_value v)
+                  | None -> begin
+                      match prefixed "tnl_pop:" with
+                      | Some v -> Action.Tunnel_pop (int_of_value v)
+                      | None -> begin
+                          match prefixed "geneve_push(" with
+                          | Some v when String.length v > 0
+                                        && v.[String.length v - 1] = ')' ->
+                              parse_tunnel_push Ovs_packet.Tunnel.Geneve
+                                (String.sub v 0 (String.length v - 1))
+                          | _ -> begin
+                          match prefixed "vxlan_push(" with
+                          | Some v when String.length v > 0
+                                        && v.[String.length v - 1] = ')' ->
+                              parse_tunnel_push Ovs_packet.Tunnel.Vxlan
+                                (String.sub v 0 (String.length v - 1))
+                          | _ -> begin
+                          match prefixed "set_field:" with
+                          | Some v -> parse_set_field v
+                          | None -> begin
+                              match prefixed "ct(" with
+                              | Some v when String.length v > 0
+                                            && v.[String.length v - 1] = ')' ->
+                                  parse_ct_action (String.sub v 0 (String.length v - 1))
+                              | _ ->
+                                  if tok = "ct" then
+                                    Action.Ct { zone = 0; commit = false; nat = None; table = None }
+                                  else fail "unknown action %S" tok
+                            end
+                        end
+                    end
+                end
+            end
+        end
+    end
+        end
+        end
+
+(** Parse one [add-flow] line into table, priority, match and actions. *)
+let parse_flow (line : string) : flow =
+  let line = String.trim line in
+  match
+    let marker = "actions=" in
+    let rec find i =
+      if i + String.length marker > String.length line then raise Not_found
+      else if String.sub line i (String.length marker) = marker then i
+      else find (i + 1)
+    in
+    find 0
+  with
+  | exception Not_found -> fail "missing actions= in %S" line
+  | i ->
+      let match_part = String.sub line 0 i in
+      let match_part =
+        (* strip a trailing comma/space before actions= *)
+        String.trim
+          (if String.length match_part > 0
+              && match_part.[String.length match_part - 1] = ','
+           then String.sub match_part 0 (String.length match_part - 1)
+           else match_part)
+      in
+      let actions_part = String.sub line (i + 8) (String.length line - i - 8) in
+      let m = Match_.catchall () in
+      let table = ref 0 and priority = ref 32768 and cookie = ref 0 in
+      List.iter
+        (apply_match_token m ~table ~priority ~cookie)
+        (split_top_level match_part);
+      let actions =
+        if String.trim actions_part = "drop" then [ Action.Drop ]
+        else List.map parse_action (split_top_level actions_part)
+      in
+      { table = !table; priority = !priority; cookie = !cookie; match_ = m; actions }
+
+(** Parse a match-only specification (no [actions=]), as used by
+    [ovs-ofctl del-flows] and flow-stats requests. Returns the table (or
+    [None] when unspecified, meaning all tables) and the match. *)
+let parse_match_spec (spec : string) : int option * Match_.t =
+  let m = Match_.catchall () in
+  let table = ref (-1) and priority = ref 0 and cookie = ref 0 in
+  List.iter
+    (apply_match_token m ~table ~priority ~cookie)
+    (split_top_level (String.trim spec));
+  ((if !table >= 0 then Some !table else None), m)
+
+(** Parse many lines (comments with # and blank lines skipped) and install
+    them into a pipeline. Returns the number of flows added. *)
+let install_flows (pipeline : Pipeline.t) (lines : string list) =
+  let n = ref 0 in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line <> "" && line.[0] <> '#' then begin
+        let f = parse_flow line in
+        Pipeline.add_flow pipeline ~table:f.table ~cookie:f.cookie
+          ~priority:f.priority f.match_ f.actions;
+        incr n
+      end)
+    lines;
+  !n

@@ -1,0 +1,1 @@
+lib/ovsdb/db.ml: Hashtbl List Printf String Value

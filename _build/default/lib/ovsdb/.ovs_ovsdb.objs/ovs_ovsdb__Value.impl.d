@@ -1,0 +1,1 @@
+lib/ovsdb/value.ml: Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/ovsdb/vsctl.ml: Db Fmt List Value

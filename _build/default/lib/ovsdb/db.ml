@@ -1,0 +1,270 @@
+(** The OVSDB database engine: schema, rows, atomic transactions, and
+    monitors — the management channel of Fig 7 (the NSX agent "uses OVSDB,
+    a protocol for managing OpenFlow switches, to create two bridges").
+
+    Transactions are lists of operations executed atomically: any failed
+    operation rolls the whole transaction back, exactly like the wire
+    protocol's semantics. Monitors receive row-level change notifications
+    after a successful commit, which is how ovs-vswitchd reconfigures
+    itself when the agent writes. *)
+
+type column = { col_name : string; default : Value.t }
+
+type table_schema = { tbl_name : string; columns : column list }
+
+type schema = { db_name : string; tables : table_schema list }
+
+(** The subset of the Open_vSwitch schema the system needs. *)
+let open_vswitch_schema =
+  let col ?(default = Value.empty_set) col_name = { col_name; default } in
+  {
+    db_name = "Open_vSwitch";
+    tables =
+      [
+        {
+          tbl_name = "Open_vSwitch";
+          columns =
+            [ col "bridges"; col ~default:(Value.string "") "ovs_version";
+              col ~default:(Value.Map []) "external_ids" ];
+        };
+        {
+          tbl_name = "Bridge";
+          columns =
+            [ col ~default:(Value.string "") "name"; col "ports";
+              col ~default:(Value.string "") "datapath_type";
+              col ~default:(Value.Map []) "external_ids";
+              col ~default:(Value.Map []) "other_config" ];
+        };
+        {
+          tbl_name = "Port";
+          columns = [ col ~default:(Value.string "") "name"; col "interfaces" ];
+        };
+        {
+          tbl_name = "Interface";
+          columns =
+            [ col ~default:(Value.string "") "name";
+              col ~default:(Value.string "system") "type";
+              col ~default:(Value.Map []) "options";
+              col ~default:(Value.int (-1)) "ofport";
+              col ~default:(Value.Map []) "status" ];
+        };
+        {
+          tbl_name = "Controller";
+          columns = [ col ~default:(Value.string "") "target" ];
+        };
+      ];
+  }
+
+type row = (string, Value.t) Hashtbl.t
+
+type table = { schema : table_schema; rows : (Value.uuid, row) Hashtbl.t }
+
+type change = Row_insert of Value.uuid | Row_update of Value.uuid | Row_delete of Value.uuid
+
+type monitor = { mon_table : string; callback : change -> unit }
+
+type t = {
+  tables_by_name : (string, table) Hashtbl.t;
+  mutable monitors : monitor list;
+  mutable next_txn : int;
+}
+
+let create ?(schema = open_vswitch_schema) () =
+  let tables_by_name = Hashtbl.create 8 in
+  List.iter
+    (fun ts -> Hashtbl.replace tables_by_name ts.tbl_name { schema = ts; rows = Hashtbl.create 16 })
+    schema.tables;
+  { tables_by_name; monitors = []; next_txn = 0 }
+
+exception Txn_error of string
+
+let table t name =
+  match Hashtbl.find_opt t.tables_by_name name with
+  | Some tbl -> tbl
+  | None -> raise (Txn_error (Printf.sprintf "no table %S" name))
+
+(* -- conditions (the [where] clauses) -- *)
+
+type condition =
+  | Eq of string * Value.t
+  | Includes of string * Value.atom  (** set membership *)
+  | True
+
+let row_matches (r : row) = function
+  | True -> true
+  | Eq (col, v) -> (
+      match Hashtbl.find_opt r col with Some x -> Value.equal x v | None -> false)
+  | Includes (col, a) -> (
+      match Hashtbl.find_opt r col with
+      | Some (Value.Set s) -> List.exists (Value.atom_equal a) s
+      | Some (Value.Atom x) -> Value.atom_equal x a
+      | _ -> false)
+
+(* -- operations -- *)
+
+type operation =
+  | Insert of { op_table : string; values : (string * Value.t) list; uuid_name : string option }
+  | Update of { op_table : string; where : condition list; values : (string * Value.t) list }
+  | Mutate of {
+      op_table : string;
+      where : condition list;
+      col : string;
+      mutator : [ `Insert of Value.atom | `Delete of Value.atom ];
+    }
+  | Delete of { op_table : string; where : condition list }
+  | Select of { op_table : string; where : condition list }
+
+type op_result =
+  | Inserted of Value.uuid
+  | Count of int
+  | Rows of (Value.uuid * (string * Value.t) list) list
+
+(* deep-copy a table's rows for rollback *)
+let snapshot t =
+  Hashtbl.fold
+    (fun name tbl acc -> (name, Hashtbl.copy tbl.rows, Hashtbl.fold
+        (fun u r acc -> (u, Hashtbl.copy r) :: acc) tbl.rows []) :: acc)
+    t.tables_by_name []
+
+let restore t snap =
+  List.iter
+    (fun (name, _, rows) ->
+      let tbl = table t name in
+      Hashtbl.reset tbl.rows;
+      List.iter (fun (u, r) -> Hashtbl.replace tbl.rows u r) rows)
+    snap
+
+let notify t tbl_name change =
+  List.iter
+    (fun m -> if m.mon_table = tbl_name then m.callback change)
+    t.monitors
+
+(** Execute one transaction atomically. Returns per-operation results, or
+    raises {!Txn_error} after rolling every effect back. The [uuid_name]
+    mechanism lets later operations in the same transaction reference rows
+    inserted by earlier ones, as the wire protocol's named-uuids do. *)
+let transact t (ops : operation list) : op_result list =
+  let snap = snapshot t in
+  let named : (string, Value.uuid) Hashtbl.t = Hashtbl.create 4 in
+  (* replace named-uuid placeholders "@name" with the real uuid, anywhere
+     a uuid can appear: bare atoms, set members, map keys and values *)
+  let resolve_atom = function
+    | Value.Uuid u when String.length u > 0 && u.[0] = '@' -> begin
+        match Hashtbl.find_opt named (String.sub u 1 (String.length u - 1)) with
+        | Some real -> Value.Uuid real
+        | None -> raise (Txn_error ("unknown named uuid " ^ u))
+      end
+    | other -> other
+  in
+  let resolve = function
+    | Value.Atom a -> Value.Atom (resolve_atom a)
+    | Value.Set s -> Value.Set (List.map resolve_atom s)
+    | Value.Map m -> Value.Map (List.map (fun (k, v) -> (resolve_atom k, resolve_atom v)) m)
+  in
+  let changes = ref [] in
+  let run op =
+    match op with
+    | Insert { op_table; values; uuid_name } ->
+        let tbl = table t op_table in
+        let row : row = Hashtbl.create 8 in
+        List.iter
+          (fun c -> Hashtbl.replace row c.col_name c.default)
+          tbl.schema.columns;
+        List.iter
+          (fun (col, v) ->
+            if not (List.exists (fun c -> c.col_name = col) tbl.schema.columns) then
+              raise (Txn_error (Printf.sprintf "no column %S in %S" col op_table));
+            Hashtbl.replace row col (resolve v))
+          values;
+        let u = Value.fresh_uuid () in
+        Hashtbl.replace tbl.rows u row;
+        (match uuid_name with Some n -> Hashtbl.replace named n u | None -> ());
+        changes := (op_table, Row_insert u) :: !changes;
+        Inserted u
+    | Update { op_table; where; values } ->
+        let tbl = table t op_table in
+        let n = ref 0 in
+        Hashtbl.iter
+          (fun u row ->
+            if List.for_all (row_matches row) where then begin
+              incr n;
+              List.iter (fun (col, v) -> Hashtbl.replace row col (resolve v)) values;
+              changes := (op_table, Row_update u) :: !changes
+            end)
+          tbl.rows;
+        Count !n
+    | Mutate { op_table; where; col; mutator } ->
+        let tbl = table t op_table in
+        let n = ref 0 in
+        Hashtbl.iter
+          (fun u row ->
+            if List.for_all (row_matches row) where then begin
+              incr n;
+              let current =
+                match Hashtbl.find_opt row col with
+                | Some v -> v
+                | None -> raise (Txn_error ("no column " ^ col))
+              in
+              let updated =
+                match mutator with
+                | `Insert a -> Value.set_add current (resolve_atom a)
+                | `Delete a -> Value.set_remove current (resolve_atom a)
+              in
+              Hashtbl.replace row col updated;
+              changes := (op_table, Row_update u) :: !changes
+            end)
+          tbl.rows;
+        if !n = 0 then raise (Txn_error "mutate matched no rows");
+        Count !n
+    | Delete { op_table; where } ->
+        let tbl = table t op_table in
+        let victims =
+          Hashtbl.fold
+            (fun u row acc -> if List.for_all (row_matches row) where then u :: acc else acc)
+            tbl.rows []
+        in
+        List.iter
+          (fun u ->
+            Hashtbl.remove tbl.rows u;
+            changes := (op_table, Row_delete u) :: !changes)
+          victims;
+        Count (List.length victims)
+    | Select { op_table; where } ->
+        let tbl = table t op_table in
+        Rows
+          (Hashtbl.fold
+             (fun u row acc ->
+               if List.for_all (row_matches row) where then
+                 (u, Hashtbl.fold (fun k v acc -> (k, v) :: acc) row []) :: acc
+               else acc)
+             tbl.rows [])
+  in
+  match List.map run ops with
+  | results ->
+      t.next_txn <- t.next_txn + 1;
+      List.iter (fun (tbl, ch) -> notify t tbl ch) (List.rev !changes);
+      results
+  | exception e ->
+      restore t snap;
+      raise e
+
+(** Register a monitor on a table; returns an unregister function. *)
+let monitor t ~table:mon_table ~callback =
+  let m = { mon_table; callback } in
+  t.monitors <- m :: t.monitors;
+  fun () -> t.monitors <- List.filter (fun m' -> m' != m) t.monitors
+
+(* -- convenience reads -- *)
+
+let get_column t ~table:name ~uuid ~column =
+  let tbl = table t name in
+  match Hashtbl.find_opt tbl.rows uuid with
+  | Some row -> Hashtbl.find_opt row column
+  | None -> None
+
+let find_rows t ~table:name ~where =
+  match transact t [ Select { op_table = name; where } ] with
+  | [ Rows rows ] -> rows
+  | _ -> []
+
+let row_count t ~table:name = Hashtbl.length (table t name).rows

@@ -1,0 +1,174 @@
+(** The ovs-vsctl convenience layer: the commands operators (and the NSX
+    agent's scripts) use, each expanded into one atomic OVSDB transaction
+    against the Open_vSwitch schema — add-br, add-port, set-interface-type
+    and friends. *)
+
+exception Error of string
+
+let err fmt = Fmt.kstr (fun m -> raise (Error m)) fmt
+
+let root_uuid db =
+  match Db.find_rows db ~table:"Open_vSwitch" ~where:[ Db.True ] with
+  | [ (u, _) ] -> u
+  | [] ->
+      (* first use initializes the root row, as ovsdb-server does *)
+      (match
+         Db.transact db
+           [ Db.Insert { op_table = "Open_vSwitch";
+                         values = [ ("ovs_version", Value.string "2.14.0-repro") ];
+                         uuid_name = None } ]
+       with
+      | [ Db.Inserted u ] -> u
+      | _ -> err "failed to initialize the root row")
+  | _ -> err "multiple Open_vSwitch root rows"
+
+let bridge_uuid db name =
+  match Db.find_rows db ~table:"Bridge" ~where:[ Db.Eq ("name", Value.string name) ] with
+  | [ (u, _) ] -> Some u
+  | [] -> None
+  | _ -> err "duplicate bridge %s" name
+
+let port_uuid db name =
+  match Db.find_rows db ~table:"Port" ~where:[ Db.Eq ("name", Value.string name) ] with
+  | [ (u, _) ] -> Some u
+  | [] -> None
+  | _ -> err "duplicate port %s" name
+
+(** ovs-vsctl add-br BRIDGE [-- set bridge datapath_type=...] *)
+let add_br db ?(datapath_type = "netdev") name =
+  if bridge_uuid db name <> None then err "bridge %s already exists" name;
+  let root = root_uuid db in
+  match
+    Db.transact db
+      [
+        Db.Insert
+          {
+            op_table = "Bridge";
+            values =
+              [ ("name", Value.string name);
+                ("datapath_type", Value.string datapath_type) ];
+            uuid_name = Some "br";
+          };
+        Db.Mutate
+          {
+            op_table = "Open_vSwitch";
+            where = [ Db.True ];
+            col = "bridges";
+            mutator = `Insert (Value.Uuid "@br");
+          };
+      ]
+  with
+  | [ Db.Inserted u; _ ] ->
+      ignore root;
+      u
+  | _ -> err "add-br transaction failed"
+
+(** ovs-vsctl add-port BRIDGE PORT [-- set interface PORT type=TYPE]. *)
+let add_port db ~bridge ?(iface_type = "afxdp") name =
+  let br =
+    match bridge_uuid db bridge with
+    | Some u -> u
+    | None -> err "no bridge %s" bridge
+  in
+  if port_uuid db name <> None then err "port %s already exists" name;
+  match
+    Db.transact db
+      [
+        Db.Insert
+          {
+            op_table = "Interface";
+            values = [ ("name", Value.string name); ("type", Value.string iface_type) ];
+            uuid_name = Some "if";
+          };
+        Db.Insert
+          {
+            op_table = "Port";
+            values =
+              [ ("name", Value.string name);
+                ("interfaces", Value.Set [ Value.Uuid "@if" ]) ];
+            uuid_name = Some "port";
+          };
+        Db.Mutate
+          {
+            op_table = "Bridge";
+            where = [ Db.Eq ("name", Value.string bridge) ];
+            col = "ports";
+            mutator = `Insert (Value.Uuid "@port");
+          };
+      ]
+  with
+  | [ Db.Inserted iface; Db.Inserted port; _ ] ->
+      ignore br;
+      (port, iface)
+  | _ -> err "add-port transaction failed"
+
+(** ovs-vsctl del-port BRIDGE PORT. *)
+let del_port db ~bridge name =
+  match port_uuid db name with
+  | None -> err "no port %s" name
+  | Some pu ->
+      ignore
+        (Db.transact db
+           [
+             Db.Mutate
+               {
+                 op_table = "Bridge";
+                 where = [ Db.Eq ("name", Value.string bridge) ];
+                 col = "ports";
+                 mutator = `Delete (Value.Uuid pu);
+               };
+             Db.Delete { op_table = "Port"; where = [ Db.Eq ("name", Value.string name) ] };
+             Db.Delete
+               { op_table = "Interface"; where = [ Db.Eq ("name", Value.string name) ] };
+           ])
+
+(** ovs-vsctl set interface NAME ofport_request / record datapath port. *)
+let set_interface_ofport db name ofport =
+  ignore
+    (Db.transact db
+       [
+         Db.Update
+           {
+             op_table = "Interface";
+             where = [ Db.Eq ("name", Value.string name) ];
+             values = [ ("ofport", Value.int ofport) ];
+           };
+       ])
+
+(** ovs-vsctl list-br / list-ports. *)
+let list_br db =
+  Db.find_rows db ~table:"Bridge" ~where:[ Db.True ]
+  |> List.filter_map (fun (_, cols) ->
+         match List.assoc_opt "name" cols with
+         | Some (Value.Atom (Value.String s)) -> Some s
+         | _ -> None)
+  |> List.sort compare
+
+let list_ports db ~bridge =
+  match bridge_uuid db bridge with
+  | None -> err "no bridge %s" bridge
+  | Some bu -> begin
+      match Db.get_column db ~table:"Bridge" ~uuid:bu ~column:"ports" with
+      | Some ports ->
+          Value.set_members ports
+          |> List.filter_map (function
+               | Value.Uuid pu -> begin
+                   match Db.get_column db ~table:"Port" ~uuid:pu ~column:"name" with
+                   | Some (Value.Atom (Value.String s)) -> Some s
+                   | _ -> None
+                 end
+               | _ -> None)
+          |> List.sort compare
+      | None -> []
+    end
+
+let interface_type db name =
+  match
+    Db.find_rows db ~table:"Interface" ~where:[ Db.Eq ("name", Value.string name) ]
+  with
+  | [ (_, cols) ] -> begin
+      match List.assoc_opt "type" cols with
+      | Some (Value.Atom (Value.String s)) -> Some s
+      | _ -> None
+    end
+  | _ -> None

@@ -1,0 +1,1 @@
+lib/packet/arp.ml: Buffer Ethernet Mac

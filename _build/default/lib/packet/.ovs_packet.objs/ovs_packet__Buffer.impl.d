@@ -1,0 +1,1 @@
+lib/packet/buffer.ml: Bytes Fmt Int Int32

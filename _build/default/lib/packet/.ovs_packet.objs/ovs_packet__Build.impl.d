@@ -1,0 +1,1 @@
+lib/packet/build.ml: Arp Buffer Bytes Ethernet Icmp Int Ipv4 Mac Tcp Udp

@@ -1,0 +1,1 @@
+lib/packet/ethernet.ml: Buffer Bytes Mac Printf

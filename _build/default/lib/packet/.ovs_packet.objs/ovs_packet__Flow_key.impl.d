@@ -1,0 +1,1 @@
+lib/packet/flow_key.ml: Arp Array Buffer Ethernet Fmt Icmp Int64 Ipv4 Ipv6 Mac Tcp Udp

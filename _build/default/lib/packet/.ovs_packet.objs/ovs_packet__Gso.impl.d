@@ -1,0 +1,1 @@
+lib/packet/gso.ml: Buffer Bytes Ethernet Int Ipv4 List Tcp

@@ -1,0 +1,1 @@
+lib/packet/ipv6.ml: Buffer Int64 Printf

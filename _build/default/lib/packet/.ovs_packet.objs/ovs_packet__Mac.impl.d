@@ -1,0 +1,1 @@
+lib/packet/mac.ml: Bytes Fmt List Printf String

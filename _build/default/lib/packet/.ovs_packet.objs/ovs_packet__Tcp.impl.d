@@ -1,0 +1,1 @@
+lib/packet/tcp.ml: Buffer Checksum Ipv4 List String

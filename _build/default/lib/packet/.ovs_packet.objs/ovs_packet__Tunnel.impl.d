@@ -1,0 +1,1 @@
+lib/packet/tunnel.ml: Buffer Ethernet Ipv4 Udp

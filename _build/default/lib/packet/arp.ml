@@ -1,0 +1,46 @@
+(** ARP over Ethernet/IPv4 (request, reply), for the tools model (arping,
+    the kernel neighbour table replica) and pipeline matching. *)
+
+let payload_len = 28
+
+module Op = struct
+  let request = 1
+  let reply = 2
+end
+
+type t = {
+  op : int;
+  sha : Mac.t;  (** sender hardware address *)
+  spa : int;  (** sender protocol (IPv4) address *)
+  tha : Mac.t;
+  tpa : int;
+}
+
+let parse (buf : Buffer.t) : t option =
+  let ofs = buf.Buffer.l3_ofs in
+  if ofs < 0 || Buffer.length buf < ofs + payload_len then None
+  else if
+    Buffer.get_u16 buf ofs <> 1 (* htype ethernet *)
+    || Buffer.get_u16 buf (ofs + 2) <> Ethernet.Ethertype.ipv4
+  then None
+  else
+    Some
+      {
+        op = Buffer.get_u16 buf (ofs + 6);
+        sha = Mac.of_bytes buf.Buffer.data ~off:(Buffer.abs buf (ofs + 8));
+        spa = Buffer.get_u32 buf (ofs + 14);
+        tha = Mac.of_bytes buf.Buffer.data ~off:(Buffer.abs buf (ofs + 18));
+        tpa = Buffer.get_u32 buf (ofs + 24);
+      }
+
+let write (buf : Buffer.t) ~op ~sha ~spa ~tha ~tpa =
+  let ofs = buf.Buffer.l3_ofs in
+  Buffer.set_u16 buf ofs 1;
+  Buffer.set_u16 buf (ofs + 2) Ethernet.Ethertype.ipv4;
+  Buffer.set_u8 buf (ofs + 4) 6;
+  Buffer.set_u8 buf (ofs + 5) 4;
+  Buffer.set_u16 buf (ofs + 6) op;
+  Mac.to_bytes sha buf.Buffer.data ~off:(Buffer.abs buf (ofs + 8));
+  Buffer.set_u32 buf (ofs + 14) spa;
+  Mac.to_bytes tha buf.Buffer.data ~off:(Buffer.abs buf (ofs + 18));
+  Buffer.set_u32 buf (ofs + 24) tpa

@@ -1,0 +1,102 @@
+(** Convenience constructors for well-formed packets, used by the traffic
+    generators, tests and examples. *)
+
+(** A UDP-in-IPv4-in-Ethernet packet of exactly [frame_len] bytes on the
+    wire (64 for the paper's minimum-size experiments, 1518 for the MTU
+    experiments). The payload is zero-filled. *)
+let udp ?(frame_len = 64) ?(src_mac = Mac.of_index 1) ?(dst_mac = Mac.of_index 2)
+    ?(src_ip = Ipv4.addr_of_string "10.0.0.1")
+    ?(dst_ip = Ipv4.addr_of_string "10.0.0.2") ?(src_port = 1234)
+    ?(dst_port = 5678) ?(fill_csum = true) ?(ttl = 64) () =
+  let hdrs = Ethernet.header_len + Ipv4.header_len + Udp.header_len in
+  if frame_len < hdrs then invalid_arg "Build.udp: frame too short";
+  let payload = frame_len - hdrs in
+  let buf = Buffer.create ~size:frame_len () in
+  Buffer.put buf frame_len;
+  Ethernet.write buf ~dst:dst_mac ~src:src_mac ~eth_type:Ethernet.Ethertype.ipv4;
+  Ipv4.write buf ~ttl ~proto:Ipv4.Proto.udp ~src:src_ip ~dst:dst_ip
+    ~total_len:(Ipv4.header_len + Udp.header_len + payload) ();
+  Udp.write buf ~fill_csum ~src_port ~dst_port ~len:(Udp.header_len + payload)
+    ~ip_src:src_ip ~ip_dst:dst_ip ();
+  buf
+
+(** A TCP segment with the given flags and payload length. *)
+let tcp ?(payload_len = 0) ?(src_mac = Mac.of_index 1)
+    ?(dst_mac = Mac.of_index 2) ?(src_ip = Ipv4.addr_of_string "10.0.0.1")
+    ?(dst_ip = Ipv4.addr_of_string "10.0.0.2") ?(src_port = 40000)
+    ?(dst_port = 80) ?(flags = Tcp.Flags.ack) ?(seq = 0) ?(ack = 0)
+    ?(fill_csum = true) () =
+  let frame_len =
+    Ethernet.header_len + Ipv4.header_len + Tcp.header_len + payload_len
+  in
+  let buf = Buffer.create ~size:frame_len () in
+  Buffer.put buf frame_len;
+  Ethernet.write buf ~dst:dst_mac ~src:src_mac ~eth_type:Ethernet.Ethertype.ipv4;
+  Ipv4.write buf ~proto:Ipv4.Proto.tcp ~src:src_ip ~dst:dst_ip
+    ~total_len:(Ipv4.header_len + Tcp.header_len + payload_len) ();
+  Tcp.write buf ~fill_csum ~seq ~ack ~src_port ~dst_port ~flags ~ip_src:src_ip
+    ~ip_dst:dst_ip ~payload_len ();
+  buf
+
+(** An ICMP echo request/reply. *)
+let icmp ?(src_mac = Mac.of_index 1) ?(dst_mac = Mac.of_index 2)
+    ?(src_ip = Ipv4.addr_of_string "10.0.0.1")
+    ?(dst_ip = Ipv4.addr_of_string "10.0.0.2")
+    ?(icmp_type = Icmp.Kind.echo_request) ?(ident = 1) ?(seq = 1)
+    ?(payload_len = 32) () =
+  let frame_len =
+    Ethernet.header_len + Ipv4.header_len + Icmp.header_len + payload_len
+  in
+  let buf = Buffer.create ~size:frame_len () in
+  Buffer.put buf frame_len;
+  Ethernet.write buf ~dst:dst_mac ~src:src_mac ~eth_type:Ethernet.Ethertype.ipv4;
+  Ipv4.write buf ~proto:Ipv4.Proto.icmp ~src:src_ip ~dst:dst_ip
+    ~total_len:(Ipv4.header_len + Icmp.header_len + payload_len) ();
+  Icmp.write buf ~icmp_type ~code:0 ~ident ~seq ~payload_len;
+  buf
+
+(** An ICMP error (destination unreachable / time exceeded) quoting the
+    IP header and first 8 L4 bytes of [offending], per RFC 792 — what a
+    router sends back, and what conntrack must mark [+rel]. *)
+let icmp_error ?(icmp_type = Icmp.Kind.dest_unreachable) ?(code = 3)
+    ?(src_mac = Mac.of_index 9) ?(dst_mac = Mac.of_index 1) ~src_ip
+    ~(offending : Buffer.t) () =
+  (match Ethernet.parse offending with Some _ -> () | None -> invalid_arg "icmp_error");
+  let inner_ip_ofs = offending.Buffer.l3_ofs in
+  let quote_len =
+    Int.min (Buffer.length offending - inner_ip_ofs) (Ipv4.header_len + 8)
+  in
+  let frame_len =
+    Ethernet.header_len + Ipv4.header_len + Icmp.header_len + quote_len
+  in
+  let buf = Buffer.create ~size:frame_len () in
+  Buffer.put buf frame_len;
+  (* the error goes back to the offending packet's source *)
+  let dst_ip =
+    match Ipv4.parse offending with
+    | Some ip -> ip.Ipv4.src
+    | None -> invalid_arg "icmp_error: inner not IPv4"
+  in
+  Ethernet.write buf ~dst:dst_mac ~src:src_mac ~eth_type:Ethernet.Ethertype.ipv4;
+  Ipv4.write buf ~proto:Ipv4.Proto.icmp ~src:src_ip ~dst:dst_ip
+    ~total_len:(Ipv4.header_len + Icmp.header_len + quote_len) ();
+  (* copy the quoted bytes in before checksumming *)
+  Bytes.blit offending.Buffer.data
+    (Buffer.abs offending inner_ip_ofs)
+    buf.Buffer.data
+    (Buffer.abs buf (buf.Buffer.l4_ofs + Icmp.header_len))
+    quote_len;
+  Icmp.write buf ~icmp_type ~code ~ident:0 ~seq:0 ~payload_len:quote_len;
+  buf
+
+(** An ARP request or reply frame (padded to the Ethernet minimum). *)
+let arp ?(src_mac = Mac.of_index 1) ?(dst_mac = Mac.broadcast)
+    ?(op = Arp.Op.request) ~spa ~tpa () =
+  let frame_len = Ethernet.min_frame in
+  let buf = Buffer.create ~size:frame_len () in
+  Buffer.put buf frame_len;
+  Ethernet.write buf ~dst:dst_mac ~src:src_mac ~eth_type:Ethernet.Ethertype.arp;
+  Arp.write buf ~op ~sha:src_mac ~spa
+    ~tha:(if op = Arp.Op.request then 0 else dst_mac)
+    ~tpa;
+  buf

@@ -1,0 +1,47 @@
+(** RFC 1071 Internet checksum, as used by IPv4, UDP, TCP and ICMP. *)
+
+(** One's-complement sum of 16-bit big-endian words over [len] bytes starting
+    at [off]; a trailing odd byte is padded with zero as the low octet's
+    partner, per the RFC. *)
+let sum (b : Bytes.t) ~off ~len =
+  let acc = ref 0 in
+  let i = ref off in
+  let stop = off + len in
+  while !i + 1 < stop do
+    acc := !acc + Bytes.get_uint16_be b !i;
+    i := !i + 2
+  done;
+  if !i < stop then acc := !acc + (Bytes.get_uint8 b !i lsl 8);
+  !acc
+
+let fold (acc : int) =
+  let acc = (acc land 0xFFFF) + (acc lsr 16) in
+  (acc land 0xFFFF) + (acc lsr 16)
+
+(** Finished checksum over one region. *)
+let compute (b : Bytes.t) ~off ~len = lnot (fold (sum b ~off ~len)) land 0xFFFF
+
+(** Checksum over a region plus an IPv4 pseudo-header (for UDP/TCP). *)
+let compute_pseudo (b : Bytes.t) ~off ~len ~src ~dst ~proto =
+  let pseudo =
+    ((src lsr 16) land 0xFFFF)
+    + (src land 0xFFFF)
+    + ((dst lsr 16) land 0xFFFF)
+    + (dst land 0xFFFF)
+    + proto + len
+  in
+  lnot (fold (sum b ~off ~len + pseudo)) land 0xFFFF
+
+(** A computed checksum re-verified over the same data (with the checksum
+    field included) must fold to 0. *)
+let verify (b : Bytes.t) ~off ~len = fold (sum b ~off ~len) = 0xFFFF
+
+let verify_pseudo (b : Bytes.t) ~off ~len ~src ~dst ~proto =
+  let pseudo =
+    ((src lsr 16) land 0xFFFF)
+    + (src land 0xFFFF)
+    + ((dst lsr 16) land 0xFFFF)
+    + (dst land 0xFFFF)
+    + proto + len
+  in
+  fold (sum b ~off ~len + pseudo) = 0xFFFF

@@ -1,0 +1,101 @@
+(** Ethernet II framing, with optional single 802.1Q VLAN tag. *)
+
+let header_len = 14
+let vlan_header_len = 4
+let min_frame = 60  (** minimum payload-padded frame, excluding FCS *)
+
+(** EtherTypes used by the pipeline. *)
+module Ethertype = struct
+  let ipv4 = 0x0800
+  let arp = 0x0806
+  let vlan = 0x8100
+  let ipv6 = 0x86DD
+
+  let to_string = function
+    | 0x0800 -> "ipv4"
+    | 0x0806 -> "arp"
+    | 0x8100 -> "vlan"
+    | 0x86DD -> "ipv6"
+    | x -> Printf.sprintf "0x%04x" x
+end
+
+type t = {
+  dst : Mac.t;
+  src : Mac.t;
+  eth_type : int;  (** ethertype after any VLAN tag *)
+  vlan_tci : int;  (** 0 if untagged, else TCI with CFI bit forced for presence *)
+  payload_ofs : int;  (** offset of the payload within the packet *)
+}
+
+let vlan_vid tci = tci land 0xFFF
+let vlan_pcp tci = (tci lsr 13) land 0x7
+
+(** Parse the Ethernet header at the start of [buf]. Returns [None] if the
+    frame is too short. Sets [buf.l3_ofs]. *)
+let parse (buf : Buffer.t) : t option =
+  if Buffer.length buf < header_len then None
+  else begin
+    let dst = Mac.of_bytes buf.Buffer.data ~off:(Buffer.abs buf 0) in
+    let src = Mac.of_bytes buf.Buffer.data ~off:(Buffer.abs buf 6) in
+    let ty = Buffer.get_u16 buf 12 in
+    if ty = Ethertype.vlan then
+      if Buffer.length buf < header_len + vlan_header_len then None
+      else begin
+        let tci = Buffer.get_u16 buf 14 lor 0x1000 in
+        let inner_ty = Buffer.get_u16 buf 16 in
+        buf.Buffer.l3_ofs <- header_len + vlan_header_len;
+        Some
+          {
+            dst;
+            src;
+            eth_type = inner_ty;
+            vlan_tci = tci;
+            payload_ofs = header_len + vlan_header_len;
+          }
+      end
+    else begin
+      buf.Buffer.l3_ofs <- header_len;
+      Some { dst; src; eth_type = ty; vlan_tci = 0; payload_ofs = header_len }
+    end
+  end
+
+(** Write an (untagged) Ethernet header at offset 0 of [buf], which must
+    already have [header_len] bytes of space there. *)
+let write (buf : Buffer.t) ~dst ~src ~eth_type =
+  Mac.to_bytes dst buf.Buffer.data ~off:(Buffer.abs buf 0);
+  Mac.to_bytes src buf.Buffer.data ~off:(Buffer.abs buf 6);
+  Buffer.set_u16 buf 12 eth_type;
+  buf.Buffer.l3_ofs <- header_len
+
+let set_dst (buf : Buffer.t) (m : Mac.t) =
+  Mac.to_bytes m buf.Buffer.data ~off:(Buffer.abs buf 0)
+
+let set_src (buf : Buffer.t) (m : Mac.t) =
+  Mac.to_bytes m buf.Buffer.data ~off:(Buffer.abs buf 6)
+
+let get_dst (buf : Buffer.t) = Mac.of_bytes buf.Buffer.data ~off:(Buffer.abs buf 0)
+let get_src (buf : Buffer.t) = Mac.of_bytes buf.Buffer.data ~off:(Buffer.abs buf 6)
+
+(** Insert an 802.1Q tag with the given TCI just after the MAC addresses. *)
+let push_vlan (buf : Buffer.t) ~tci =
+  Buffer.push buf vlan_header_len;
+  (* move the MAC addresses back to the new front *)
+  Bytes.blit buf.Buffer.data
+    (Buffer.abs buf vlan_header_len)
+    buf.Buffer.data (Buffer.abs buf 0) 12;
+  let inner_ty = Buffer.get_u16 buf (12 + vlan_header_len) in
+  Buffer.set_u16 buf 12 Ethertype.vlan;
+  Buffer.set_u16 buf 14 (tci land 0xFFFF land lnot 0x1000);
+  Buffer.set_u16 buf 16 inner_ty
+
+(** Remove an 802.1Q tag; no-op if the frame is untagged. *)
+let pop_vlan (buf : Buffer.t) =
+  if Buffer.length buf >= header_len + vlan_header_len
+     && Buffer.get_u16 buf 12 = Ethertype.vlan
+  then begin
+    let inner_ty = Buffer.get_u16 buf 16 in
+    Bytes.blit buf.Buffer.data (Buffer.abs buf 0) buf.Buffer.data
+      (Buffer.abs buf vlan_header_len) 12;
+    Buffer.pull buf vlan_header_len;
+    Buffer.set_u16 buf 12 inner_ty
+  end

@@ -1,0 +1,318 @@
+(** The flow key: every packet header and metadata field the OVS pipeline
+    can match on, extracted once per packet ("miniflow extraction").
+
+    Represented as a fixed-size [int array] indexed by {!Field.t}. This keeps
+    masking, hashing and comparison generic and fast, which is exactly what
+    the exact-match cache and the tuple-space classifier need. IPv6 addresses
+    are folded into two 62-bit halves per address (documented lossy fold;
+    prefix masks remain meaningful within each half). *)
+
+module Field = struct
+  type t =
+    | In_port
+    | Recirc_id
+    | Dl_src
+    | Dl_dst
+    | Dl_type
+    | Vlan_tci
+    | Nw_src
+    | Nw_dst
+    | Nw_proto
+    | Nw_tos
+    | Nw_ttl
+    | Nw_frag
+    | Tp_src
+    | Tp_dst
+    | Tcp_flags
+    | Tun_id
+    | Tun_src
+    | Tun_dst
+    | Ct_state
+    | Ct_zone
+    | Ct_mark
+    | Ip6_src_hi
+    | Ip6_src_lo
+    | Ip6_dst_hi
+    | Ip6_dst_lo
+    | Reg0  (** pipeline metadata registers (NSX uses them heavily) *)
+    | Reg1
+    | Reg2
+    | Reg3
+    | Reg4
+    | Reg5
+    | Reg6
+    | Reg7
+
+  let all =
+    [|
+      In_port; Recirc_id; Dl_src; Dl_dst; Dl_type; Vlan_tci; Nw_src; Nw_dst;
+      Nw_proto; Nw_tos; Nw_ttl; Nw_frag; Tp_src; Tp_dst; Tcp_flags; Tun_id;
+      Tun_src; Tun_dst; Ct_state; Ct_zone; Ct_mark; Ip6_src_hi; Ip6_src_lo;
+      Ip6_dst_hi; Ip6_dst_lo; Reg0; Reg1; Reg2; Reg3; Reg4; Reg5; Reg6; Reg7;
+    |]
+
+  let count = Array.length all
+
+  let to_index : t -> int = function
+    | In_port -> 0
+    | Recirc_id -> 1
+    | Dl_src -> 2
+    | Dl_dst -> 3
+    | Dl_type -> 4
+    | Vlan_tci -> 5
+    | Nw_src -> 6
+    | Nw_dst -> 7
+    | Nw_proto -> 8
+    | Nw_tos -> 9
+    | Nw_ttl -> 10
+    | Nw_frag -> 11
+    | Tp_src -> 12
+    | Tp_dst -> 13
+    | Tcp_flags -> 14
+    | Tun_id -> 15
+    | Tun_src -> 16
+    | Tun_dst -> 17
+    | Ct_state -> 18
+    | Ct_zone -> 19
+    | Ct_mark -> 20
+    | Ip6_src_hi -> 21
+    | Ip6_src_lo -> 22
+    | Ip6_dst_hi -> 23
+    | Ip6_dst_lo -> 24
+    | Reg0 -> 25
+    | Reg1 -> 26
+    | Reg2 -> 27
+    | Reg3 -> 28
+    | Reg4 -> 29
+    | Reg5 -> 30
+    | Reg6 -> 31
+    | Reg7 -> 32
+
+  let name = function
+    | In_port -> "in_port"
+    | Recirc_id -> "recirc_id"
+    | Dl_src -> "dl_src"
+    | Dl_dst -> "dl_dst"
+    | Dl_type -> "dl_type"
+    | Vlan_tci -> "vlan_tci"
+    | Nw_src -> "nw_src"
+    | Nw_dst -> "nw_dst"
+    | Nw_proto -> "nw_proto"
+    | Nw_tos -> "nw_tos"
+    | Nw_ttl -> "nw_ttl"
+    | Nw_frag -> "nw_frag"
+    | Tp_src -> "tp_src"
+    | Tp_dst -> "tp_dst"
+    | Tcp_flags -> "tcp_flags"
+    | Tun_id -> "tun_id"
+    | Tun_src -> "tun_src"
+    | Tun_dst -> "tun_dst"
+    | Ct_state -> "ct_state"
+    | Ct_zone -> "ct_zone"
+    | Ct_mark -> "ct_mark"
+    | Ip6_src_hi -> "ipv6_src_hi"
+    | Ip6_src_lo -> "ipv6_src_lo"
+    | Ip6_dst_hi -> "ipv6_dst_hi"
+    | Ip6_dst_lo -> "ipv6_dst_lo"
+    | Reg0 -> "reg0"
+    | Reg1 -> "reg1"
+    | Reg2 -> "reg2"
+    | Reg3 -> "reg3"
+    | Reg4 -> "reg4"
+    | Reg5 -> "reg5"
+    | Reg6 -> "reg6"
+    | Reg7 -> "reg7"
+
+  let of_name s =
+    let rec find i =
+      if i >= count then None
+      else if name all.(i) = s then Some all.(i)
+      else find (i + 1)
+    in
+    find 0
+
+  (** Width of the field in bits, for exact-match mask construction. *)
+  let width = function
+    | In_port -> 32
+    | Recirc_id -> 32
+    | Dl_src | Dl_dst -> 48
+    | Dl_type -> 16
+    | Vlan_tci -> 16
+    | Nw_src | Nw_dst -> 32
+    | Nw_proto -> 8
+    | Nw_tos -> 8
+    | Nw_ttl -> 8
+    | Nw_frag -> 8
+    | Tp_src | Tp_dst -> 16
+    | Tcp_flags -> 16
+    | Tun_id -> 32
+    | Tun_src | Tun_dst -> 32
+    | Ct_state -> 16
+    | Ct_zone -> 16
+    | Ct_mark -> 32
+    | Ip6_src_hi | Ip6_src_lo | Ip6_dst_hi | Ip6_dst_lo -> 62
+    | Reg0 | Reg1 | Reg2 | Reg3 | Reg4 | Reg5 | Reg6 | Reg7 -> 32
+
+  let full_mask f =
+    let w = width f in
+    if w >= 62 then max_int else (1 lsl w) - 1
+end
+
+type t = int array
+
+(* ct_state bits, mirroring OVS's +new+est+rel+rpl+inv+trk *)
+module Ct_state_bits = struct
+  let new_ = 0x01
+  let est = 0x02
+  let rel = 0x04
+  let rpl = 0x08
+  let inv = 0x10
+  let trk = 0x20
+end
+
+let create () : t = Array.make Field.count 0
+let get (k : t) f = k.(Field.to_index f)
+let set (k : t) f v = k.(Field.to_index f) <- v
+let copy (k : t) : t = Array.copy k
+let equal (a : t) (b : t) = a = b
+
+(** FNV-1a over all fields; the EMC and dpcls hash keys this way. *)
+let hash (k : t) =
+  let h = ref 0x3bf29ce484222325 in
+  for i = 0 to Field.count - 1 do
+    h := (!h lxor k.(i)) * 0x100000001b3
+  done;
+  !h land max_int
+
+(** Hash restricted to fields selected by a mask (dpcls subtable hashing). *)
+let hash_masked (k : t) (mask : t) =
+  let h = ref 0x3bf29ce484222325 in
+  for i = 0 to Field.count - 1 do
+    if mask.(i) <> 0 then h := (!h lxor (k.(i) land mask.(i))) * 0x100000001b3
+  done;
+  !h land max_int
+
+let equal_masked (a : t) (b : t) (mask : t) =
+  let rec go i =
+    i >= Field.count
+    || (a.(i) land mask.(i) = b.(i) land mask.(i) && go (i + 1))
+  in
+  go 0
+
+(** Apply [mask] to [k], returning a fresh key with wildcarded bits zeroed. *)
+let apply_mask (k : t) (mask : t) : t =
+  Array.init Field.count (fun i -> k.(i) land mask.(i))
+
+(** 5-tuple RSS hash, the value AF_XDP must compute in software (Sec 5.5). *)
+let rss_hash (k : t) =
+  let open Field in
+  let h = ref 0x9e3779b9 in
+  let mix v = h := (!h lxor v) * 0x01000193 land 0x7FFFFFFF in
+  mix (get k Nw_src);
+  mix (get k Nw_dst);
+  mix (get k Nw_proto);
+  mix (get k Tp_src);
+  mix (get k Tp_dst);
+  !h
+
+(** Extract the flow key from a packet, the analogue of OVS's
+    [miniflow_extract]. Parses Ethernet, VLAN, ARP, IPv4/IPv6 and L4 headers
+    and copies packet metadata (port, recirculation, conntrack, tunnel). *)
+let extract (buf : Buffer.t) : t =
+  let open Field in
+  let k = create () in
+  set k In_port buf.Buffer.in_port;
+  set k Recirc_id buf.Buffer.recirc_id;
+  set k Ct_state buf.Buffer.ct_state;
+  set k Ct_zone buf.Buffer.ct_zone;
+  set k Ct_mark buf.Buffer.ct_mark;
+  (match buf.Buffer.tunnel with
+  | Some tmd ->
+      set k Tun_id tmd.Buffer.tun_id;
+      set k Tun_src tmd.Buffer.tun_src;
+      set k Tun_dst tmd.Buffer.tun_dst
+  | None -> ());
+  (match Ethernet.parse buf with
+  | None -> ()
+  | Some eth -> begin
+      set k Dl_src eth.Ethernet.src;
+      set k Dl_dst eth.Ethernet.dst;
+      set k Dl_type eth.Ethernet.eth_type;
+      set k Vlan_tci eth.Ethernet.vlan_tci;
+      if eth.Ethernet.eth_type = Ethernet.Ethertype.ipv4 then begin
+        match Ipv4.parse buf with
+        | None -> ()
+        | Some ip -> begin
+            set k Nw_src ip.Ipv4.src;
+            set k Nw_dst ip.Ipv4.dst;
+            set k Nw_proto ip.Ipv4.proto;
+            set k Nw_tos ip.Ipv4.tos;
+            set k Nw_ttl ip.Ipv4.ttl;
+            set k Nw_frag (if Ipv4.is_fragment ip then 1 else 0);
+            if not (Ipv4.is_later_fragment ip) then begin
+              if ip.Ipv4.proto = Ipv4.Proto.udp then begin
+                match Udp.parse buf with
+                | Some u ->
+                    set k Tp_src u.Udp.src_port;
+                    set k Tp_dst u.Udp.dst_port
+                | None -> ()
+              end
+              else if ip.Ipv4.proto = Ipv4.Proto.tcp then begin
+                match Tcp.parse buf with
+                | Some tc ->
+                    set k Tp_src tc.Tcp.src_port;
+                    set k Tp_dst tc.Tcp.dst_port;
+                    set k Tcp_flags tc.Tcp.flags
+                | None -> ()
+              end
+              else if ip.Ipv4.proto = Ipv4.Proto.icmp then begin
+                match Icmp.parse buf with
+                | Some ic ->
+                    set k Tp_src ic.Icmp.icmp_type;
+                    set k Tp_dst ic.Icmp.code
+                | None -> ()
+              end
+            end
+          end
+      end
+      else if eth.Ethernet.eth_type = Ethernet.Ethertype.ipv6 then begin
+        match Ipv6.parse buf with
+        | None -> ()
+        | Some ip6 ->
+            let fold (h : int64) = Int64.to_int (Int64.shift_right_logical h 2) in
+            set k Ip6_src_hi (fold ip6.Ipv6.src.Ipv6.hi);
+            set k Ip6_src_lo (fold ip6.Ipv6.src.Ipv6.lo);
+            set k Ip6_dst_hi (fold ip6.Ipv6.dst.Ipv6.hi);
+            set k Ip6_dst_lo (fold ip6.Ipv6.dst.Ipv6.lo);
+            set k Nw_proto ip6.Ipv6.next_header;
+            set k Nw_tos ip6.Ipv6.tclass;
+            set k Nw_ttl ip6.Ipv6.hop_limit
+      end
+      else if eth.Ethernet.eth_type = Ethernet.Ethertype.arp then begin
+        match Arp.parse buf with
+        | None -> ()
+        | Some a ->
+            (* OVS convention: ARP op in nw_proto, spa/tpa in nw_src/dst *)
+            set k Nw_proto a.Arp.op;
+            set k Nw_src a.Arp.spa;
+            set k Nw_dst a.Arp.tpa
+      end
+    end);
+  k
+
+let pp ppf (k : t) =
+  let open Field in
+  Fmt.pf ppf "in_port=%d" (get k In_port);
+  if get k Recirc_id <> 0 then Fmt.pf ppf ",recirc=%d" (get k Recirc_id);
+  if get k Tun_id <> 0 then Fmt.pf ppf ",tun_id=%d" (get k Tun_id);
+  Fmt.pf ppf ",%s>%s,dl_type=%s"
+    (Mac.to_string (get k Dl_src))
+    (Mac.to_string (get k Dl_dst))
+    (Ethernet.Ethertype.to_string (get k Dl_type));
+  if get k Dl_type = Ethernet.Ethertype.ipv4 then
+    Fmt.pf ppf ",%s>%s,proto=%s,tp=%d>%d"
+      (Ipv4.addr_to_string (get k Nw_src))
+      (Ipv4.addr_to_string (get k Nw_dst))
+      (Ipv4.Proto.to_string (get k Nw_proto))
+      (get k Tp_src) (get k Tp_dst);
+  if get k Ct_state <> 0 then Fmt.pf ppf ",ct_state=0x%x" (get k Ct_state)

@@ -1,0 +1,67 @@
+(** Software TCP segmentation (GSO): split an oversized TCP segment into
+    MTU-sized packets with correct IP lengths and identifiers, TCP
+    sequence numbers, per-segment flags and recomputed checksums.
+
+    This is what a datapath must do when the egress device cannot take a
+    64 kB TSO frame — the mechanism behind Fig 8's offload ladders, and
+    one of the kernel services userspace OVS had to reimplement (Sec 6). *)
+
+(** [segment buf ~mtu] splits a TCP/IPv4 packet whose IP datagram exceeds
+    [mtu] into conforming packets. Non-TCP packets and packets already
+    within the MTU are returned unchanged (singleton list). PSH/FIN are
+    carried only by the last segment, as hardware TSO does. *)
+let segment (buf : Buffer.t) ~mtu : Buffer.t list =
+  match Ethernet.parse buf with
+  | Some eth
+    when eth.Ethernet.eth_type = Ethernet.Ethertype.ipv4
+         && Buffer.length buf - eth.Ethernet.payload_ofs > mtu -> begin
+      match Ipv4.parse buf with
+      | Some ip when ip.Ipv4.proto = Ipv4.Proto.tcp -> begin
+          match Tcp.parse buf with
+          | None -> [ buf ]
+          | Some tcp ->
+              let l3 = buf.Buffer.l3_ofs and l4 = buf.Buffer.l4_ofs in
+              let headers_len = l4 + tcp.Tcp.data_ofs in
+              let payload_len = Buffer.length buf - headers_len in
+              let mss = mtu - (l4 - l3) - tcp.Tcp.data_ofs in
+              if mss <= 0 || payload_len <= mss then [ buf ]
+              else begin
+                let n_segments = (payload_len + mss - 1) / mss in
+                List.init n_segments (fun i ->
+                    let off = i * mss in
+                    let chunk = Int.min mss (payload_len - off) in
+                    let last = i = n_segments - 1 in
+                    let seg = Buffer.create ~size:(headers_len + chunk) () in
+                    Buffer.put seg (headers_len + chunk);
+                    (* ethernet header verbatim *)
+                    Bytes.blit buf.Buffer.data (Buffer.abs buf 0) seg.Buffer.data
+                      (Buffer.abs seg 0) l3;
+                    seg.Buffer.l3_ofs <- l3;
+                    Ipv4.write seg ~tos:ip.Ipv4.tos
+                      ~ident:((ip.Ipv4.ident + i) land 0xFFFF)
+                      ~ttl:ip.Ipv4.ttl ~proto:Ipv4.Proto.tcp ~src:ip.Ipv4.src
+                      ~dst:ip.Ipv4.dst
+                      ~total_len:(l4 - l3 + tcp.Tcp.data_ofs + chunk)
+                      ();
+                    (* payload slice *)
+                    Bytes.blit buf.Buffer.data
+                      (Buffer.abs buf (headers_len + off))
+                      seg.Buffer.data
+                      (Buffer.abs seg (l4 + Tcp.header_len))
+                      chunk;
+                    let flags =
+                      if last then tcp.Tcp.flags
+                      else tcp.Tcp.flags land lnot (Tcp.Flags.fin lor Tcp.Flags.psh)
+                    in
+                    Tcp.write seg ~seq:((tcp.Tcp.seq + off) land 0xFFFFFFFF)
+                      ~ack:tcp.Tcp.ack ~window:tcp.Tcp.window
+                      ~src_port:tcp.Tcp.src_port ~dst_port:tcp.Tcp.dst_port
+                      ~flags ~ip_src:ip.Ipv4.src ~ip_dst:ip.Ipv4.dst
+                      ~payload_len:chunk ();
+                    seg.Buffer.in_port <- buf.Buffer.in_port;
+                    seg)
+              end
+        end
+      | Some _ | None -> [ buf ]
+    end
+  | Some _ | None -> [ buf ]

@@ -1,0 +1,38 @@
+(** ICMPv4, enough for ping (echo request/reply) and conntrack. *)
+
+let header_len = 8
+
+module Kind = struct
+  let echo_reply = 0
+  let dest_unreachable = 3
+  let echo_request = 8
+  let time_exceeded = 11
+end
+
+type t = { icmp_type : int; code : int; csum : int; ident : int; seq : int }
+
+let parse (buf : Buffer.t) : t option =
+  let ofs = buf.Buffer.l4_ofs in
+  if ofs < 0 || Buffer.length buf < ofs + header_len then None
+  else
+    Some
+      {
+        icmp_type = Buffer.get_u8 buf ofs;
+        code = Buffer.get_u8 buf (ofs + 1);
+        csum = Buffer.get_u16 buf (ofs + 2);
+        ident = Buffer.get_u16 buf (ofs + 4);
+        seq = Buffer.get_u16 buf (ofs + 6);
+      }
+
+let write (buf : Buffer.t) ~icmp_type ~code ~ident ~seq ~payload_len =
+  let ofs = buf.Buffer.l4_ofs in
+  Buffer.set_u8 buf ofs icmp_type;
+  Buffer.set_u8 buf (ofs + 1) code;
+  Buffer.set_u16 buf (ofs + 2) 0;
+  Buffer.set_u16 buf (ofs + 4) ident;
+  Buffer.set_u16 buf (ofs + 6) seq;
+  let c =
+    Checksum.compute buf.Buffer.data ~off:(Buffer.abs buf ofs)
+      ~len:(header_len + payload_len)
+  in
+  Buffer.set_u16 buf (ofs + 2) c

@@ -1,0 +1,166 @@
+(** L3 tunnel encapsulations: Geneve, VXLAN, GRE and ERSPAN.
+
+    These are the encapsulations the userspace datapath had to reimplement
+    when it left the kernel (Sec 4, "Some features must be reimplemented"),
+    and ERSPAN/GRE are the features whose out-of-tree backports the paper
+    quantifies (Sec 2.1.1). Encap prepends real outer headers into the
+    packet's headroom; decap strips them and records tunnel metadata. *)
+
+type kind = Geneve | Vxlan | Gre | Erspan
+
+let geneve_udp_port = 6081
+let vxlan_udp_port = 4789
+let erspan_gre_proto = 0x88BE
+
+let geneve_header_len = 8
+let vxlan_header_len = 8
+let gre_header_len = 8 (* we always emit the key field *)
+let erspan_header_len = 8
+
+(** Bytes of outer headers added by each encapsulation (Ethernet + IPv4 +
+    (UDP) + tunnel header). *)
+let overhead = function
+  | Geneve -> Ethernet.header_len + Ipv4.header_len + Udp.header_len + geneve_header_len
+  | Vxlan -> Ethernet.header_len + Ipv4.header_len + Udp.header_len + vxlan_header_len
+  | Gre -> Ethernet.header_len + Ipv4.header_len + gre_header_len
+  | Erspan ->
+      Ethernet.header_len + Ipv4.header_len + gre_header_len + erspan_header_len
+
+let kind_to_string = function
+  | Geneve -> "geneve"
+  | Vxlan -> "vxlan"
+  | Gre -> "gre"
+  | Erspan -> "erspan"
+
+(** Encapsulate the whole current packet as the payload of a new outer
+    frame. [fill_csum=false] models outer-UDP checksum offload. *)
+let encap (buf : Buffer.t) kind ?(fill_csum = true) ~vni ~src_mac ~dst_mac
+    ~src_ip ~dst_ip () =
+  let inner_len = Buffer.length buf in
+  let oh = overhead kind in
+  Buffer.push buf oh;
+  Ethernet.write buf ~dst:dst_mac ~src:src_mac ~eth_type:Ethernet.Ethertype.ipv4;
+  let l3 = Ethernet.header_len in
+  buf.Buffer.l3_ofs <- l3;
+  begin
+    match kind with
+    | Geneve | Vxlan ->
+        let uh = Udp.header_len in
+        let th = if kind = Geneve then geneve_header_len else vxlan_header_len in
+        let udp_len = uh + th + inner_len in
+        Ipv4.write buf ~proto:Ipv4.Proto.udp ~src:src_ip ~dst:dst_ip
+          ~total_len:(Ipv4.header_len + udp_len) ();
+        let l4 = l3 + Ipv4.header_len in
+        buf.Buffer.l4_ofs <- l4;
+        let dport = if kind = Geneve then geneve_udp_port else vxlan_udp_port in
+        (* source port carries the inner flow entropy, as real encaps do *)
+        let sport = 0xC000 lor (buf.Buffer.rss_hash land 0x3FFF) in
+        let tofs = l4 + uh in
+        if kind = Geneve then begin
+          (* ver(2)=0 optlen(6)=0 | flags | protocol=0x6558 (Trans. Ether) *)
+          Buffer.set_u8 buf tofs 0;
+          Buffer.set_u8 buf (tofs + 1) 0;
+          Buffer.set_u16 buf (tofs + 2) 0x6558;
+          Buffer.set_u32 buf (tofs + 4) (vni lsl 8)
+        end
+        else begin
+          Buffer.set_u32 buf tofs 0x0800_0000;  (* flags: VNI present *)
+          Buffer.set_u32 buf (tofs + 4) (vni lsl 8)
+        end;
+        Udp.write buf ~fill_csum ~src_port:sport ~dst_port:dport ~len:udp_len
+          ~ip_src:src_ip ~ip_dst:dst_ip ()
+    | Gre | Erspan ->
+        let th =
+          if kind = Gre then gre_header_len else gre_header_len + erspan_header_len
+        in
+        Ipv4.write buf ~proto:Ipv4.Proto.gre ~src:src_ip ~dst:dst_ip
+          ~total_len:(Ipv4.header_len + th + inner_len) ();
+        let g = l3 + Ipv4.header_len in
+        buf.Buffer.l4_ofs <- g;
+        let proto = if kind = Gre then 0x6558 else erspan_gre_proto in
+        Buffer.set_u16 buf g 0x2000;  (* key present *)
+        Buffer.set_u16 buf (g + 2) proto;
+        Buffer.set_u32 buf (g + 4) vni;
+        if kind = Erspan then begin
+          let e = g + gre_header_len in
+          (* ERSPAN type II: ver=1, vlan=0, session id = vni low 10 bits *)
+          Buffer.set_u32 buf e ((1 lsl 28) lor (vni land 0x3FF));
+          Buffer.set_u32 buf (e + 4) 0
+        end
+  end
+
+type decap_result = { kind : kind; md : Buffer.tunnel_md }
+
+(** Recognize and strip an outer encapsulation. Returns [None] if the packet
+    is not a recognized tunnel frame. On success the packet is reduced to
+    the inner frame and [buf.tunnel] carries the tunnel metadata. *)
+let decap (buf : Buffer.t) : decap_result option =
+  match Ethernet.parse buf with
+  | None -> None
+  | Some eth when eth.Ethernet.eth_type = Ethernet.Ethertype.ipv4 -> begin
+      match Ipv4.parse buf with
+      | None -> None
+      | Some ip when ip.Ipv4.proto = Ipv4.Proto.udp -> begin
+          match Udp.parse buf with
+          | None -> None
+          | Some u
+            when u.Udp.dst_port = geneve_udp_port
+                 || u.Udp.dst_port = vxlan_udp_port ->
+              let kind = if u.Udp.dst_port = geneve_udp_port then Geneve else Vxlan in
+              let tofs = buf.Buffer.l4_ofs + Udp.header_len in
+              if Buffer.length buf < tofs + 8 then None
+              else begin
+                let vni = Buffer.get_u32 buf (tofs + 4) lsr 8 in
+                let opt_len =
+                  if kind = Geneve then (Buffer.get_u8 buf tofs land 0x3F) * 4 else 0
+                in
+                let strip = tofs + 8 + opt_len in
+                let md =
+                  {
+                    Buffer.tun_id = vni;
+                    tun_src = ip.Ipv4.src;
+                    tun_dst = ip.Ipv4.dst;
+                  }
+                in
+                Buffer.pull buf strip;
+                buf.Buffer.tunnel <- Some md;
+                buf.Buffer.l3_ofs <- -1;
+                buf.Buffer.l4_ofs <- -1;
+                Some { kind; md }
+              end
+          | Some _ -> None
+        end
+      | Some ip when ip.Ipv4.proto = Ipv4.Proto.gre ->
+          let g = buf.Buffer.l4_ofs in
+          if Buffer.length buf < g + gre_header_len then None
+          else begin
+            let flags = Buffer.get_u16 buf g in
+            let proto = Buffer.get_u16 buf (g + 2) in
+            if flags land 0x2000 = 0 then None
+            else begin
+              let key = Buffer.get_u32 buf (g + 4) in
+              let kind, extra =
+                if proto = erspan_gre_proto then (Erspan, erspan_header_len)
+                else (Gre, 0)
+              in
+              let strip = g + gre_header_len + extra in
+              if Buffer.length buf < strip then None
+              else begin
+                let md =
+                  {
+                    Buffer.tun_id = key;
+                    tun_src = ip.Ipv4.src;
+                    tun_dst = ip.Ipv4.dst;
+                  }
+                in
+                Buffer.pull buf strip;
+                buf.Buffer.tunnel <- Some md;
+                buf.Buffer.l3_ofs <- -1;
+                buf.Buffer.l4_ofs <- -1;
+                Some { kind; md }
+              end
+            end
+          end
+      | Some _ -> None
+    end
+  | Some _ -> None

@@ -1,0 +1,40 @@
+(** UDP header. *)
+
+let header_len = 8
+
+type t = { src_port : int; dst_port : int; len : int; csum : int }
+
+let parse (buf : Buffer.t) : t option =
+  let ofs = buf.Buffer.l4_ofs in
+  if ofs < 0 || Buffer.length buf < ofs + header_len then None
+  else
+    Some
+      {
+        src_port = Buffer.get_u16 buf ofs;
+        dst_port = Buffer.get_u16 buf (ofs + 2);
+        len = Buffer.get_u16 buf (ofs + 4);
+        csum = Buffer.get_u16 buf (ofs + 6);
+      }
+
+(** Write the header at [buf.l4_ofs]. [len] covers header plus payload.
+    When [fill_csum] (default true) the UDP checksum is computed in software
+    over the pseudo-header; pass [false] to model checksum offload (field
+    left zero, which IPv4 UDP permits). *)
+let write (buf : Buffer.t) ?(fill_csum = true) ~src_port ~dst_port ~len ~ip_src
+    ~ip_dst () =
+  let ofs = buf.Buffer.l4_ofs in
+  Buffer.set_u16 buf ofs src_port;
+  Buffer.set_u16 buf (ofs + 2) dst_port;
+  Buffer.set_u16 buf (ofs + 4) len;
+  Buffer.set_u16 buf (ofs + 6) 0;
+  if fill_csum then begin
+    let c =
+      Checksum.compute_pseudo buf.Buffer.data ~off:(Buffer.abs buf ofs) ~len
+        ~src:ip_src ~dst:ip_dst ~proto:Ipv4.Proto.udp
+    in
+    (* an all-zero result is transmitted as 0xFFFF, per RFC 768 *)
+    Buffer.set_u16 buf (ofs + 6) (if c = 0 then 0xFFFF else c)
+  end
+
+let set_src_port (buf : Buffer.t) p = Buffer.set_u16 buf buf.Buffer.l4_ofs p
+let set_dst_port (buf : Buffer.t) p = Buffer.set_u16 buf (buf.Buffer.l4_ofs + 2) p

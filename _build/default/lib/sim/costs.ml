@@ -1,0 +1,182 @@
+(** Calibrated per-operation virtual-time costs.
+
+    Every constant the simulation charges lives here, in one place, so the
+    whole calibration is auditable. Units are nanoseconds on the paper's
+    2.4 GHz Xeon testbeds.
+
+    Calibration anchors (paper numbers the constants were tuned against):
+    - Table 2: AF_XDP single-flow 64B ladder 0.8 / 4.8 / 6.0 / 6.3 / 6.6 /
+      7.1 Mpps as optimizations O1..O5 are enabled.
+    - Fig 2: single-core 64B forwarding, kernel ~4.6 Mpps, eBPF 10-20%
+      slower, DPDK ~9.3 Mpps.
+    - Sec 3.3: sendto on a tap device costs ~2 us; AF_XDP+tap drops to
+      1.3 Mpps while vhostuser restores ~6 Mpps.
+    - Table 5: XDP task rates 14 / 8.1 / 7.1 / 4.7 Mpps.
+    - Table 4: CPU breakdowns (kernel ~9.9 hyperthreads at P2P, DPDK 1.0,
+      AF_XDP 2.1).
+
+    Everything else in the evaluation (crossovers, scaling curves, latency
+    distributions) is emergent from these constants plus the real mechanics
+    (rings, caches, eBPF execution) implemented by the other libraries. *)
+
+type t = {
+  (* -- generic kernel substrate -- *)
+  syscall : float;  (** entry/exit of a cheap syscall *)
+  sendto_tap : float;  (** sendto(2) on a tap fd, measured as ~2us (Sec 3.3) *)
+  context_switch : float;  (** involuntary context switch (mutex sleep path) *)
+  interrupt : float;  (** taking a hardware interrupt + NAPI schedule *)
+  softirq_dispatch : float;  (** entering softirq context, per batch *)
+  skb_alloc : float;  (** allocating and initializing an sk_buff *)
+  skb_alloc_cold : float;  (** same, cache-cold (many flows / many cores) *)
+  kernel_func_call : float;  (** intra-kernel virtual-device hop (tap from kernel) *)
+  (* -- memory -- *)
+  copy_per_byte : float;  (** memcpy, warm cache (~16B/cycle) *)
+  copy_per_byte_cross_core : float;  (** copy that bounces cache lines *)
+  cache_miss : float;  (** one LLC miss *)
+  page_alloc : float;  (** mmap/page-fault path for packet metadata (O4 off) *)
+  prealloc_init : float;  (** re-initializing a preallocated dp_packet (O4 on) *)
+  (* -- locking (Sec 3.2, O2/O3) -- *)
+  mutex_lock : float;  (** pthread_mutex lock/unlock pair, uncontended *)
+  spinlock : float;  (** spinlock lock/unlock pair, uncontended *)
+  lock_contended_penalty : float;  (** added when another thread holds it *)
+  (* -- checksums / offloads (O5) -- *)
+  csum_per_byte : float;  (** software Internet checksum *)
+  csum_fixed : float;  (** fixed part of software checksum of one packet *)
+  (* -- classifier / flow processing (ovs userspace datapath) -- *)
+  miniflow_extract : float;  (** flow key extraction from packet bytes *)
+  emc_hit : float;  (** exact-match-cache hit *)
+  emc_miss_probe : float;  (** probing the EMC and missing *)
+  dpcls_subtable : float;  (** one tuple-space subtable hash+compare *)
+  megaflow_insert : float;  (** installing a new megaflow after upcall *)
+  upcall : float;  (** full slow-path translation through ofproto tables *)
+  ofproto_table_lookup : float;  (** one OpenFlow table lookup during upcall *)
+  action_exec : float;  (** executing one simple datapath action *)
+  rxhash_sw : float;  (** computing 5-tuple RSS hash in software (Sec 5.5) *)
+  (* -- kernel OVS datapath -- *)
+  kmod_flow_extract : float;  (** kernel flow key extraction *)
+  kmod_flow_lookup : float;  (** kernel megaflow table lookup, one mask *)
+  kmod_flow_lookup_cold : float;  (** same with a cache-cold table *)
+  kmod_action : float;  (** kernel action execution + tx handoff *)
+  netlink_upcall : float;  (** upcall through netlink to ovs-vswitchd *)
+  txq_lock_serialized : float;  (** serialized tx-queue critical section *)
+  txq_serialized_contended : float;
+      (** same section when several cores bounce the lock's cache line *)
+  kmod_rss_penalty : float;
+      (** per-packet penalty of RSS fan-out: cold skbs, cold flow table,
+          per-small-batch interrupts — why the kernel burns ~10
+          hyperthreads for ~6 Mpps in Table 4 *)
+  (* -- eBPF / XDP -- *)
+  ebpf_insn : float;  (** interpreting/executing one eBPF instruction *)
+  ebpf_helper : float;  (** eBPF helper call overhead (beyond the work) *)
+  ebpf_map_lookup : float;  (** hash-map lookup from eBPF *)
+  xdp_prog_overhead : float;  (** fixed driver-hook cost of running XDP *)
+  xdp_redirect : float;  (** xdp_redirect to another device *)
+  xdp_tx : float;  (** XDP_TX bounce out the same port (tail ring, flush) *)
+  (* -- AF_XDP (Sec 3.1/3.2) -- *)
+  driver_rx_dma : float;  (** NIC driver per-packet rx work (descriptor, DMA) *)
+  driver_tx : float;  (** NIC driver per-packet tx work *)
+  xsk_ring_op : float;  (** one producer/consumer ring operation *)
+  xsk_kick_syscall : float;  (** sendto() kick to flush the XSK tx ring *)
+  umem_frame_op : float;  (** umempool get/put of one frame *)
+  afxdp_copy_mode_per_byte : float;  (** extra copy in XDP_SKB fallback mode *)
+  afxdp_rx_per_byte : float;
+      (** driver-side per-byte rx cost (descriptor DMA + umem cache traffic);
+          what keeps AF_XDP below 25G line rate on few queues (Fig 12) *)
+  afxdp_mq_penalty_per_queue : float;
+      (** per-packet cost added per additional busy queue: shared umempool
+          and fill-ring cache-line bouncing plus per-queue tx kicks *)
+  (* -- DPDK -- *)
+  dpdk_rx : float;  (** vectorized PMD rx, per packet *)
+  dpdk_tx : float;  (** vectorized PMD tx, per packet *)
+  dpdk_mq_penalty_per_queue : float;  (** memory-bandwidth sharing term *)
+  (* -- virtual devices -- *)
+  virtio_ring_op : float;  (** vhostuser/virtio descriptor handling per pkt *)
+  vhost_copy_fixed : float;  (** fixed part of the vhost data copy *)
+  tap_rx_kernel : float;  (** tap delivering into the kernel stack *)
+  veth_cross : float;  (** veth namespace crossing (no copy) *)
+  (* -- TCP/IP stack (guests and containers; Fig 8, 10, 11) -- *)
+  tcp_stack_per_byte : float;  (** segmentation/copy/socket per byte *)
+  tcp_stack_per_packet : float;  (** per-MTU-packet stack traversal *)
+  tcp_stack_per_segment : float;  (** per-syscall/segment fixed cost *)
+  (* -- latency-path constants (Fig 10/11) -- *)
+  wire_latency : float;  (** one-way 10/25G link + PHY + serialization *)
+  irq_wakeup_latency : float;  (** interrupt + scheduler wakeup of a blocked task *)
+  poll_pickup_latency : float;  (** polling loop pickup (busy PMD) *)
+  vm_exit_entry : float;  (** VM exit/entry for notifications *)
+  app_rr_process : float;  (** netperf request/response application turnaround *)
+}
+
+(** The calibrated default cost table. See the module comment for anchors. *)
+let default =
+  {
+    syscall = 250.;
+    sendto_tap = 2000.;
+    context_switch = 1500.;
+    interrupt = 900.;
+    softirq_dispatch = 350.;
+    skb_alloc = 45.;
+    skb_alloc_cold = 320.;
+    kernel_func_call = 40.;
+    copy_per_byte = 0.026;
+    copy_per_byte_cross_core = 0.08;
+    cache_miss = 32.;
+    page_alloc = 12.5;
+    prealloc_init = 5.3;
+    mutex_lock = 24.5;
+    spinlock = 3.5;
+    lock_contended_penalty = 60.;
+    csum_per_byte = 0.167;
+    csum_fixed = 4.;
+    miniflow_extract = 40.;
+    emc_hit = 27.;
+    emc_miss_probe = 14.;
+    dpcls_subtable = 30.;
+    megaflow_insert = 450.;
+    upcall = 25_000.;
+    ofproto_table_lookup = 500.;
+    action_exec = 10.;
+    rxhash_sw = 10.;
+    kmod_flow_extract = 40.;
+    kmod_flow_lookup = 50.;
+    kmod_flow_lookup_cold = 380.;
+    kmod_action = 25.;
+    netlink_upcall = 40_000.;
+    txq_lock_serialized = 60.;
+    txq_serialized_contended = 175.;
+    kmod_rss_penalty = 915.;
+    ebpf_insn = 1.4;
+    ebpf_helper = 4.;
+    ebpf_map_lookup = 6.;
+    xdp_prog_overhead = 18.;
+    xdp_redirect = 35.;
+    xdp_tx = 78.;
+    driver_rx_dma = 32.;
+    driver_tx = 24.;
+    xsk_ring_op = 7.5;
+    xsk_kick_syscall = 250.;
+    umem_frame_op = 6.;
+    afxdp_copy_mode_per_byte = 0.04;
+    afxdp_rx_per_byte = 0.75;
+    afxdp_mq_penalty_per_queue = 60.;
+    dpdk_rx = 18.;
+    dpdk_tx = 8.;
+    dpdk_mq_penalty_per_queue = 15.;
+    virtio_ring_op = 22.;
+    vhost_copy_fixed = 14.;
+    tap_rx_kernel = 95.;
+    veth_cross = 70.;
+    tcp_stack_per_byte = 0.30;
+    tcp_stack_per_packet = 240.;
+    tcp_stack_per_segment = 1100.;
+    wire_latency = 2000.;
+    irq_wakeup_latency = 3700.;
+    poll_pickup_latency = 300.;
+    vm_exit_entry = 1800.;
+    app_rr_process = 4200.;
+  }
+
+(** Software checksum cost over [n] payload bytes. *)
+let csum t ~bytes = t.csum_fixed +. (t.csum_per_byte *. float_of_int bytes)
+
+(** Warm-cache copy of [n] bytes. *)
+let copy t ~bytes = t.copy_per_byte *. float_of_int bytes

@@ -1,0 +1,81 @@
+(** Discrete-event queue (binary min-heap on virtual time).
+
+    Used by the latency experiments (netperf TCP_RR request/response chains)
+    where event ordering across concurrent endpoints matters. Throughput
+    experiments use the cheaper pipelined-accounting model in {!Cpu}. *)
+
+type 'a t = {
+  mutable heap : (Time.ns * int * 'a) array;
+  mutable size : int;
+  mutable seq : int;  (** tie-break to keep same-time events FIFO *)
+}
+
+let create () = { heap = Array.make 64 (0., 0, Obj.magic 0); size = 0; seq = 0 }
+
+let is_empty t = t.size = 0
+let length t = t.size
+
+let lt (ta, sa, _) (tb, sb, _) = ta < tb || (ta = tb && sa < sb)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && lt t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && lt t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t ~at v =
+  if t.size = Array.length t.heap then begin
+    let bigger = Array.make (2 * t.size) t.heap.(0) in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end;
+  t.heap.(t.size) <- (at, t.seq, v);
+  t.seq <- t.seq + 1;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+(** Pop the earliest event as [(time, value)]. Raises [Not_found] if empty. *)
+let pop t =
+  if t.size = 0 then raise Not_found;
+  let at, _, v = t.heap.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.heap.(0) <- t.heap.(t.size);
+    sift_down t 0
+  end;
+  (at, v)
+
+let peek_time t = if t.size = 0 then None else (fun (at, _, _) -> Some at) t.heap.(0)
+
+(** Run a handler loop until the queue drains or [until] is reached.
+    The handler may push further events. Returns the final virtual time. *)
+let run ?(until = infinity) t ~handler =
+  let now = ref 0. in
+  let continue = ref true in
+  while !continue && not (is_empty t) do
+    match peek_time t with
+    | Some at when at <= until ->
+        let at, v = pop t in
+        now := at;
+        handler ~now:at v
+    | _ -> continue := false
+  done;
+  !now

@@ -1,0 +1,1 @@
+lib/tools/pcap.ml: Bytes Int32 List Ovs_packet Ovs_sim Stdlib

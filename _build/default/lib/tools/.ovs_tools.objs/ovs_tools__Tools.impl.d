@@ -1,0 +1,1 @@
+lib/tools/tools.ml: Array Bytes Fmt Hashtbl List Ovs_netdev Ovs_packet Ovs_sim Pcap Printf Queue String

@@ -1,0 +1,61 @@
+(** Classic pcap (libpcap 2.4) file format writer, so the tcpdump model
+    can produce captures other tools can open — the workflow Table 1 is
+    about keeping alive. *)
+
+let magic = 0xA1B2C3D4
+let version_major = 2
+let version_minor = 4
+let linktype_ethernet = 1
+
+let global_header () =
+  let b = Bytes.create 24 in
+  Bytes.set_int32_be b 0 (Int32.of_int magic);
+  Bytes.set_uint16_be b 4 version_major;
+  Bytes.set_uint16_be b 6 version_minor;
+  Bytes.set_int32_be b 8 0l;  (* thiszone *)
+  Bytes.set_int32_be b 12 0l;  (* sigfigs *)
+  Bytes.set_int32_be b 16 65535l;  (* snaplen *)
+  Bytes.set_int32_be b 20 (Int32.of_int linktype_ethernet);
+  b
+
+let record ~(ts : Ovs_sim.Time.ns) (pkt : Ovs_packet.Buffer.t) =
+  let data = Ovs_packet.Buffer.contents pkt in
+  let n = Bytes.length data in
+  let b = Bytes.create (16 + n) in
+  let secs = int_of_float (ts /. 1e9) in
+  let usecs = int_of_float ((ts -. (float_of_int secs *. 1e9)) /. 1e3) in
+  Bytes.set_int32_be b 0 (Int32.of_int secs);
+  Bytes.set_int32_be b 4 (Int32.of_int usecs);
+  Bytes.set_int32_be b 8 (Int32.of_int n);  (* caplen *)
+  Bytes.set_int32_be b 12 (Int32.of_int n);  (* wire len *)
+  Bytes.blit data 0 b 16 n;
+  b
+
+(** Serialize a capture: global header plus one record per packet. *)
+let write (packets : (Ovs_sim.Time.ns * Ovs_packet.Buffer.t) list) : Bytes.t =
+  let out = Stdlib.Buffer.create 1024 in
+  Stdlib.Buffer.add_bytes out (global_header ());
+  List.iter
+    (fun (ts, pkt) -> Stdlib.Buffer.add_bytes out (record ~ts pkt))
+    packets;
+  Stdlib.Buffer.to_bytes out
+
+(** Parse a capture produced by {!write} back into (timestamp-in-ns,
+    frame-bytes) pairs — used by tests and by the tcpdump replay path. *)
+let read (b : Bytes.t) : (Ovs_sim.Time.ns * Bytes.t) list =
+  if Bytes.length b < 24 then invalid_arg "Pcap.read: short file";
+  if Int32.to_int (Bytes.get_int32_be b 0) land 0xFFFFFFFF <> magic then
+    invalid_arg "Pcap.read: bad magic";
+  let rec records pos acc =
+    if pos + 16 > Bytes.length b then List.rev acc
+    else begin
+      let secs = Int32.to_int (Bytes.get_int32_be b pos) in
+      let usecs = Int32.to_int (Bytes.get_int32_be b (pos + 4)) in
+      let caplen = Int32.to_int (Bytes.get_int32_be b (pos + 8)) in
+      if pos + 16 + caplen > Bytes.length b then invalid_arg "Pcap.read: truncated record";
+      let data = Bytes.sub b (pos + 16) caplen in
+      let ts = (float_of_int secs *. 1e9) +. (float_of_int usecs *. 1e3) in
+      records (pos + 16 + caplen) ((ts, data) :: acc)
+    end
+  in
+  records 24 []

@@ -1,0 +1,269 @@
+(** The Table 1 tooling model: the standard Linux commands operators use to
+    configure and troubleshoot networks, run against the simulated stack.
+
+    The paper's compatibility argument is that these tools work on any NIC
+    a standard kernel driver manages — which includes NICs serving AF_XDP
+    sockets — and fail on NICs a DPDK userspace driver has taken over.
+    Each command here operates on real device state when the device is
+    kernel-visible and reports the same failure an operator would see
+    otherwise. *)
+
+module Netdev = Ovs_netdev.Netdev
+
+type outcome = Ok_output of string | Not_supported of string
+
+let is_ok = function Ok_output _ -> true | Not_supported _ -> false
+
+let unsupported (dev : Netdev.t) =
+  Not_supported
+    (Printf.sprintf
+       "Device \"%s\" does not exist (owned by a userspace driver)"
+       dev.Netdev.name)
+
+let guard dev f = if Netdev.kernel_visible dev then Ok_output (f ()) else unsupported dev
+
+(** [ip link show DEV] — device state and driver. *)
+let ip_link (dev : Netdev.t) =
+  guard dev (fun () ->
+      Printf.sprintf "%d: %s: <BROADCAST,MULTICAST%s> mtu 1500 state %s\n    link/ether %s"
+        (1 + dev.Netdev.port_no) dev.Netdev.name
+        (if dev.Netdev.up then ",UP,LOWER_UP" else "")
+        (if dev.Netdev.up then "UP" else "DOWN")
+        (Ovs_packet.Mac.to_string dev.Netdev.mac))
+
+(** [ip link set DEV up/down]. *)
+let ip_link_set (dev : Netdev.t) ~up =
+  guard dev (fun () ->
+      dev.Netdev.up <- up;
+      "")
+
+(** [ip address add ADDR dev DEV]. *)
+let ip_address_add (dev : Netdev.t) ~addr =
+  guard dev (fun () ->
+      dev.Netdev.ip_addr <- addr;
+      "")
+
+let ip_address_show (dev : Netdev.t) =
+  guard dev (fun () ->
+      if dev.Netdev.ip_addr = 0 then "(no address)"
+      else
+        Printf.sprintf "inet %s/24 scope global %s"
+          (Ovs_packet.Ipv4.addr_to_string dev.Netdev.ip_addr)
+          dev.Netdev.name)
+
+(** A host routing table, the kernel structure OVS mirrors over Netlink
+    for its userspace L3 features (Sec 4). *)
+module Route = struct
+  type entry = { prefix : int; prefix_len : int; via : int; dev : string }
+
+  type t = { mutable entries : entry list }
+
+  let create () = { entries = [] }
+
+  let add t ~prefix ~prefix_len ~via ~dev =
+    t.entries <- { prefix; prefix_len; via; dev } :: t.entries
+
+  let mask len = if len = 0 then 0 else 0xFFFFFFFF lsl (32 - len) land 0xFFFFFFFF
+
+  (** Longest-prefix match. *)
+  let lookup t addr =
+    List.fold_left
+      (fun best e ->
+        if addr land mask e.prefix_len = e.prefix land mask e.prefix_len then
+          match best with
+          | Some b when b.prefix_len >= e.prefix_len -> best
+          | _ -> Some e
+        else best)
+      None t.entries
+
+  let dump t =
+    String.concat "\n"
+      (List.map
+         (fun e ->
+           Printf.sprintf "%s/%d via %s dev %s"
+             (Ovs_packet.Ipv4.addr_to_string e.prefix)
+             e.prefix_len
+             (Ovs_packet.Ipv4.addr_to_string e.via)
+             e.dev)
+         t.entries)
+end
+
+(** The kernel neighbour (ARP) table, likewise mirrored by OVS. *)
+module Neigh = struct
+  type t = { tbl : (int, Ovs_packet.Mac.t) Hashtbl.t }
+
+  let create () = { tbl = Hashtbl.create 64 }
+  let learn t ~ip ~mac = Hashtbl.replace t.tbl ip mac
+  let lookup t ip = Hashtbl.find_opt t.tbl ip
+
+  let dump t =
+    Hashtbl.fold
+      (fun ip mac acc ->
+        Printf.sprintf "%s lladdr %s REACHABLE"
+          (Ovs_packet.Ipv4.addr_to_string ip)
+          (Ovs_packet.Mac.to_string mac)
+        :: acc)
+      t.tbl []
+    |> String.concat "\n"
+end
+
+(** [ip route] / [ip neigh] against the shared tables. *)
+let ip_route (dev : Netdev.t) routes =
+  guard dev (fun () -> Route.dump routes)
+
+let ip_neigh (dev : Netdev.t) neigh =
+  guard dev (fun () -> Neigh.dump neigh)
+
+(** [ping]: inject an echo request on the device's kernel path and expect
+    the supplied responder to produce a reply. *)
+let ping (dev : Netdev.t) ~src_ip ~dst_ip ~(responder : Ovs_packet.Buffer.t -> Ovs_packet.Buffer.t option) =
+  if not (Netdev.kernel_visible dev) then unsupported dev
+  else begin
+    let req = Ovs_packet.Build.icmp ~src_ip ~dst_ip () in
+    match responder req with
+    | Some reply -> begin
+        ignore (Ovs_packet.Ethernet.parse reply);
+        match (Ovs_packet.Ipv4.parse reply, ()) with
+        | Some ip, () when ip.Ovs_packet.Ipv4.src = dst_ip -> begin
+            match Ovs_packet.Icmp.parse reply with
+            | Some ic when ic.Ovs_packet.Icmp.icmp_type = Ovs_packet.Icmp.Kind.echo_reply ->
+                Ok_output
+                  (Printf.sprintf "64 bytes from %s: icmp_seq=1"
+                     (Ovs_packet.Ipv4.addr_to_string dst_ip))
+            | _ -> Not_supported "malformed echo reply"
+          end
+        | _ -> Not_supported "no reply"
+      end
+    | None -> Not_supported "Destination Host Unreachable"
+  end
+
+(** [arping]: L2 reachability via a real ARP exchange. *)
+let arping (dev : Netdev.t) ~src_ip ~dst_ip ~(responder : Ovs_packet.Buffer.t -> Ovs_packet.Buffer.t option) =
+  if not (Netdev.kernel_visible dev) then unsupported dev
+  else begin
+    let req =
+      Ovs_packet.Build.arp ~src_mac:dev.Netdev.mac ~spa:src_ip ~tpa:dst_ip ()
+    in
+    match responder req with
+    | Some reply -> begin
+        ignore (Ovs_packet.Ethernet.parse reply);
+        match Ovs_packet.Arp.parse reply with
+        | Some a when a.Ovs_packet.Arp.op = Ovs_packet.Arp.Op.reply ->
+            Ok_output
+              (Printf.sprintf "Unicast reply from %s [%s]"
+                 (Ovs_packet.Ipv4.addr_to_string dst_ip)
+                 (Ovs_packet.Mac.to_string a.Ovs_packet.Arp.sha))
+        | _ -> Not_supported "no ARP reply"
+      end
+    | None -> Not_supported "no ARP reply"
+  end
+
+(** [nstat] — interface counters. *)
+let nstat (dev : Netdev.t) =
+  guard dev (fun () ->
+      let s = dev.Netdev.stats in
+      Printf.sprintf "%s: rx_packets %d rx_bytes %d rx_dropped %d tx_packets %d tx_bytes %d"
+        dev.Netdev.name s.Netdev.rx_packets s.Netdev.rx_bytes s.Netdev.rx_dropped
+        s.Netdev.tx_packets s.Netdev.tx_bytes)
+
+(** [tcpdump]: capture up to [count] packets off the device's rx queues
+    and render one line each. Consumes the packets, like a dedicated
+    capture tap would clone them. *)
+let tcpdump (dev : Netdev.t) ~count =
+  guard dev (fun () ->
+      let lines = ref [] in
+      let captured = ref 0 in
+      Array.iter
+        (fun q ->
+          Queue.iter
+            (fun pkt ->
+              if !captured < count then begin
+                incr captured;
+                let key = Ovs_packet.Flow_key.extract pkt in
+                lines := Fmt.str "%a" Ovs_packet.Flow_key.pp key :: !lines
+              end)
+            q)
+        dev.Netdev.rx_queues;
+      String.concat "\n" (List.rev !lines))
+
+(** [tcpdump -w]: capture the device's queued packets into pcap bytes
+    (timestamps from the supplied virtual clock). *)
+let tcpdump_pcap (dev : Netdev.t) ~(now : Ovs_sim.Time.ns) ~count =
+  if not (Netdev.kernel_visible dev) then unsupported dev
+  else begin
+    let captured = ref [] in
+    let n = ref 0 in
+    Array.iter
+      (fun q ->
+        Queue.iter
+          (fun pkt ->
+            if !n < count then begin
+              incr n;
+              captured := (now +. (float_of_int !n *. 1000.), pkt) :: !captured
+            end)
+          q)
+      dev.Netdev.rx_queues;
+    Ok_output (Bytes.to_string (Pcap.write (List.rev !captured)))
+  end
+
+(** The Table 1 compatibility matrix: every command against a device under
+    each datapath's driver. *)
+let table1_commands = [ "ip link"; "ip address"; "ip route"; "ip neigh"; "ping"; "arping"; "nstat"; "tcpdump" ]
+
+let compatibility_matrix () =
+  let kernel_dev = Netdev.create ~name:"eth-kernel" () in
+  let afxdp_dev = Netdev.create ~name:"eth-afxdp" () in
+  let dpdk_dev = Netdev.create ~name:"eth-dpdk" ~driver:Netdev.Dpdk_driver () in
+  let routes = Route.create () in
+  let neigh = Neigh.create () in
+  let echo_responder (req : Ovs_packet.Buffer.t) =
+    (* a neighbour that answers pings and ARPs *)
+    match Ovs_packet.Ethernet.parse req with
+    | Some e when e.Ovs_packet.Ethernet.eth_type = Ovs_packet.Ethernet.Ethertype.arp
+      -> begin
+        match Ovs_packet.Arp.parse req with
+        | Some a ->
+            Some
+              (Ovs_packet.Build.arp ~src_mac:(Ovs_packet.Mac.of_index 99)
+                 ~dst_mac:a.Ovs_packet.Arp.sha ~op:Ovs_packet.Arp.Op.reply
+                 ~spa:a.Ovs_packet.Arp.tpa ~tpa:a.Ovs_packet.Arp.spa ())
+        | None -> None
+      end
+    | Some _ -> begin
+        match Ovs_packet.Ipv4.parse req with
+        | Some ip ->
+            Some
+              (Ovs_packet.Build.icmp ~src_ip:ip.Ovs_packet.Ipv4.dst
+                 ~dst_ip:ip.Ovs_packet.Ipv4.src
+                 ~icmp_type:Ovs_packet.Icmp.Kind.echo_reply ())
+        | None -> None
+      end
+    | None -> None
+  in
+  let run dev cmd =
+    match cmd with
+    | "ip link" -> ip_link dev
+    | "ip address" -> ip_address_show dev
+    | "ip route" -> ip_route dev routes
+    | "ip neigh" -> ip_neigh dev neigh
+    | "ping" ->
+        ping dev
+          ~src_ip:(Ovs_packet.Ipv4.addr_of_string "10.0.0.1")
+          ~dst_ip:(Ovs_packet.Ipv4.addr_of_string "10.0.0.2")
+          ~responder:echo_responder
+    | "arping" ->
+        arping dev
+          ~src_ip:(Ovs_packet.Ipv4.addr_of_string "10.0.0.1")
+          ~dst_ip:(Ovs_packet.Ipv4.addr_of_string "10.0.0.2")
+          ~responder:echo_responder
+    | "nstat" -> nstat dev
+    | "tcpdump" -> tcpdump dev ~count:8
+    | other -> Not_supported ("unknown command " ^ other)
+  in
+  List.map
+    (fun cmd ->
+      ( cmd,
+        is_ok (run kernel_dev cmd),
+        is_ok (run afxdp_dev cmd),
+        is_ok (run dpdk_dev cmd) ))
+    table1_commands

@@ -1,0 +1,1 @@
+lib/trafficgen/pktgen.ml: Array Buffer Build Flow_key Hashtbl Ipv4 Mac Ovs_packet Ovs_sim

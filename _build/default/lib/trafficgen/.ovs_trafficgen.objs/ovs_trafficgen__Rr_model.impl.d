@@ -1,0 +1,1 @@
+lib/trafficgen/rr_model.ml: Fmt List Ovs_sim

@@ -1,0 +1,1 @@
+lib/trafficgen/scenario.ml: Array Float Fmt Int Int64 List Ovs_datapath Ovs_ebpf Ovs_netdev Ovs_ofproto Ovs_packet Ovs_sim Pktgen Printf

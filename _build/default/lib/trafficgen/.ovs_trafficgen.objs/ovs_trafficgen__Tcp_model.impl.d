@@ -1,0 +1,1 @@
+lib/trafficgen/tcp_model.ml: Float Fmt Int List Ovs_sim

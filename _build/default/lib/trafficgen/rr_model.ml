@@ -1,0 +1,160 @@
+(** netperf TCP_RR latency model for Figs 10 and 11.
+
+    A transaction's round-trip time is the sum of its path's hops. Each
+    hop has a fixed cost plus, for interrupt/scheduler hops, an
+    exponential jitter term — wakeup latency is the dominant and most
+    variable component, which is why the interrupt-driven kernel path has
+    both the highest P50 and the fattest tail, while polling (DPDK,
+    AF_XDP PMDs) tightens both (Sec 5.3). A rare scheduler preemption
+    spike gives every path a far tail.
+
+    The model samples many transactions with the deterministic PRNG and
+    reports the P50/P90/P99 latencies and transactions/second. *)
+
+module Costs = Ovs_sim.Costs
+
+type hop = {
+  hop_name : string;
+  fixed : float;  (** ns *)
+  jitter : float;  (** mean of the exponential jitter term; 0 = none *)
+}
+
+let hop ?(jitter = 0.) hop_name fixed = { hop_name; fixed; jitter }
+
+type config = Rr_kernel | Rr_afxdp | Rr_dpdk
+
+let config_name = function
+  | Rr_kernel -> "kernel"
+  | Rr_afxdp -> "AF_XDP"
+  | Rr_dpdk -> "DPDK"
+
+type result = {
+  p50_us : float;
+  p90_us : float;
+  p99_us : float;
+  transactions_per_s : float;
+}
+
+(* building blocks *)
+let wakeup (c : Costs.t) name = hop name c.Costs.irq_wakeup_latency ~jitter:1200.
+let local_wakeup name = hop name 2200. ~jitter:900.
+let poll (c : Costs.t) name = hop name c.Costs.poll_pickup_latency ~jitter:40.
+
+(** Fig 10: client netperf in a VM on host A, server on bare-metal host B,
+    10 GbE between them. *)
+let interhost_path (c : Costs.t) config : hop list =
+  let wire = hop "wire" c.Costs.wire_latency in
+  let guest_stack = hop "guest-stack" 2500. ~jitter:150. in
+  let server_stack = hop "server-stack" 2000. ~jitter:150. in
+  let app = hop "netperf" c.Costs.app_rr_process ~jitter:300. in
+  let guest_notify = hop "guest-notify" c.Costs.vm_exit_entry ~jitter:400. in
+  let host_dp, vm_cross_out, vm_cross_in, nic_rx =
+    match config with
+    | Rr_kernel ->
+        ( hop "kernel-dp" 1000. ~jitter:100.,
+          wakeup c "vhost-wakeup",
+          wakeup c "vhost-wakeup",
+          wakeup c "nic-irq" )
+    | Rr_afxdp ->
+        (* PMDs poll the XSK and the vhost ring; software checksum and the
+           XDP program add a little fixed cost *)
+        ( hop "pmd-dp" 1400. ~jitter:120.,
+          poll c "vhost-poll",
+          poll c "vhost-poll",
+          poll c "xsk-poll" )
+    | Rr_dpdk ->
+        ( hop "pmd-dp" 900. ~jitter:100.,
+          poll c "vhost-poll",
+          poll c "vhost-poll",
+          poll c "nic-poll" )
+  in
+  (* request: guest -> host A -> wire -> server; response mirrored. The
+     kernel path takes one extra wakeup on tx (tap qdisc -> vhost). *)
+  (match config with Rr_kernel -> [ wakeup c "tap-qdisc" ] | _ -> [])
+  @ [
+      guest_stack; vm_cross_out; host_dp; wire;
+      wakeup c "server-nic-irq"; server_stack; wakeup c "server-app-sched"; app;
+      server_stack; wire; nic_rx; host_dp; vm_cross_in; guest_notify;
+      guest_stack; wakeup c "client-app-sched";
+    ]
+
+(** Fig 11: client and server netperf in two containers on one host. *)
+let intrahost_container_path (c : Costs.t) config : hop list =
+  let stack = hop "container-stack" 1500. ~jitter:120. in
+  let veth = hop "veth" c.Costs.veth_cross in
+  let app = hop "netperf" c.Costs.app_rr_process ~jitter:300. in
+  ignore c;
+  match config with
+  | Rr_kernel ->
+      [
+        stack; veth; hop "kernel-dp" 500. ~jitter:60.; veth;
+        local_wakeup "server-app-sched"; app; stack;
+        veth; hop "kernel-dp" 500. ~jitter:60.; veth;
+        local_wakeup "client-app-sched"; stack;
+      ]
+  | Rr_afxdp ->
+      (* the XDP program bounces packets between the veths in the driver;
+         the stacks and app wakeups are unchanged *)
+      [
+        stack; veth; hop "xdp" 700. ~jitter:60.; veth;
+        local_wakeup "server-app-sched"; app; stack;
+        veth; hop "xdp" 700. ~jitter:60.; veth;
+        local_wakeup "client-app-sched"; stack;
+      ]
+  | Rr_dpdk ->
+      (* containers reach DPDK through AF_PACKET: each direction takes
+         extra user/kernel transitions, copies, and a long, highly
+         variable scheduling delay while the busy PMD and the sleeping
+         netperf share the machine *)
+      let af_packet name = hop name 13_000. ~jitter:28_000. in
+      [
+        stack; veth; af_packet "af_packet-out"; hop "pmd-dp" 900. ~jitter:100.; veth;
+        local_wakeup "server-app-sched"; app; stack;
+        veth; af_packet "af_packet-back"; hop "pmd-dp" 900. ~jitter:100.; veth;
+        local_wakeup "client-app-sched"; stack;
+      ]
+
+let preemption_spike_mean = 24_000.
+
+(* interrupt-heavy paths are also the ones preemption hits: each big
+   wakeup hop is a chance for the scheduler to run something else *)
+let spike_prob path =
+  let wakeups =
+    List.length (List.filter (fun h -> h.jitter >= 1000.) path)
+  in
+  0.002 +. (0.004 *. float_of_int wakeups)
+
+(** Sample [n] transactions over a hop path. *)
+let run ?(n = 30_000) ?(seed = 7) (path : hop list) : result =
+  let prng = Ovs_sim.Prng.of_int seed in
+  let hist = Ovs_sim.Histogram.create ~lo:1000. ~hi:1e7 () in
+  let total = ref 0. in
+  let p_spike = spike_prob path in
+  for _ = 1 to n do
+    let rtt =
+      List.fold_left
+        (fun acc h ->
+          acc +. h.fixed
+          +. if h.jitter > 0. then Ovs_sim.Prng.exponential prng ~mean:h.jitter else 0.)
+        0. path
+    in
+    let rtt =
+      if Ovs_sim.Prng.float prng < p_spike then
+        rtt +. Ovs_sim.Prng.exponential prng ~mean:preemption_spike_mean
+      else rtt
+    in
+    total := !total +. rtt;
+    Ovs_sim.Histogram.add hist rtt
+  done;
+  let mean = !total /. float_of_int n in
+  {
+    p50_us = Ovs_sim.Histogram.p50 hist /. 1000.;
+    p90_us = Ovs_sim.Histogram.p90 hist /. 1000.;
+    p99_us = Ovs_sim.Histogram.p99 hist /. 1000.;
+    transactions_per_s = 1e9 /. mean;
+  }
+
+let pp_result ppf r =
+  Fmt.pf ppf "P50/P90/P99 = %.0f/%.0f/%.0f us, %.1fk transactions/s" r.p50_us
+    r.p90_us r.p99_us
+    (r.transactions_per_s /. 1000.)

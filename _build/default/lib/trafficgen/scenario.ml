@@ -1,0 +1,248 @@
+(** The Sec 5.2 forwarding-rate scenarios: P2P, PVP and PCP loopbacks.
+
+    A TRex-like generator offers minimum-size UDP packets on one physical
+    port; the datapath forwards them across the scenario-specific path and
+    back out the other port. The measured rate is packets over the busiest
+    execution context's virtual time (the pipeline bottleneck), capped at
+    line rate; CPU usage is the Table 4 breakdown. *)
+
+module Cpu = Ovs_sim.Cpu
+module Costs = Ovs_sim.Costs
+module Netdev = Ovs_netdev.Netdev
+module Dpif = Ovs_datapath.Dpif
+
+type virt = Vm_tap | Vm_vhost | Ct_veth | Ct_xdp | Ct_afpacket
+
+let virt_name = function
+  | Vm_tap -> "tap"
+  | Vm_vhost -> "vhostuser"
+  | Ct_veth -> "veth"
+  | Ct_xdp -> "XDP program"
+  | Ct_afpacket -> "af_packet"
+
+type topology = P2P | PVP of virt | PCP of virt
+
+type result = {
+  rate_mpps : float;
+  wall_ns : Ovs_sim.Time.ns;
+  cpu : Cpu.breakdown;
+  packets : int;
+  line_limited : bool;
+}
+
+let pp_result ppf r =
+  Fmt.pf ppf "%6.2f Mpps%s  cpu[%a]" r.rate_mpps
+    (if r.line_limited then " (line rate)" else "")
+    Cpu.pp_breakdown r.cpu
+
+(* per-packet cost of a guest vCPU forwarding between two virtio queues *)
+let guest_fwd_cost (c : Costs.t) =
+  (2. *. c.Costs.virtio_ring_op) +. 45.
+
+(* a container application echoing through its kernel stack: two socket
+   syscalls plus an abbreviated stack traversal each way *)
+let container_echo_cost (c : Costs.t) = (2. *. c.Costs.syscall) +. 120.
+
+(** Which fast-path cache layers serve lookups (an ablation knob for the
+    design choice Sec 2.1 describes: the kernel community rejected the
+    exact-match cache, userspace kept it and later added the SMC). *)
+type cache_mode = Cache_default | Cache_none | Cache_smc_only | Cache_emc_smc
+
+type config = {
+  kind : Dpif.kind;
+  topology : topology;
+  n_flows : int;
+  frame_len : int;
+  queues : int;
+  gbps : float;
+  warmup : int;
+  measure : int;
+  cache : cache_mode;
+}
+
+let default_config =
+  {
+    kind = Dpif.Afxdp Dpif.afxdp_default;
+    topology = P2P;
+    n_flows = 1;
+    frame_len = 64;
+    queues = 1;
+    gbps = 25.;
+    warmup = 4_000;
+    measure = 40_000;
+    cache = Cache_default;
+  }
+
+let is_userspace = function
+  | Dpif.Dpdk | Dpif.Afxdp _ -> true
+  | Dpif.Kernel | Dpif.Kernel_ebpf -> false
+
+let run (cfg : config) : result =
+  let costs = Costs.default in
+  let machine = Cpu.create () in
+  (* the kernel datapath gets every hyperthread's worth of RSS queues *)
+  let queues =
+    match cfg.kind with
+    | Dpif.Kernel | Dpif.Kernel_ebpf -> Int.max cfg.queues (if cfg.n_flows > 1 then 16 else 1)
+    | Dpif.Dpdk | Dpif.Afxdp _ -> cfg.queues
+  in
+  let phy0 = Netdev.create ~name:"eth0" ~queues ~gbps:cfg.gbps () in
+  let phy1 = Netdev.create ~name:"eth1" ~queues ~gbps:cfg.gbps () in
+  let pipeline = Ovs_ofproto.Pipeline.create ~n_tables:4 () in
+  let dp = Dpif.create ~costs ~kind:cfg.kind ~pipeline () in
+  (match cfg.cache with
+  | Cache_default -> ()
+  | Cache_none ->
+      dp.Dpif.core.Ovs_datapath.Dp_core.emc_enabled <- false
+  | Cache_smc_only ->
+      dp.Dpif.core.Ovs_datapath.Dp_core.emc_enabled <- false;
+      dp.Dpif.core.Ovs_datapath.Dp_core.smc_enabled <- true
+  | Cache_emc_smc -> dp.Dpif.core.Ovs_datapath.Dp_core.smc_enabled <- true);
+  let p0 = Dpif.add_port dp phy0 in
+  let p1 = Dpif.add_port dp phy1 in
+
+  (* execution contexts *)
+  let sirq = Array.init queues (fun i -> Cpu.ctx machine (Printf.sprintf "softirq%d" i)) in
+  let opts = match cfg.kind with Dpif.Afxdp o -> o | _ -> Dpif.afxdp_default in
+  let pmds =
+    Array.init queues (fun i -> Cpu.ctx machine (Printf.sprintf "pmd%d" i))
+  in
+  let guest = Cpu.ctx machine "guest" in
+  let vhost_kthread = Cpu.ctx machine "vhost" in
+  let container = Cpu.ctx machine "container" in
+
+  (* virtual endpoint and flow rules *)
+  let fk = Ovs_packet.Flow_key.Field.In_port in
+  let rule in_port out =
+    let m = Ovs_ofproto.Match_.with_field (Ovs_ofproto.Match_.catchall ()) fk in_port in
+    Ovs_ofproto.Pipeline.add_flow pipeline ~priority:100 m
+      [ Ovs_ofproto.Action.Output out ]
+  in
+  let vdev, vport, pmd_v =
+    match cfg.topology with
+    | P2P ->
+        rule p0 p1;
+        (None, -1, None)
+    | PVP virt -> begin
+        let kind = match virt with Vm_tap -> Netdev.Tap | _ -> Netdev.Vhostuser in
+        let dev = Netdev.create ~kind ~name:"vm0" () in
+        let vp = Dpif.add_port dp dev in
+        rule p0 vp;
+        rule vp p1;
+        (* the guest forwards everything straight back *)
+        Netdev.set_tx_sink dev (fun d pkt ->
+            (match virt with
+            | Vm_tap ->
+                Cpu.charge vhost_kthread Cpu.System
+                  (costs.Costs.vhost_copy_fixed
+                  +. Costs.copy costs ~bytes:(Ovs_packet.Buffer.length pkt)
+                  +. 110.)
+            | _ -> ());
+            Cpu.charge guest Cpu.Guest (guest_fwd_cost costs);
+            Netdev.enqueue_on d ~queue:0 pkt);
+        (Some dev, vp, Some (Cpu.ctx machine "pmd-vm"))
+      end
+    | PCP virt -> begin
+        let kind =
+          match virt with
+          | Ct_afpacket -> Netdev.Tap  (* DPDK reaches containers via af_packet *)
+          | _ -> Netdev.Veth
+        in
+        let dev = Netdev.create ~kind ~name:"veth0" () in
+        let vp = Dpif.add_port dp dev in
+        rule p0 vp;
+        rule vp p1;
+        (match virt with
+        | Ct_xdp -> begin
+            (* Fig 5 path C: redirect at the driver; the container bounces
+               packets with its own XDP program straight to the egress NIC *)
+            let mac_to_dev =
+              Ovs_ebpf.Maps.create ~name:"mac2dev" ~kind:Ovs_ebpf.Maps.Devmap
+                ~max_entries:64
+            in
+            ignore
+              (Ovs_ebpf.Maps.update mac_to_dev
+                 (Int64.of_int (Ovs_packet.Mac.of_index 2))
+                 (Int64.of_int vp));
+            let prog =
+              Ovs_ebpf.Xdp.load_exn ~name:"veth_redirect"
+                (Ovs_ebpf.Progs.veth_redirect ~mac_to_dev)
+            in
+            Dpif.set_xdp_program dp ~port_no:p0 prog;
+            Netdev.set_tx_sink dev (fun _ pkt ->
+                (* container-side XDP: parse, rewrite, redirect to eth1 *)
+                Cpu.charge container Cpu.Softirq
+                  (costs.Costs.driver_rx_dma +. costs.Costs.xdp_prog_overhead
+                  +. (30. *. costs.Costs.ebpf_insn)
+                  +. costs.Costs.xdp_redirect +. costs.Costs.veth_cross
+                  +. costs.Costs.driver_tx);
+                Netdev.transmit phy1 pkt)
+          end
+        | _ ->
+            Netdev.set_tx_sink dev (fun d pkt ->
+                Cpu.charge container Cpu.Softirq (container_echo_cost costs);
+                Netdev.enqueue_on d ~queue:0 pkt));
+        (Some dev, vp, Some (Cpu.ctx machine "pmd-vm"))
+      end
+  in
+
+  (* sink for measured egress: phy1 counts transmissions via its stats *)
+  Netdev.set_tx_sink phy1 (fun _ _ -> ());
+
+  let gen = Pktgen.create ~n_flows:cfg.n_flows ~frame_len:cfg.frame_len () in
+  let active = Pktgen.queues_hit gen ~n_queues:queues in
+  Dpif.set_active_queues dp active;
+
+  let batch = 32 in
+  let drive n =
+    let injected = ref 0 in
+    while !injected < n do
+      for _ = 1 to batch do
+        Netdev.rss_enqueue phy0 (Pktgen.next gen);
+        incr injected
+      done;
+      for q = 0 to queues - 1 do
+        ignore (Dpif.poll dp ~softirq:sirq.(q) ~pmd:pmds.(q) ~port_no:p0 ~queue:q ())
+      done;
+      match (vdev, pmd_v) with
+      | Some _, Some pmd_vm ->
+          ignore
+            (Dpif.poll dp ~softirq:sirq.(0) ~pmd:pmd_vm ~port_no:vport ~queue:0 ())
+      | _ -> ()
+    done
+  in
+
+  (* warm up caches and megaflows, then measure from a clean slate *)
+  drive cfg.warmup;
+  List.iter Cpu.reset machine.Cpu.ctxs;
+  Dpif.reset_measurement dp;
+  let tx_before = phy1.Netdev.stats.Netdev.tx_packets in
+  drive cfg.measure;
+  let delivered = phy1.Netdev.stats.Netdev.tx_packets - tx_before in
+
+  let wall = Float.max (Cpu.wall machine) dp.Dpif.serialized_tx in
+  let wall = Float.max wall 1. in
+  let raw_rate = float_of_int delivered /. wall *. 1e9 in
+  let line = Netdev.line_rate_pps phy0 ~frame_len:cfg.frame_len in
+  let line_limited = raw_rate > line in
+  let rate = Float.min raw_rate line in
+  (* polling threads burn their core regardless of load *)
+  let poll_floor =
+    (* in the XDP-redirect container path the PMD threads see no traffic
+       at all, so OVS need not dedicate cores to it (Table 4: 1.0) *)
+    (if
+       is_userspace cfg.kind && opts.Dpif.pmd_threads
+       && cfg.topology <> PCP Ct_xdp
+     then
+       Array.to_list (Array.sub pmds 0 queues)
+       @ (match pmd_v with Some p -> [ p ] | None -> [])
+     else [])
+    @
+    match cfg.topology with
+    | PVP _ -> [ guest ]  (* the guest runs a poll-mode forwarder *)
+    | P2P | PCP _ -> []
+  in
+  let cpu = Cpu.breakdown ~poll_floor machine ~wall in
+  ignore vhost_kthread;
+  ignore container;
+  { rate_mpps = rate /. 1e6; wall_ns = wall; cpu; packets = delivered; line_limited }

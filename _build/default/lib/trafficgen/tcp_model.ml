@@ -1,0 +1,227 @@
+(** Bulk-TCP throughput model for the Fig 8 scenarios (iperf through the
+    NSX pipeline, three datapath passes per packet).
+
+    The model decomposes each configuration into processing stages. A
+    stage's cost is [per_segment + bytes * per_byte] where the segment is
+    the unit the path carries: 64 kB when TSO lets one large segment
+    travel end-to-end, one MTU payload otherwise. Poll-mode stages run on
+    their own cores and pipeline, so throughput is set by the *bottleneck*
+    stage; interrupt-driven stages ping-pong with the TCP self-clock and
+    *serialize*, so their costs add. This split is what makes AF_XDP with
+    polling beat the interrupt-driven kernel path on the same tap device
+    (Fig 8a bars 1-3), and TSO amortization is what makes offloads worth
+    3-8x (Figs 8b/8c).
+
+    Per-byte and per-packet constants below are calibrated jointly against
+    all fourteen bars; each is shared across scenarios (no per-bar fits). *)
+
+module Costs = Ovs_sim.Costs
+
+type virt = Tap | Vhost | Veth | Xdp_redirect
+
+type datapath = Dp_kernel | Dp_afxdp_interrupt | Dp_afxdp_poll
+
+type offloads = { csum : bool; tso : bool }
+
+type config = {
+  datapath : datapath;
+  virt : virt;
+  offloads : offloads;
+  cross_host : bool;  (** Geneve encapsulation over a 10 GbE link *)
+  link_gbps : float;
+}
+
+type result = {
+  gbps : float;
+  segment_bytes : int;
+  bottleneck : string;  (** name of the limiting stage *)
+  stages : (string * float) list;  (** stage name, ns per segment *)
+}
+
+let mtu_payload = 1448
+let tso_segment = 65536
+
+(* stack-processing constants (ns and ns/byte), shared across scenarios *)
+let guest_tx_pp = 470.
+let guest_tx_pb = 0.16
+let guest_rx_pp = 520.
+let guest_rx_pb = 0.24
+let container_tx_pp = 300.
+let container_tx_pb = 0.07
+let container_rx_pp = 330.
+let container_rx_pb = 0.085
+let vm_exit_notify = 2600.  (* virtio notification + VM exit round trip *)
+let vhost_kthread_pp = 1252.  (* tap/vhost-net kernel thread per packet *)
+let xsk_veth_wakeup = 900.  (* need_wakeup syscalls on an XSK bound to veth *)
+let xdp_generic_penalty = 500.  (* veth runs XDP in generic (skb) mode *)
+
+let segment_bytes cfg = if cfg.offloads.tso then tso_segment else mtu_payload
+
+let run (c : Costs.t) (cfg : config) : result =
+  let seg = segment_bytes cfg in
+  let segf = float_of_int seg in
+  let wire_packets = float_of_int ((seg + mtu_payload - 1) / mtu_payload) in
+  (* tap VMs ride vhost-net, whose virtio always negotiates guest-side
+     checksum offload; vhostuser negotiates with OVS, so the experiment's
+     offload switch governs the guest there *)
+  let virtio_csum =
+    match cfg.virt with Tap -> true | Vhost -> cfg.offloads.csum | _ -> false
+  in
+  let guest_sw_csum = if virtio_csum then 0. else Costs.csum c ~bytes:seg in
+  let exits =
+    if cfg.offloads.tso then vm_exit_notify  (* one notification per 64kB *)
+    else if virtio_csum then vm_exit_notify /. 4.  (* ring batching w/ GRO *)
+    else vm_exit_notify
+  in
+  let guest_tx () = guest_tx_pp +. (guest_tx_pb *. segf) +. guest_sw_csum +. exits in
+  let guest_rx () = guest_rx_pp +. (guest_rx_pb *. segf) +. guest_sw_csum +. exits in
+  let container_sw_csum = if cfg.offloads.csum then 0. else Costs.csum c ~bytes:seg in
+  let container_tx () = container_tx_pp +. (container_tx_pb *. segf) +. container_sw_csum in
+  let container_rx () = container_rx_pp +. (container_rx_pb *. segf) +. container_sw_csum in
+  (* AF_XDP validates/generates checksums in software until drivers grow
+     the hint support (Sec 3.2 O5) *)
+  let afxdp_sw_csum = if cfg.offloads.csum then 0. else Costs.csum c ~bytes:seg in
+  (* one datapath traversal: three pipeline passes (Sec 5.1) plus encap *)
+  let dp_pass ~kernel =
+    let per_pass =
+      if kernel then
+        c.Costs.kmod_flow_extract +. c.Costs.kmod_flow_lookup +. c.Costs.kmod_action
+        +. c.Costs.skb_alloc
+      else
+        c.Costs.miniflow_extract +. c.Costs.emc_hit +. c.Costs.action_exec
+        +. c.Costs.prealloc_init
+    in
+    (3. *. per_pass) +. if cfg.cross_host then 60. +. afxdp_sw_csum else 0.
+  in
+  let vhost_copies = 2. *. Costs.copy c ~bytes:seg in
+  let stages, serialized =
+    match (cfg.datapath, cfg.virt) with
+    | Dp_kernel, (Tap | Vhost) ->
+        (* one interrupt-driven softirq chain: guest, vhost-net, datapath *)
+        ( [
+            ("guest-tx", guest_tx ());
+            ("vhost-net", vhost_kthread_pp +. vhost_copies);
+            ("kernel-datapath",
+             dp_pass ~kernel:true +. c.Costs.tap_rx_kernel +. c.Costs.interrupt);
+            ("guest-rx", guest_rx ());
+          ],
+          true )
+    | Dp_afxdp_interrupt, (Tap | Vhost) ->
+        (* without PMD threads every hop wakes the next: tap write, OVS
+           wakeup, interrupt — all on the packet's critical path *)
+        ( [
+            ("guest-tx", guest_tx ());
+            ("tap+ovs-wakeups",
+             vhost_kthread_pp +. c.Costs.sendto_tap +. c.Costs.tap_rx_kernel
+             +. vhost_copies +. dp_pass ~kernel:false +. afxdp_sw_csum
+             +. c.Costs.interrupt +. c.Costs.context_switch);
+            ("guest-rx", guest_rx ());
+          ],
+          false )
+    | Dp_afxdp_poll, Tap ->
+        ( [
+            ("guest-tx", guest_tx ());
+            ("tap+vhost",
+             vhost_kthread_pp +. c.Costs.sendto_tap +. c.Costs.tap_rx_kernel
+             +. 300. +. vhost_copies);
+            ("pmd", dp_pass ~kernel:false +. afxdp_sw_csum);
+            ("guest-rx", guest_rx ());
+          ],
+          false )
+    | Dp_afxdp_poll, Vhost ->
+        ( [
+            ("guest-tx", guest_tx ());
+            ("pmd",
+             dp_pass ~kernel:false +. afxdp_sw_csum
+             +. (2. *. (c.Costs.virtio_ring_op +. c.Costs.vhost_copy_fixed))
+             +. vhost_copies);
+            ("guest-rx", guest_rx ());
+          ],
+          false )
+    | Dp_kernel, Veth ->
+        ( [
+            ("container-tx", container_tx ());
+            ("kernel-datapath", dp_pass ~kernel:true +. (2. *. c.Costs.veth_cross));
+            ("container-rx", container_rx ());
+          ],
+          true )
+    | _, Xdp_redirect ->
+        (* Fig 5 path C: no userspace hop. XDP on a veth runs in generic
+           (skb) mode and cannot use TSO or checksum offload (Sec 3.4). *)
+        let per_packet_csum = Costs.csum c ~bytes:(Int.min seg mtu_payload) in
+        ( [
+            ("container-tx", container_tx_pp +. (container_tx_pb *. segf)
+                             +. per_packet_csum);
+            ("xdp",
+             wire_packets
+             *. (c.Costs.xdp_prog_overhead +. (30. *. c.Costs.ebpf_insn)
+                +. c.Costs.xdp_redirect +. c.Costs.veth_cross
+                +. xdp_generic_penalty +. c.Costs.driver_tx));
+            ("container-rx", container_rx_pp +. (container_rx_pb *. segf)
+                             +. per_packet_csum);
+          ],
+          true )
+    | (Dp_afxdp_poll | Dp_afxdp_interrupt), Veth ->
+        (* path A: veth -> XSK -> OVS userspace -> veth. The XSK on a veth
+           is interrupt-driven per wire packet even when the container
+           stacks aggregate with TSO/GRO, so the whole chain serializes. *)
+        ( [
+            ("container-tx", container_tx ());
+            ("xsk-wakeups",
+             wire_packets
+             *. (xsk_veth_wakeup +. (2. *. c.Costs.xsk_ring_op)
+                +. c.Costs.driver_rx_dma)
+             +. (2. *. c.Costs.veth_cross));
+            ("pmd", dp_pass ~kernel:false +. afxdp_sw_csum +. vhost_copies);
+            ("container-rx", container_rx ());
+          ],
+          true )
+  in
+  let bottleneck_ns, bottleneck =
+    if serialized then
+      (List.fold_left (fun acc (_, ns) -> acc +. ns) 0. stages, "serial-chain")
+    else
+      List.fold_left
+        (fun (best, name) (n, ns) -> if ns > best then (ns, n) else (best, name))
+        (0., "?") stages
+  in
+  let raw_gbps = segf *. 8. /. bottleneck_ns in
+  (* wire efficiency: Ethernet + IP + TCP (+ Geneve outer) overheads *)
+  let overhead = 78 + if cfg.cross_host then 50 + 8 + 20 + 14 else 0 in
+  let line =
+    cfg.link_gbps *. float_of_int mtu_payload
+    /. float_of_int (mtu_payload + overhead)
+  in
+  let gbps = if cfg.cross_host then Float.min raw_gbps line else raw_gbps in
+  { gbps; segment_bytes = seg; bottleneck; stages }
+
+let pp_result ppf r =
+  Fmt.pf ppf "%5.1f Gbps (seg=%dB, bound by %s)" r.gbps r.segment_bytes
+    r.bottleneck
+
+(** The fourteen bars of Fig 8, in paper order, with the values the paper
+    reports for comparison in the harness. *)
+let figure8_bars =
+  let mk d v ~csum ~tso ~cross = { datapath = d; virt = v; offloads = { csum; tso };
+                                   cross_host = cross; link_gbps = 10. } in
+  [
+    (* (a) VM-to-VM cross-host over Geneve *)
+    ("a: kernel + tap", mk Dp_kernel Tap ~csum:true ~tso:false ~cross:true, 2.2);
+    ("a: AF_XDP + tap (interrupt)", mk Dp_afxdp_interrupt Tap ~csum:false ~tso:false ~cross:true, 1.9);
+    ("a: AF_XDP + tap (polling)", mk Dp_afxdp_poll Tap ~csum:false ~tso:false ~cross:true, 3.0);
+    ("a: AF_XDP + vhostuser", mk Dp_afxdp_poll Vhost ~csum:false ~tso:false ~cross:true, 4.4);
+    ("a: AF_XDP + vhostuser csum", mk Dp_afxdp_poll Vhost ~csum:true ~tso:false ~cross:true, 6.5);
+    (* (b) VM-to-VM within one host *)
+    ("b: kernel + tap (csum+TSO)", mk Dp_kernel Tap ~csum:true ~tso:true ~cross:false, 12.);
+    ("b: AF_XDP + tap", mk Dp_afxdp_poll Tap ~csum:false ~tso:false ~cross:false, 2.9);
+    ("b: AF_XDP + vhostuser", mk Dp_afxdp_poll Vhost ~csum:false ~tso:false ~cross:false, 3.8);
+    ("b: AF_XDP + vhostuser csum", mk Dp_afxdp_poll Vhost ~csum:true ~tso:false ~cross:false, 8.4);
+    ("b: AF_XDP + vhostuser csum+TSO", mk Dp_afxdp_poll Vhost ~csum:true ~tso:true ~cross:false, 29.);
+    (* (c) container-to-container within one host *)
+    ("c: kernel + veth", mk Dp_kernel Veth ~csum:false ~tso:false ~cross:false, 5.9);
+    ("c: kernel + veth csum+TSO", mk Dp_kernel Veth ~csum:true ~tso:true ~cross:false, 49.);
+    ("c: AF_XDP XDP redirect", mk Dp_afxdp_poll Xdp_redirect ~csum:false ~tso:false ~cross:false, 5.7);
+    ("c: AF_XDP + veth", mk Dp_afxdp_poll Veth ~csum:false ~tso:false ~cross:false, 4.1);
+    ("c: AF_XDP + veth csum", mk Dp_afxdp_poll Veth ~csum:true ~tso:false ~cross:false, 5.0);
+    ("c: AF_XDP + veth csum+TSO", mk Dp_afxdp_poll Veth ~csum:true ~tso:true ~cross:false, 8.0);
+  ]

@@ -1,0 +1,1 @@
+lib/xsk/dp_packet_pool.ml: Array Ovs_packet Ovs_sim

@@ -1,0 +1,1 @@
+lib/xsk/ring.mli:

@@ -1,0 +1,1 @@
+lib/xsk/umem.ml: Buffer Bytes Ovs_packet Ring

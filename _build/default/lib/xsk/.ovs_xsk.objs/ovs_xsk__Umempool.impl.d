@@ -1,0 +1,1 @@
+lib/xsk/umempool.ml: Array Int List Ovs_sim

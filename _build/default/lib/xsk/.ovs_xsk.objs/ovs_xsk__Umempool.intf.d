@@ -1,0 +1,1 @@
+lib/xsk/umempool.mli: Ovs_sim

@@ -1,0 +1,1 @@
+lib/xsk/xsk.ml: Bytes List Ovs_packet Ring Umem Umempool

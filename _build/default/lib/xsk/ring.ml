@@ -1,0 +1,83 @@
+(** Single-producer/single-consumer descriptor ring, the core data structure
+    of AF_XDP's four rings (fill, completion, rx, tx). Power-of-two sized,
+    index-masked, exactly like the kernel's. *)
+
+type desc = { addr : int; len : int }
+(** [addr] is a umem frame index; [len] the packet length within it. *)
+
+type t = {
+  size : int;
+  mask : int;
+  entries : desc array;
+  mutable prod : int;  (** total descriptors ever produced *)
+  mutable cons : int;  (** total descriptors ever consumed *)
+  mutable ops : int;  (** producer/consumer operations, for the cost model *)
+}
+
+let create ~size =
+  if size <= 0 || size land (size - 1) <> 0 then
+    invalid_arg "Ring.create: size must be a positive power of two";
+  {
+    size;
+    mask = size - 1;
+    entries = Array.make size { addr = 0; len = 0 };
+    prod = 0;
+    cons = 0;
+    ops = 0;
+  }
+
+(** Descriptors ready to consume. *)
+let available t = t.prod - t.cons
+let free_space t = t.size - available t
+let is_empty t = available t = 0
+let is_full t = free_space t = 0
+
+(** Produce one descriptor. Returns [false] (and drops) when full. *)
+let push t d =
+  t.ops <- t.ops + 1;
+  if is_full t then false
+  else begin
+    t.entries.(t.prod land t.mask) <- d;
+    t.prod <- t.prod + 1;
+    true
+  end
+
+(** Consume one descriptor, or [None] when empty. *)
+let pop t =
+  t.ops <- t.ops + 1;
+  if is_empty t then None
+  else begin
+    let d = t.entries.(t.cons land t.mask) in
+    t.cons <- t.cons + 1;
+    Some d
+  end
+
+(** Consume up to [max] descriptors into a list (oldest first). One ring
+    operation regardless of the count — batching is the point (O3). *)
+let pop_burst t ~max =
+  t.ops <- t.ops + 1;
+  let n = Int.min max (available t) in
+  let rec take i acc =
+    if i >= n then List.rev acc
+    else begin
+      let d = t.entries.(t.cons land t.mask) in
+      t.cons <- t.cons + 1;
+      take (i + 1) (d :: acc)
+    end
+  in
+  take 0 []
+
+(** Produce a batch; returns how many fit. *)
+let push_burst t ds =
+  t.ops <- t.ops + 1;
+  let rec put n = function
+    | [] -> n
+    | d :: rest ->
+        if is_full t then n
+        else begin
+          t.entries.(t.prod land t.mask) <- d;
+          t.prod <- t.prod + 1;
+          put (n + 1) rest
+        end
+  in
+  put 0 ds

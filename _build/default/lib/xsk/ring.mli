@@ -1,0 +1,39 @@
+(** Single-producer/single-consumer descriptor ring, the core data
+    structure of AF_XDP's four rings (fill, completion, rx, tx).
+    Power-of-two sized and index-masked, like the kernel's. Producer and
+    consumer operations are counted for the cost model. *)
+
+type desc = { addr : int; len : int }
+(** [addr] is a umem frame index; [len] the packet length within it. *)
+
+type t = {
+  size : int;
+  mask : int;
+  entries : desc array;
+  mutable prod : int;  (** total descriptors ever produced *)
+  mutable cons : int;  (** total descriptors ever consumed *)
+  mutable ops : int;  (** producer/consumer operations, for the cost model *)
+}
+
+val create : size:int -> t
+(** [size] must be a positive power of two.
+    @raise Invalid_argument otherwise. *)
+
+val available : t -> int
+(** Descriptors ready to consume. *)
+
+val free_space : t -> int
+val is_empty : t -> bool
+val is_full : t -> bool
+
+val push : t -> desc -> bool
+(** Produce one descriptor; [false] (dropped) when full. *)
+
+val pop : t -> desc option
+
+val pop_burst : t -> max:int -> desc list
+(** Consume up to [max] descriptors, oldest first, as one ring operation —
+    batching is the point of optimization O3. *)
+
+val push_burst : t -> desc list -> int
+(** Produce a batch; returns how many fit. *)

@@ -1,0 +1,105 @@
+(** The umempool: OVS's userspace allocator for umem frames (Sec 3.2).
+
+    Any PMD thread may need to return a frame to any pool (a packet received
+    on one NIC can be transmitted on another), so every operation
+    synchronizes. The paper's O2 and O3 optimizations are exactly about this
+    structure: O2 replaces the POSIX mutex with a spinlock, O3 coarsens the
+    locking from per-frame to per-batch. The pool records its lock and
+    frame operations so the datapath can charge the configured costs. *)
+
+type lock_strategy =
+  | Mutex  (** pthread_mutex per operation (pre-O2) *)
+  | Spinlock  (** spinlock per operation (O2) *)
+  | Spinlock_batched  (** one spinlock acquisition per batch (O3) *)
+
+type stats = {
+  mutable lock_acquisitions : int;
+  mutable frame_ops : int;  (** individual frame get/put operations *)
+  mutable batch_ops : int;  (** batched get/put calls *)
+  mutable exhausted : int;  (** allocation failures (pool empty) *)
+}
+
+type t = {
+  free : int array;  (** stack of free frame indices *)
+  mutable top : int;
+  strategy : lock_strategy;
+  stats : stats;
+}
+
+let create ~n_frames ~strategy =
+  {
+    free = Array.init n_frames (fun i -> n_frames - 1 - i);
+    top = n_frames;
+    strategy;
+    stats = { lock_acquisitions = 0; frame_ops = 0; batch_ops = 0; exhausted = 0 };
+  }
+
+let available t = t.top
+
+let lock_once t = t.stats.lock_acquisitions <- t.stats.lock_acquisitions + 1
+
+(** Take one frame, locking per the strategy. [None] when exhausted. *)
+let get t =
+  lock_once t;
+  t.stats.frame_ops <- t.stats.frame_ops + 1;
+  if t.top = 0 then begin
+    t.stats.exhausted <- t.stats.exhausted + 1;
+    None
+  end
+  else begin
+    t.top <- t.top - 1;
+    Some t.free.(t.top)
+  end
+
+let put t frame =
+  lock_once t;
+  t.stats.frame_ops <- t.stats.frame_ops + 1;
+  t.free.(t.top) <- frame;
+  t.top <- t.top + 1
+
+(** Take up to [n] frames. Under [Spinlock_batched] this is one lock
+    acquisition; under the other strategies it costs one per frame. *)
+let get_batch t n =
+  t.stats.batch_ops <- t.stats.batch_ops + 1;
+  let locks = match t.strategy with Spinlock_batched -> 1 | Mutex | Spinlock -> n in
+  t.stats.lock_acquisitions <- t.stats.lock_acquisitions + locks;
+  t.stats.frame_ops <- t.stats.frame_ops + n;
+  let got = Int.min n t.top in
+  if got < n then t.stats.exhausted <- t.stats.exhausted + (n - got);
+  let rec take i acc =
+    if i >= got then acc
+    else begin
+      t.top <- t.top - 1;
+      take (i + 1) (t.free.(t.top) :: acc)
+    end
+  in
+  take 0 []
+
+let put_batch t frames =
+  t.stats.batch_ops <- t.stats.batch_ops + 1;
+  let n = List.length frames in
+  let locks = match t.strategy with Spinlock_batched -> 1 | Mutex | Spinlock -> n in
+  t.stats.lock_acquisitions <- t.stats.lock_acquisitions + locks;
+  t.stats.frame_ops <- t.stats.frame_ops + n;
+  List.iter
+    (fun f ->
+      t.free.(t.top) <- f;
+      t.top <- t.top + 1)
+    frames
+
+(** Virtual-time cost of one lock acquisition under this pool's strategy. *)
+let lock_cost t (costs : Ovs_sim.Costs.t) =
+  match t.strategy with
+  | Mutex -> costs.Ovs_sim.Costs.mutex_lock
+  | Spinlock | Spinlock_batched -> costs.Ovs_sim.Costs.spinlock
+
+(** Total synchronization + allocator cost accumulated so far. *)
+let total_cost t (costs : Ovs_sim.Costs.t) =
+  (float_of_int t.stats.lock_acquisitions *. lock_cost t costs)
+  +. (float_of_int t.stats.frame_ops *. costs.Ovs_sim.Costs.umem_frame_op)
+
+let reset_stats t =
+  t.stats.lock_acquisitions <- 0;
+  t.stats.frame_ops <- 0;
+  t.stats.batch_ops <- 0;
+  t.stats.exhausted <- 0

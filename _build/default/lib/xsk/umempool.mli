@@ -1,0 +1,47 @@
+(** The umempool: OVS's userspace allocator for umem frames (paper
+    Sec 3.2). Every operation synchronizes because any PMD thread may
+    return a frame to any pool; the lock strategy is exactly what
+    optimizations O2 (mutex to spinlock) and O3 (per-frame to per-batch)
+    change. Statistics feed the cost model. *)
+
+type lock_strategy =
+  | Mutex  (** pthread_mutex per operation (pre-O2) *)
+  | Spinlock  (** spinlock per operation (O2) *)
+  | Spinlock_batched  (** one acquisition per batch (O3) *)
+
+type stats = {
+  mutable lock_acquisitions : int;
+  mutable frame_ops : int;
+  mutable batch_ops : int;
+  mutable exhausted : int;  (** allocation failures *)
+}
+
+type t = {
+  free : int array;
+  mutable top : int;
+  strategy : lock_strategy;
+  stats : stats;
+}
+
+val create : n_frames:int -> strategy:lock_strategy -> t
+
+val available : t -> int
+
+val get : t -> int option
+(** One frame, one lock acquisition; [None] when exhausted. *)
+
+val put : t -> int -> unit
+
+val get_batch : t -> int -> int list
+(** Up to [n] frames; one lock acquisition under [Spinlock_batched], one
+    per frame otherwise. *)
+
+val put_batch : t -> int list -> unit
+
+val lock_cost : t -> Ovs_sim.Costs.t -> float
+(** Virtual-time cost of one acquisition under this pool's strategy. *)
+
+val total_cost : t -> Ovs_sim.Costs.t -> float
+(** Accumulated synchronization + allocator cost. *)
+
+val reset_stats : t -> unit

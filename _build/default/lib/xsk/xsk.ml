@@ -1,0 +1,106 @@
+(** The AF_XDP socket ("XSK"): one rx/tx ring pair bound to a (device,
+    queue) and backed by a umem. The kernel side delivers packets that the
+    XDP program redirected to the socket; the user side is polled by a PMD
+    thread (or, without O1, by the main OVS thread). *)
+
+type t = {
+  umem : Umem.t;
+  pool : Umempool.t;
+  rx : Ring.t;
+  tx : Ring.t;
+  queue_id : int;
+  mutable rx_delivered : int;
+  mutable rx_dropped_no_frame : int;  (** fill ring empty on arrival *)
+  mutable rx_dropped_ring_full : int;
+  mutable tx_sent : int;
+  mutable kicks : int;  (** sendto() syscalls to flush the tx ring *)
+}
+
+let create ?(ring_size = 2048) ~umem ~pool ~queue_id () =
+  {
+    umem;
+    pool;
+    rx = Ring.create ~size:ring_size;
+    tx = Ring.create ~size:ring_size;
+    queue_id;
+    rx_delivered = 0;
+    rx_dropped_no_frame = 0;
+    rx_dropped_ring_full = 0;
+    tx_sent = 0;
+    kicks = 0;
+  }
+
+(** Userspace: refill the kernel's fill ring with up to [n] empty frames
+    from the umempool. *)
+let refill t n =
+  let frames = Umempool.get_batch t.pool n in
+  List.iter
+    (fun f -> ignore (Ring.push t.umem.Umem.fill { Ring.addr = f; len = 0 }))
+    frames;
+  List.length frames
+
+(** Kernel: deliver one received packet into the socket. Copies the wire
+    bytes into a fill-ring frame (the DMA step) and posts an rx descriptor.
+    Returns [false] if the packet had to be dropped — including frames
+    larger than the umem frame size (AF_XDP of this era had no
+    multi-buffer support, so jumbo/TSO frames cannot ride an XSK). *)
+let kernel_rx t (wire : Bytes.t) ~len =
+  if len > Umem.frame_capacity t.umem then begin
+    t.rx_dropped_no_frame <- t.rx_dropped_no_frame + 1;
+    false
+  end
+  else
+  match Ring.pop t.umem.Umem.fill with
+  | None ->
+      t.rx_dropped_no_frame <- t.rx_dropped_no_frame + 1;
+      false
+  | Some { Ring.addr = frame; _ } ->
+      Umem.dma_into_frame t.umem frame wire ~src_off:0 ~len;
+      if Ring.push t.rx { Ring.addr = frame; len } then begin
+        t.rx_delivered <- t.rx_delivered + 1;
+        true
+      end
+      else begin
+        (* rx ring full: frame goes back to the fill ring, packet is lost *)
+        ignore (Ring.push t.umem.Umem.fill { Ring.addr = frame; len = 0 });
+        t.rx_dropped_ring_full <- t.rx_dropped_ring_full + 1;
+        false
+      end
+
+(** Userspace: receive a burst of packets as zero-copy buffers aliasing
+    their umem frames. Each returned pair is (frame index, buffer). *)
+let rx_burst t ~max : (int * Ovs_packet.Buffer.t) list =
+  let descs = Ring.pop_burst t.rx ~max in
+  List.map
+    (fun { Ring.addr; len } -> (addr, Umem.buffer_of_frame t.umem addr ~len))
+    descs
+
+(** Userspace: queue a frame for transmission. The data is already in the
+    umem (zero-copy); the kick syscall happens in {!flush_tx}. *)
+let tx t ~frame ~len = Ring.push t.tx { Ring.addr = frame; len }
+
+(** Userspace: kick the kernel to transmit queued descriptors (one sendto
+    per call — this is the AF_XDP tx syscall overhead of Sec 5.5) and
+    recycle completed frames back to the pool. Returns the number sent. *)
+let flush_tx t =
+  let descs = Ring.pop_burst t.tx ~max:max_int in
+  match descs with
+  | [] -> 0
+  | _ ->
+      t.kicks <- t.kicks + 1;
+      let frames = List.map (fun d -> d.Ring.addr) descs in
+      (* completion-ring round trip, then frames return to the pool *)
+      List.iter
+        (fun f -> ignore (Ring.push t.umem.Umem.completion { Ring.addr = f; len = 0 }))
+        frames;
+      let done_ = Ring.pop_burst t.umem.Umem.completion ~max:max_int in
+      Umempool.put_batch t.pool (List.map (fun d -> d.Ring.addr) done_);
+      t.tx_sent <- t.tx_sent + List.length descs;
+      List.length descs
+
+(** Userspace: return a received frame to the pool without transmitting
+    (packet consumed locally or dropped). *)
+let release t ~frame = Umempool.put t.pool frame
+
+(** Release a whole burst with batch-friendly locking. *)
+let release_batch t frames = Umempool.put_batch t.pool frames

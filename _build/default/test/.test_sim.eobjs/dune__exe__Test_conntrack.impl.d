@@ -1,0 +1,1 @@
+test/test_conntrack.ml: Alcotest Ovs_conntrack Ovs_packet Ovs_sim

@@ -1,0 +1,1 @@
+test/test_datapath.ml: Alcotest Array Int64 List Ovs_conntrack Ovs_datapath Ovs_ebpf Ovs_netdev Ovs_ofproto Ovs_packet Ovs_sim Printf String

@@ -1,0 +1,1 @@
+test/test_ebpf.ml: Alcotest Array Asm Field Gen Insn Int Int64 List Maps Ovs_ebpf Ovs_packet Ovs_sim Printf Progs QCheck QCheck_alcotest Verifier Vm Xdp

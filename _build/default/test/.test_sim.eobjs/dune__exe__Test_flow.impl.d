@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array List Ovs_flow Ovs_packet Ovs_sim QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest List Ovs_datapath Ovs_ebpf Ovs_netdev Ovs_nsx Ovs_ofproto Ovs_packet Ovs_sim Ovs_tools Printf

@@ -1,0 +1,1 @@
+test/test_netdev.ml: Alcotest Array List Ovs_ebpf Ovs_netdev Ovs_packet Queue

@@ -1,0 +1,1 @@
+test/test_nsx.ml: Alcotest List Ovs_nsx Ovs_ofproto Ovs_packet

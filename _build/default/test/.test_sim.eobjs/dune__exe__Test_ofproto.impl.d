@@ -1,0 +1,1 @@
+test/test_ofproto.ml: Action Alcotest Array Bytes Int List Match_ Ofconn Ofp_codec Ovs_ofproto Ovs_packet Ovs_sim Parser Pipeline QCheck QCheck_alcotest Table

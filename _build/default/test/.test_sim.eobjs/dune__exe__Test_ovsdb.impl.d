@@ -1,0 +1,1 @@
+test/test_ovsdb.ml: Alcotest Db List Ovs_ovsdb String Value Vsctl

@@ -1,0 +1,1 @@
+test/test_packet.ml: Alcotest Arp Array Buffer Build Bytes Char Checksum Ethernet Flow_key Gen Gso Icmp Ipv4 List Mac Ovs_packet Ovs_sim QCheck QCheck_alcotest Stdlib String Tcp Tunnel Udp

@@ -1,0 +1,1 @@
+test/test_tools.ml: Alcotest Bytes Int32 List Ovs_netdev Ovs_packet Ovs_tools String

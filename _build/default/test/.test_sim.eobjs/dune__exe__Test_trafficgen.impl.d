@@ -1,0 +1,1 @@
+test/test_trafficgen.ml: Alcotest Hashtbl List Ovs_datapath Ovs_packet Ovs_sim Ovs_trafficgen

@@ -1,0 +1,1 @@
+test/test_vswitch.ml: Alcotest Hashtbl List Ovs_core Ovs_datapath Ovs_netdev Ovs_ofproto Ovs_packet Ovs_sim Printf String

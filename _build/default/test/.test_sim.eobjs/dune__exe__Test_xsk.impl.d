@@ -1,0 +1,1 @@
+test/test_xsk.ml: Alcotest Bytes Dp_packet_pool Gen List Ovs_packet Ovs_sim Ovs_xsk QCheck QCheck_alcotest Ring Umem Umempool Xsk

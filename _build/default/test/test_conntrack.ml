@@ -1,0 +1,228 @@
+(* Tests for the userspace connection tracker: TCP state machine, zones,
+   NAT, limits, expiry. *)
+
+module Ct = Ovs_conntrack.Conntrack
+module FK = Ovs_packet.Flow_key
+module B = Ovs_packet.Build
+module Bits = FK.Ct_state_bits
+
+let check = Alcotest.check
+
+let client_ip = Ovs_packet.Ipv4.addr_of_string "10.0.0.1"
+let server_ip = Ovs_packet.Ipv4.addr_of_string "10.0.0.2"
+
+let tcp_key ?(src = client_ip) ?(dst = server_ip) ?(sport = 40000) ?(dport = 80)
+    ~flags () =
+  FK.extract (B.tcp ~src_ip:src ~dst_ip:dst ~src_port:sport ~dst_port:dport ~flags ())
+
+let udp_key ?(src = client_ip) ?(dst = server_ip) ?(sport = 50) ?(dport = 53) () =
+  FK.extract (B.udp ~src_ip:src ~dst_ip:dst ~src_port:sport ~dst_port:dport ())
+
+let has v bit = v land bit <> 0
+
+let test_untracked_is_new () =
+  let ct = Ct.create () in
+  let v = Ct.track ct ~now:0. ~zone:1 (tcp_key ~flags:Ovs_packet.Tcp.Flags.syn ()) in
+  Alcotest.(check bool) "+trk" true (has v.Ct.ct_state Bits.trk);
+  Alcotest.(check bool) "+new" true (has v.Ct.ct_state Bits.new_);
+  Alcotest.(check bool) "no conn yet" true (v.Ct.conn = None)
+
+let test_commit_and_handshake () =
+  let ct = Ct.create () in
+  let open Ovs_packet.Tcp.Flags in
+  let syn = tcp_key ~flags:syn () in
+  (match Ct.commit ct ~now:0. ~zone:1 syn with
+  | Some conn -> Alcotest.(check bool) "SYN_SENT" true (conn.Ct.state = Ct.Tcp Ct.Syn_sent)
+  | None -> Alcotest.fail "commit failed");
+  (* server SYN+ACK (reply direction) *)
+  let synack =
+    tcp_key ~src:server_ip ~dst:client_ip ~sport:80 ~dport:40000
+      ~flags:(Ovs_packet.Tcp.Flags.syn lor ack) ()
+  in
+  let v = Ct.track ct ~now:1000. ~zone:1 synack in
+  Alcotest.(check bool) "reply seen" true (has v.Ct.ct_state Bits.rpl);
+  (* client ACK completes the handshake *)
+  let ackk = tcp_key ~flags:ack () in
+  let v2 = Ct.track ct ~now:2000. ~zone:1 ackk in
+  Alcotest.(check bool) "+est" true (has v2.Ct.ct_state Bits.est);
+  match v2.Ct.conn with
+  | Some conn -> Alcotest.(check bool) "ESTABLISHED" true (conn.Ct.state = Ct.Tcp Ct.Established)
+  | None -> Alcotest.fail "no connection"
+
+let established ct =
+  let open Ovs_packet.Tcp.Flags in
+  ignore (Ct.commit ct ~now:0. ~zone:1 (tcp_key ~flags:syn ()));
+  ignore
+    (Ct.track ct ~now:1.
+       ~zone:1
+       (tcp_key ~src:server_ip ~dst:client_ip ~sport:80 ~dport:40000
+          ~flags:(syn lor ack) ()));
+  ignore (Ct.track ct ~now:2. ~zone:1 (tcp_key ~flags:ack ()))
+
+let test_rst_invalidates () =
+  let ct = Ct.create () in
+  established ct;
+  let v = Ct.track ct ~now:3. ~zone:1 (tcp_key ~flags:Ovs_packet.Tcp.Flags.rst ()) in
+  (match v.Ct.conn with
+  | Some conn -> Alcotest.(check bool) "CLOSED" true (conn.Ct.state = Ct.Tcp Ct.Closed)
+  | None -> Alcotest.fail "conn missing");
+  (* subsequent packets on a closed connection are invalid *)
+  let v2 = Ct.track ct ~now:4. ~zone:1 (tcp_key ~flags:Ovs_packet.Tcp.Flags.ack ()) in
+  Alcotest.(check bool) "+inv" true (has v2.Ct.ct_state Bits.inv)
+
+let test_zones_isolate () =
+  let ct = Ct.create () in
+  established ct;  (* zone 1 *)
+  (* same 5-tuple in zone 2 is untracked/new *)
+  let v = Ct.track ct ~now:5. ~zone:2 (tcp_key ~flags:Ovs_packet.Tcp.Flags.ack ()) in
+  Alcotest.(check bool) "zone 2 sees new" true (has v.Ct.ct_state Bits.new_)
+
+let test_udp_pseudo_state () =
+  let ct = Ct.create () in
+  ignore (Ct.commit ct ~now:0. ~zone:1 (udp_key ()));
+  (* first forward packet: still single-direction, not established *)
+  let v = Ct.track ct ~now:1. ~zone:1 (udp_key ()) in
+  Alcotest.(check bool) "not yet est" false (has v.Ct.ct_state Bits.est);
+  (* a reply upgrades to bidirectional *)
+  let reply = udp_key ~src:server_ip ~dst:client_ip ~sport:53 ~dport:50 () in
+  ignore (Ct.track ct ~now:2. ~zone:1 reply);
+  let v2 = Ct.track ct ~now:3. ~zone:1 (udp_key ()) in
+  Alcotest.(check bool) "est after reply" true (has v2.Ct.ct_state Bits.est)
+
+let test_timeout_expiry () =
+  let ct = Ct.create () in
+  ignore (Ct.commit ct ~now:0. ~zone:1 (udp_key ()));
+  (* beyond the 30s single-direction UDP timeout *)
+  let late = Ovs_sim.Time.s 31. in
+  let v = Ct.track ct ~now:late ~zone:1 (udp_key ()) in
+  Alcotest.(check bool) "expired -> new" true (has v.Ct.ct_state Bits.new_)
+
+let test_sweep_reclaims () =
+  let ct = Ct.create () in
+  ignore (Ct.commit ct ~now:0. ~zone:1 (udp_key ()));
+  ignore (Ct.commit ct ~now:0. ~zone:1 (udp_key ~sport:51 ()));
+  check Alcotest.int "two conns" 2 (Ct.active_conns ct);
+  let reclaimed = Ct.sweep ct ~now:(Ovs_sim.Time.s 60.) in
+  check Alcotest.int "swept" 2 reclaimed;
+  check Alcotest.int "empty" 0 (Ct.active_conns ct);
+  check Alcotest.int "zone count back to zero" 0 (Ct.zone_count ct ~zone:1)
+
+let test_zone_limit () =
+  let ct = Ct.create () in
+  Ct.set_zone_limit ct ~zone:7 ~limit:2;
+  let commit i = Ct.commit ct ~now:0. ~zone:7 (udp_key ~sport:(100 + i) ()) in
+  Alcotest.(check bool) "1" true (commit 1 <> None);
+  Alcotest.(check bool) "2" true (commit 2 <> None);
+  Alcotest.(check bool) "3 rejected (nf_conncount)" true (commit 3 = None);
+  (* other zones unaffected *)
+  Alcotest.(check bool) "other zone fine" true
+    (Ct.commit ct ~now:0. ~zone:8 (udp_key ~sport:200 ()) <> None)
+
+let test_commit_idempotent () =
+  let ct = Ct.create () in
+  let k = udp_key () in
+  let a = Ct.commit ct ~now:0. ~zone:1 k in
+  let b = Ct.commit ct ~now:1. ~zone:1 k in
+  (match (a, b) with
+  | Some x, Some y -> Alcotest.(check bool) "same conn" true (x == y)
+  | _ -> Alcotest.fail "commit failed");
+  check Alcotest.int "one connection" 1 (Ct.active_conns ct)
+
+let test_nat_rewrites_forward_and_reply () =
+  let ct = Ct.create () in
+  let nat_ip = Ovs_packet.Ipv4.addr_of_string "203.0.113.5" in
+  let pkt = B.udp ~src_ip:client_ip ~dst_ip:server_ip ~src_port:50 ~dst_port:53 () in
+  let k = FK.extract pkt in
+  let conn =
+    match
+      Ct.commit ct ~now:0. ~zone:1
+        ~nat:{ Ct.nat_src = Some (nat_ip, 1024); nat_dst = None }
+        k
+    with
+    | Some c -> c
+    | None -> Alcotest.fail "commit"
+  in
+  (* forward direction: source rewritten *)
+  Alcotest.(check bool) "rewritten" true (Ct.apply_nat conn ~is_reply:false pkt k);
+  check Alcotest.int "key src natted" nat_ip (FK.get k FK.Field.Nw_src);
+  check Alcotest.int "key sport natted" 1024 (FK.get k FK.Field.Tp_src);
+  ignore (Ovs_packet.Ethernet.parse pkt);
+  (match Ovs_packet.Ipv4.parse pkt with
+  | Some ip ->
+      check Alcotest.int "packet src natted" nat_ip ip.Ovs_packet.Ipv4.src;
+      Alcotest.(check bool) "ip checksum refreshed" true
+        (Ovs_packet.Checksum.verify pkt.Ovs_packet.Buffer.data
+           ~off:(Ovs_packet.Buffer.abs pkt pkt.Ovs_packet.Buffer.l3_ofs)
+           ~len:Ovs_packet.Ipv4.header_len)
+  | None -> Alcotest.fail "reparse");
+  (* reply direction: destination un-natted back to the original source *)
+  let reply = B.udp ~src_ip:server_ip ~dst_ip:nat_ip ~src_port:53 ~dst_port:1024 () in
+  let rk = FK.extract reply in
+  Alcotest.(check bool) "reply rewritten" true (Ct.apply_nat conn ~is_reply:true reply rk);
+  check Alcotest.int "reply dst restored" client_ip (FK.get rk FK.Field.Nw_dst);
+  check Alcotest.int "reply dport restored" 50 (FK.get rk FK.Field.Tp_dst)
+
+let test_related_icmp () =
+  let ct = Ct.create () in
+  (* a tracked UDP flow client -> server *)
+  let offending =
+    B.udp ~src_ip:client_ip ~dst_ip:server_ip ~src_port:50 ~dst_port:53 ()
+  in
+  ignore (Ct.commit ct ~now:0. ~zone:1 (FK.extract offending));
+  (* a router reports port-unreachable, quoting the offending packet *)
+  let err =
+    B.icmp_error ~src_ip:(Ovs_packet.Ipv4.addr_of_string "10.0.0.254") ~offending ()
+  in
+  let k = FK.extract err in
+  let v = Ct.track ~buf:err ct ~now:1. ~zone:1 k in
+  Alcotest.(check bool) "+rel" true (has v.Ct.ct_state Bits.rel);
+  Alcotest.(check bool) "+trk" true (has v.Ct.ct_state Bits.trk);
+  Alcotest.(check bool) "bound to the connection" true (v.Ct.conn <> None);
+  (* the same error in another zone is unrelated *)
+  let v2 = Ct.track ~buf:err ct ~now:1. ~zone:2 k in
+  Alcotest.(check bool) "zone isolation holds for rel" false
+    (has v2.Ct.ct_state Bits.rel);
+  (* an error quoting an untracked flow is just new *)
+  let stranger = B.udp ~src_ip:server_ip ~dst_ip:client_ip ~src_port:9 ~dst_port:9 () in
+  let err2 =
+    B.icmp_error ~src_ip:(Ovs_packet.Ipv4.addr_of_string "10.0.0.254")
+      ~offending:stranger ()
+  in
+  let v3 = Ct.track ~buf:err2 ct ~now:1. ~zone:1 (FK.extract err2) in
+  Alcotest.(check bool) "unrelated error is new" true (has v3.Ct.ct_state Bits.new_)
+
+let test_fin_teardown_states () =
+  let ct = Ct.create () in
+  established ct;
+  let open Ovs_packet.Tcp.Flags in
+  ignore (Ct.track ct ~now:10. ~zone:1 (tcp_key ~flags:(fin lor ack) ()));
+  (match Ct.track ct ~now:11. ~zone:1 (tcp_key ~flags:ack ()) with
+  | { Ct.conn = Some c; _ } ->
+      Alcotest.(check bool) "left ESTABLISHED" true (c.Ct.state <> Ct.Tcp Ct.Established)
+  | { Ct.conn = None; _ } -> Alcotest.fail "conn lost");
+  ()
+
+let () =
+  Alcotest.run "ovs_conntrack"
+    [
+      ( "tcp",
+        [
+          Alcotest.test_case "untracked is new" `Quick test_untracked_is_new;
+          Alcotest.test_case "commit and handshake" `Quick test_commit_and_handshake;
+          Alcotest.test_case "rst invalidates" `Quick test_rst_invalidates;
+          Alcotest.test_case "fin teardown" `Quick test_fin_teardown_states;
+        ] );
+      ( "state",
+        [
+          Alcotest.test_case "zones isolate" `Quick test_zones_isolate;
+          Alcotest.test_case "udp pseudo state" `Quick test_udp_pseudo_state;
+          Alcotest.test_case "timeout expiry" `Quick test_timeout_expiry;
+          Alcotest.test_case "sweep reclaims" `Quick test_sweep_reclaims;
+          Alcotest.test_case "zone limit" `Quick test_zone_limit;
+          Alcotest.test_case "commit idempotent" `Quick test_commit_idempotent;
+        ] );
+      ( "related",
+        [ Alcotest.test_case "related icmp errors" `Quick test_related_icmp ] );
+      ( "nat",
+        [ Alcotest.test_case "snat forward and reply" `Quick test_nat_rewrites_forward_and_reply ] );
+    ]

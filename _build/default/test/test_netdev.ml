@@ -1,0 +1,120 @@
+(* Tests for the network-device models. *)
+
+module Netdev = Ovs_netdev.Netdev
+module B = Ovs_packet.Build
+
+let check = Alcotest.check
+
+let test_enqueue_dequeue () =
+  let d = Netdev.create ~name:"eth0" ~queues:2 () in
+  Netdev.enqueue_on d ~queue:1 (B.udp ());
+  check Alcotest.int "pending" 1 (Netdev.pending d);
+  let got = Netdev.dequeue d ~queue:1 ~max:8 in
+  check Alcotest.int "dequeued" 1 (List.length got);
+  check Alcotest.int "drained" 0 (Netdev.pending d)
+
+let test_queue_overflow_drops () =
+  let d = Netdev.create ~name:"eth0" ~queue_capacity:2 () in
+  for _ = 1 to 5 do
+    Netdev.enqueue_on d ~queue:0 (B.udp ())
+  done;
+  check Alcotest.int "capacity respected" 2 (Netdev.pending d);
+  check Alcotest.int "drops counted" 3 d.Netdev.stats.Netdev.rx_dropped
+
+let test_rss_spreads_flows () =
+  let d = Netdev.create ~name:"eth0" ~queues:8 () in
+  for i = 0 to 255 do
+    let pkt = B.udp ~src_port:(1000 + i) () in
+    Netdev.rss_enqueue d pkt
+  done;
+  let nonempty =
+    Array.fold_left
+      (fun n q -> if Queue.length q > 0 then n + 1 else n)
+      0 d.Netdev.rx_queues
+  in
+  Alcotest.(check bool) "many queues used" true (nonempty >= 6)
+
+let test_rss_same_flow_same_queue () =
+  let d = Netdev.create ~name:"eth0" ~queues:8 () in
+  for _ = 1 to 16 do
+    Netdev.rss_enqueue d (B.udp ~src_port:7777 ())
+  done;
+  let nonempty =
+    Array.fold_left
+      (fun n q -> if Queue.length q > 0 then n + 1 else n)
+      0 d.Netdev.rx_queues
+  in
+  check Alcotest.int "one flow, one queue (no reordering)" 1 nonempty
+
+let test_connect_wires_both_ways () =
+  let a = Netdev.create ~name:"a" () and b = Netdev.create ~name:"b" () in
+  Netdev.connect a b;
+  Netdev.transmit a (B.udp ());
+  check Alcotest.int "b received" 1 (Netdev.pending b);
+  Netdev.transmit b (B.udp ());
+  check Alcotest.int "a received" 1 (Netdev.pending a);
+  check Alcotest.int "tx counted" 1 a.Netdev.stats.Netdev.tx_packets
+
+let test_veth_pair () =
+  let a, b = Netdev.veth_pair ~name_a:"veth0" ~name_b:"veth1" in
+  (* physical equality: the peer field forms a cycle *)
+  let is_peer x y = match x.Netdev.peer with Some p -> p == y | None -> false in
+  Alcotest.(check bool) "peers" true (is_peer a b && is_peer b a);
+  Netdev.transmit a (B.udp ());
+  check Alcotest.int "crosses namespaces" 1 (Netdev.pending b)
+
+let test_kernel_visibility () =
+  let kernel = Netdev.create ~name:"k" () in
+  let dpdk = Netdev.create ~name:"d" ~driver:Netdev.Dpdk_driver () in
+  let vhost = Netdev.create ~name:"v" ~kind:Netdev.Vhostuser () in
+  Alcotest.(check bool) "kernel-driven visible" true (Netdev.kernel_visible kernel);
+  Alcotest.(check bool) "dpdk invisible" false (Netdev.kernel_visible dpdk);
+  Alcotest.(check bool) "vhostuser invisible" false (Netdev.kernel_visible vhost)
+
+let test_line_rate () =
+  let d = Netdev.create ~name:"eth" ~gbps:10. () in
+  let rate = Netdev.line_rate_pps d ~frame_len:64 in
+  (* 10G, 64B + 20B overhead = 14.88 Mpps *)
+  Alcotest.(check bool) "64B line rate" true (abs_float (rate -. 14.88e6) < 0.05e6);
+  let big = Netdev.line_rate_pps d ~frame_len:1518 in
+  Alcotest.(check bool) "1518B line rate" true (abs_float (big -. 0.8127e6) < 0.01e6)
+
+let test_xdp_attachment_models () =
+  let d = Netdev.create ~name:"eth" ~queues:4 () in
+  let prog = Ovs_ebpf.Xdp.load_exn ~name:"pass" Ovs_ebpf.Progs.pass_all in
+  (* Mellanox model: one queue only (Fig 6b) *)
+  Netdev.attach_xdp d ~queue:2 prog;
+  Alcotest.(check bool) "queue 2 attached" true (d.Netdev.xdp_progs.(2) <> None);
+  Alcotest.(check bool) "queue 0 untouched" true (d.Netdev.xdp_progs.(0) = None);
+  Netdev.detach_xdp d ~queue:2;
+  Alcotest.(check bool) "detached" true (d.Netdev.xdp_progs.(2) = None);
+  (* Intel model: whole device (Fig 6a) *)
+  Netdev.attach_xdp_all d prog;
+  Array.iter
+    (fun p -> Alcotest.(check bool) "all queues" true (p <> None))
+    d.Netdev.xdp_progs
+
+let test_stats_accumulate () =
+  let d = Netdev.create ~name:"eth" () in
+  Netdev.enqueue_on d ~queue:0 (B.udp ~frame_len:100 ());
+  Netdev.transmit d (B.udp ~frame_len:64 ());
+  check Alcotest.int "rx bytes" 100 d.Netdev.stats.Netdev.rx_bytes;
+  check Alcotest.int "tx bytes" 64 d.Netdev.stats.Netdev.tx_bytes
+
+let () =
+  Alcotest.run "ovs_netdev"
+    [
+      ( "netdev",
+        [
+          Alcotest.test_case "enqueue/dequeue" `Quick test_enqueue_dequeue;
+          Alcotest.test_case "overflow drops" `Quick test_queue_overflow_drops;
+          Alcotest.test_case "rss spreads flows" `Quick test_rss_spreads_flows;
+          Alcotest.test_case "rss keeps flow order" `Quick test_rss_same_flow_same_queue;
+          Alcotest.test_case "connect wiring" `Quick test_connect_wires_both_ways;
+          Alcotest.test_case "veth pair" `Quick test_veth_pair;
+          Alcotest.test_case "kernel visibility" `Quick test_kernel_visibility;
+          Alcotest.test_case "line rate" `Quick test_line_rate;
+          Alcotest.test_case "xdp attachment (Fig 6)" `Quick test_xdp_attachment_models;
+          Alcotest.test_case "stats" `Quick test_stats_accumulate;
+        ] );
+    ]

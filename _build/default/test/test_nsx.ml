@@ -1,0 +1,189 @@
+(* Tests for the NSX model: rule-set generation (Table 3), the agent
+   workflow, and the maintenance-burden model (Fig 1). *)
+
+module Ruleset = Ovs_nsx.Ruleset
+module Agent = Ovs_nsx.Agent
+module Maintenance = Ovs_nsx.Maintenance
+
+let check = Alcotest.check
+
+(* a smaller spec keeps the unit tests fast; the exact Table 3 numbers are
+   asserted once against the real spec below *)
+let small_spec =
+  {
+    Ruleset.table3_spec with
+    Ruleset.n_vms = 4;
+    n_tunnels = 16;
+    target_rules = 2_000;
+  }
+
+let install spec =
+  let pipeline = Ovs_ofproto.Pipeline.create ~n_tables:40 () in
+  let lines = Ruleset.generate spec in
+  let n = Ovs_ofproto.Parser.install_flows pipeline lines in
+  (pipeline, lines, n)
+
+let test_generator_hits_target_count () =
+  let _, lines, n = install small_spec in
+  check Alcotest.int "every generated line parses" (List.length lines) n;
+  check Alcotest.int "exact rule budget" small_spec.Ruleset.target_rules n
+
+let test_generator_deterministic () =
+  let _, a, _ = install small_spec in
+  let _, b, _ = install small_spec in
+  Alcotest.(check bool) "same spec, same rules" true (a = b)
+
+let test_table3_exact_shape () =
+  let agent = Agent.create () in
+  let stats = Agent.install_policy agent in
+  check Alcotest.int "tunnels" 291 stats.Ruleset.tunnels;
+  check Alcotest.int "VMs" 15 stats.Ruleset.vms;
+  check Alcotest.int "rules" 103_302 stats.Ruleset.rules;
+  check Alcotest.int "tables" 40 stats.Ruleset.tables_used;
+  check Alcotest.int "fields" 31 stats.Ruleset.fields_used
+
+let test_agent_status () =
+  let agent = Agent.create ~spec:small_spec () in
+  ignore (Agent.install_policy agent);
+  Agent.add_port agent ~name:"vif1" ~port_no:1 ();
+  let st = Agent.status agent in
+  check Alcotest.int "bridges" 2 st.Agent.bridges;
+  check Alcotest.int "ports" 1 st.Agent.ports;
+  Alcotest.(check bool) "vswitchd reconfigured on OVSDB changes" true
+    (st.Agent.reconfigurations > 0);
+  Alcotest.(check bool) "rules installed" true (st.Agent.rules > small_spec.Ruleset.target_rules)
+
+let test_pipeline_classifies_tunnel_traffic () =
+  let pipeline, _, _ = install small_spec in
+  (* a Geneve frame on the uplink must hit the tnl_pop rule *)
+  let inner = Ovs_packet.Build.udp () in
+  Ovs_packet.Tunnel.encap inner Ovs_packet.Tunnel.Geneve ~vni:3
+    ~src_mac:(Ovs_packet.Mac.of_index 91) ~dst_mac:(Ovs_packet.Mac.of_index 92)
+    ~src_ip:(Ovs_packet.Ipv4.addr_of_string "192.168.0.2")
+    ~dst_ip:(Ovs_packet.Ipv4.addr_of_string "192.168.0.1") ();
+  inner.Ovs_packet.Buffer.in_port <- small_spec.Ruleset.uplink_port;
+  let key = Ovs_packet.Flow_key.extract inner in
+  let r = Ovs_ofproto.Pipeline.translate pipeline key in
+  match r.Ovs_ofproto.Pipeline.odp_actions with
+  | [ Ovs_ofproto.Action.Odp_tnl_pop 4 ] -> ()
+  | acts -> Alcotest.failf "expected tnl_pop, got %d actions" (List.length acts)
+
+let test_pipeline_spoofguard () =
+  let pipeline, _, _ = install small_spec in
+  (* traffic from a VIF with the wrong source MAC must drop in table 2 *)
+  let pkt =
+    Ovs_packet.Build.udp ~src_mac:(Ovs_packet.Mac.of_index 999)
+      ~src_ip:(Ovs_packet.Ipv4.addr_of_string "1.2.3.4") ()
+  in
+  pkt.Ovs_packet.Buffer.in_port <- small_spec.Ruleset.first_vif_port;
+  let r = Ovs_ofproto.Pipeline.translate pipeline (Ovs_packet.Flow_key.extract pkt) in
+  let has_output =
+    List.exists
+      (function Ovs_ofproto.Action.Odp_output _ -> true | _ -> false)
+      r.Ovs_ofproto.Pipeline.odp_actions
+  in
+  Alcotest.(check bool) "spoofed source cannot leave" false has_output
+
+let test_pipeline_legit_vif_reaches_ct () =
+  let pipeline, _, _ = install small_spec in
+  let i = 0 in
+  let pkt =
+    Ovs_packet.Build.udp
+      ~src_mac:(Ovs_packet.Mac.of_index 100)
+      ~src_ip:(Ovs_packet.Ipv4.addr_of_string (Ruleset.vif_ip i))
+      ()
+  in
+  pkt.Ovs_packet.Buffer.in_port <- Ruleset.vif_port small_spec i;
+  let r = Ovs_ofproto.Pipeline.translate pipeline (Ovs_packet.Flow_key.extract pkt) in
+  let has_ct =
+    List.exists
+      (function Ovs_ofproto.Action.Odp_ct _ -> true | _ -> false)
+      r.Ovs_ofproto.Pipeline.odp_actions
+  in
+  Alcotest.(check bool) "legit traffic reaches conntrack" true has_ct
+
+let test_wire_install_equals_direct () =
+  (* the same policy installed through FLOW_MOD bytes must behave exactly
+     like the directly-installed one *)
+  let direct = Agent.create ~spec:small_spec () in
+  ignore (Agent.install_policy direct);
+  let wired = Agent.create ~spec:small_spec () in
+  let n, bytes = Agent.install_policy_via_wire wired in
+  check Alcotest.int "every rule crossed the wire" small_spec.Ruleset.target_rules n;
+  Alcotest.(check bool) "real bytes moved" true (bytes > 50 * n);
+  check Alcotest.int "same rule count"
+    (Ovs_ofproto.Pipeline.flow_count direct.Agent.integration.Agent.pipeline)
+    (Ovs_ofproto.Pipeline.flow_count wired.Agent.integration.Agent.pipeline);
+  (* same packet, same translation through both pipelines *)
+  let pkt =
+    Ovs_packet.Build.tcp
+      ~src_mac:(Ruleset.vif_mac 0)
+      ~src_ip:(Ovs_packet.Ipv4.addr_of_string (Ruleset.vif_ip 0))
+      ~dst_port:443 ()
+  in
+  pkt.Ovs_packet.Buffer.in_port <- Ruleset.vif_port small_spec 0;
+  let k = Ovs_packet.Flow_key.extract pkt in
+  let a = Ovs_ofproto.Pipeline.translate direct.Agent.integration.Agent.pipeline k in
+  let b = Ovs_ofproto.Pipeline.translate wired.Agent.integration.Agent.pipeline k in
+  Alcotest.(check bool) "identical datapath actions" true
+    (a.Ovs_ofproto.Pipeline.odp_actions = b.Ovs_ofproto.Pipeline.odp_actions)
+
+let test_maintenance_backports_grow () =
+  let years = Maintenance.figure1 in
+  let backports = List.map (fun e -> e.Maintenance.backports_loc) years in
+  let rec increasing = function
+    | a :: b :: rest -> a < b && increasing (b :: rest)
+    | _ -> true
+  in
+  Alcotest.(check bool) "backports grow every year" true (increasing backports);
+  (* by the end, backports dwarf new features *)
+  let last = List.nth years (List.length years - 1) in
+  Alcotest.(check bool) "backports dominate" true
+    (last.Maintenance.backports_loc > 3 * last.Maintenance.new_features_loc)
+
+let test_maintenance_model_tracks_growth () =
+  let predicted = Maintenance.predicted () in
+  List.iter2
+    (fun e (_, _, model) ->
+      let actual = float_of_int e.Maintenance.backports_loc in
+      let m = float_of_int model in
+      if m < actual /. 2.5 || m > actual *. 2.5 then
+        Alcotest.failf "model %d far from %d in %d" model e.Maintenance.backports_loc
+          e.Maintenance.year)
+    Maintenance.figure1 predicted
+
+let test_case_studies_amplification () =
+  Alcotest.(check bool) "ERSPAN: 50 lines became 5000" true
+    (Maintenance.erspan.Maintenance.backport_loc
+     >= 50 * Maintenance.erspan.Maintenance.upstream_loc);
+  Alcotest.(check bool) "conncount needed more commits than upstream work" true
+    (Maintenance.conncount.Maintenance.followup_commits > 0)
+
+let () =
+  Alcotest.run "ovs_nsx"
+    [
+      ( "ruleset",
+        [
+          Alcotest.test_case "target count and parse" `Quick test_generator_hits_target_count;
+          Alcotest.test_case "deterministic" `Quick test_generator_deterministic;
+          Alcotest.test_case "table 3 exact shape" `Slow test_table3_exact_shape;
+        ] );
+      ( "agent",
+        [
+          Alcotest.test_case "status" `Quick test_agent_status;
+          Alcotest.test_case "classifies tunnel traffic" `Quick
+            test_pipeline_classifies_tunnel_traffic;
+          Alcotest.test_case "spoof guard drops" `Quick test_pipeline_spoofguard;
+          Alcotest.test_case "legit VIF reaches conntrack" `Quick
+            test_pipeline_legit_vif_reaches_ct;
+          Alcotest.test_case "wire install equals direct" `Quick
+            test_wire_install_equals_direct;
+        ] );
+      ( "maintenance",
+        [
+          Alcotest.test_case "backports grow" `Quick test_maintenance_backports_grow;
+          Alcotest.test_case "burden model tracks data" `Quick
+            test_maintenance_model_tracks_growth;
+          Alcotest.test_case "case studies" `Quick test_case_studies_amplification;
+        ] );
+    ]

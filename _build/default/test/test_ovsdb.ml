@@ -1,0 +1,224 @@
+(* Tests for the OVSDB model: values, transactions, rollback, monitors,
+   and the ovs-vsctl layer. *)
+
+open Ovs_ovsdb
+
+let check = Alcotest.check
+
+let fresh () =
+  Value.reset_uuids ();
+  Db.create ()
+
+(* -- values -- *)
+
+let test_value_set_ops () =
+  let s = Value.empty_set in
+  let s = Value.set_add s (Value.Int 1) in
+  let s = Value.set_add s (Value.Int 2) in
+  let s = Value.set_add s (Value.Int 1) in
+  check Alcotest.int "no duplicates" 2 (List.length (Value.set_members s));
+  let s = Value.set_remove s (Value.Int 1) in
+  check Alcotest.int "removed" 1 (List.length (Value.set_members s))
+
+let test_value_map_ops () =
+  let m = Value.Map [] in
+  let m = Value.map_put m (Value.String "k") (Value.Int 1) in
+  let m = Value.map_put m (Value.String "k") (Value.Int 2) in
+  Alcotest.(check bool) "updated in place" true
+    (Value.map_get m (Value.String "k") = Some (Value.Int 2))
+
+let test_value_equality_set_order_insensitive () =
+  Alcotest.(check bool) "sets compare unordered" true
+    (Value.equal (Value.Set [ Value.Int 1; Value.Int 2 ])
+       (Value.Set [ Value.Int 2; Value.Int 1 ]))
+
+(* -- transactions -- *)
+
+let test_insert_defaults_and_select () =
+  let db = fresh () in
+  (match
+     Db.transact db
+       [ Db.Insert { op_table = "Bridge"; values = [ ("name", Value.string "br0") ];
+                     uuid_name = None } ]
+   with
+  | [ Db.Inserted _ ] -> ()
+  | _ -> Alcotest.fail "insert");
+  match Db.find_rows db ~table:"Bridge" ~where:[ Db.Eq ("name", Value.string "br0") ] with
+  | [ (_, cols) ] ->
+      (* unset columns get their schema defaults *)
+      Alcotest.(check bool) "ports defaults to empty set" true
+        (List.assoc_opt "ports" cols = Some Value.empty_set)
+  | _ -> Alcotest.fail "select"
+
+let test_insert_unknown_column_rejected () =
+  let db = fresh () in
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore
+         (Db.transact db
+            [ Db.Insert { op_table = "Bridge"; values = [ ("frobnicate", Value.int 1) ];
+                          uuid_name = None } ]);
+       false
+     with Db.Txn_error _ -> true)
+
+let test_update_and_mutate () =
+  let db = fresh () in
+  ignore
+    (Db.transact db
+       [ Db.Insert { op_table = "Interface"; values = [ ("name", Value.string "eth0") ];
+                     uuid_name = None } ]);
+  (match
+     Db.transact db
+       [ Db.Update { op_table = "Interface";
+                     where = [ Db.Eq ("name", Value.string "eth0") ];
+                     values = [ ("ofport", Value.int 7) ] } ]
+   with
+  | [ Db.Count 1 ] -> ()
+  | _ -> Alcotest.fail "update count");
+  match Db.find_rows db ~table:"Interface" ~where:[ Db.Eq ("ofport", Value.int 7) ] with
+  | [ _ ] -> ()
+  | _ -> Alcotest.fail "updated row findable"
+
+let test_atomic_rollback () =
+  let db = fresh () in
+  (* second op fails (mutate matches nothing): the insert must roll back *)
+  (try
+     ignore
+       (Db.transact db
+          [
+            Db.Insert { op_table = "Bridge"; values = [ ("name", Value.string "br0") ];
+                        uuid_name = None };
+            Db.Mutate { op_table = "Port";
+                        where = [ Db.Eq ("name", Value.string "nope") ];
+                        col = "interfaces"; mutator = `Insert (Value.Int 1) };
+          ])
+   with Db.Txn_error _ -> ());
+  check Alcotest.int "insert rolled back" 0 (Db.row_count db ~table:"Bridge")
+
+let test_named_uuid_linking () =
+  let db = fresh () in
+  ignore
+    (Db.transact db
+       [
+         Db.Insert { op_table = "Interface"; values = [ ("name", Value.string "e0") ];
+                     uuid_name = Some "if0" };
+         Db.Insert { op_table = "Port";
+                     values = [ ("name", Value.string "e0");
+                                ("interfaces", Value.Set [ Value.Uuid "@if0" ]) ];
+                     uuid_name = None };
+       ]);
+  match Db.find_rows db ~table:"Port" ~where:[ Db.True ] with
+  | [ (_, cols) ] -> begin
+      match List.assoc_opt "interfaces" cols with
+      | Some (Value.Set [ Value.Uuid u ]) ->
+          Alcotest.(check bool) "resolved to a real uuid" false (u.[0] = '@')
+      | _ -> Alcotest.fail "interfaces column"
+    end
+  | _ -> Alcotest.fail "port row"
+
+let test_delete_where () =
+  let db = fresh () in
+  ignore
+    (Db.transact db
+       [ Db.Insert { op_table = "Port"; values = [ ("name", Value.string "a") ]; uuid_name = None };
+         Db.Insert { op_table = "Port"; values = [ ("name", Value.string "b") ]; uuid_name = None } ]);
+  (match
+     Db.transact db
+       [ Db.Delete { op_table = "Port"; where = [ Db.Eq ("name", Value.string "a") ] } ]
+   with
+  | [ Db.Count 1 ] -> ()
+  | _ -> Alcotest.fail "delete count");
+  check Alcotest.int "one left" 1 (Db.row_count db ~table:"Port")
+
+let test_monitor_notifications () =
+  let db = fresh () in
+  let events = ref [] in
+  let unreg = Db.monitor db ~table:"Bridge" ~callback:(fun c -> events := c :: !events) in
+  ignore
+    (Db.transact db
+       [ Db.Insert { op_table = "Bridge"; values = [ ("name", Value.string "br0") ];
+                     uuid_name = None } ]);
+  check Alcotest.int "insert notified" 1 (List.length !events);
+  (* failed transactions notify nothing *)
+  (try
+     ignore
+       (Db.transact db
+          [ Db.Insert { op_table = "Bridge"; values = [ ("name", Value.string "br1") ];
+                        uuid_name = None };
+            Db.Insert { op_table = "Bridge"; values = [ ("bogus", Value.int 0) ];
+                        uuid_name = None } ])
+   with Db.Txn_error _ -> ());
+  check Alcotest.int "rollback suppressed notification" 1 (List.length !events);
+  unreg ();
+  ignore
+    (Db.transact db
+       [ Db.Insert { op_table = "Bridge"; values = [ ("name", Value.string "br2") ];
+                     uuid_name = None } ]);
+  check Alcotest.int "unregistered" 1 (List.length !events)
+
+(* -- vsctl -- *)
+
+let test_vsctl_bridge_and_ports () =
+  let db = fresh () in
+  ignore (Vsctl.add_br db "br-int");
+  ignore (Vsctl.add_port db ~bridge:"br-int" ~iface_type:"afxdp" "eth0");
+  ignore (Vsctl.add_port db ~bridge:"br-int" ~iface_type:"vhostuser" "vm1");
+  check (Alcotest.list Alcotest.string) "list-br" [ "br-int" ] (Vsctl.list_br db);
+  check (Alcotest.list Alcotest.string) "list-ports" [ "eth0"; "vm1" ]
+    (Vsctl.list_ports db ~bridge:"br-int");
+  Alcotest.(check bool) "interface type stored" true
+    (Vsctl.interface_type db "vm1" = Some "vhostuser");
+  Vsctl.del_port db ~bridge:"br-int" "eth0";
+  check (Alcotest.list Alcotest.string) "after del-port" [ "vm1" ]
+    (Vsctl.list_ports db ~bridge:"br-int")
+
+let test_vsctl_duplicate_rejected () =
+  let db = fresh () in
+  ignore (Vsctl.add_br db "br0");
+  Alcotest.(check bool) "duplicate bridge" true
+    (try ignore (Vsctl.add_br db "br0"); false with Vsctl.Error _ -> true);
+  ignore (Vsctl.add_port db ~bridge:"br0" "p0");
+  Alcotest.(check bool) "duplicate port" true
+    (try ignore (Vsctl.add_port db ~bridge:"br0" "p0"); false with Vsctl.Error _ -> true);
+  Alcotest.(check bool) "unknown bridge" true
+    (try ignore (Vsctl.add_port db ~bridge:"nope" "p1"); false with Vsctl.Error _ -> true)
+
+let test_vsctl_ofport_roundtrip () =
+  let db = fresh () in
+  ignore (Vsctl.add_br db "br0");
+  ignore (Vsctl.add_port db ~bridge:"br0" "p0");
+  Vsctl.set_interface_ofport db "p0" 12;
+  match Db.find_rows db ~table:"Interface" ~where:[ Db.Eq ("ofport", Value.int 12) ] with
+  | [ (_, cols) ] ->
+      Alcotest.(check bool) "right interface" true
+        (List.assoc_opt "name" cols = Some (Value.string "p0"))
+  | _ -> Alcotest.fail "ofport update"
+
+let () =
+  Alcotest.run "ovs_ovsdb"
+    [
+      ( "values",
+        [
+          Alcotest.test_case "set ops" `Quick test_value_set_ops;
+          Alcotest.test_case "map ops" `Quick test_value_map_ops;
+          Alcotest.test_case "set equality unordered" `Quick
+            test_value_equality_set_order_insensitive;
+        ] );
+      ( "transactions",
+        [
+          Alcotest.test_case "insert defaults + select" `Quick test_insert_defaults_and_select;
+          Alcotest.test_case "unknown column rejected" `Quick
+            test_insert_unknown_column_rejected;
+          Alcotest.test_case "update and mutate" `Quick test_update_and_mutate;
+          Alcotest.test_case "atomic rollback" `Quick test_atomic_rollback;
+          Alcotest.test_case "named uuids" `Quick test_named_uuid_linking;
+          Alcotest.test_case "delete where" `Quick test_delete_where;
+          Alcotest.test_case "monitors" `Quick test_monitor_notifications;
+        ] );
+      ( "vsctl",
+        [
+          Alcotest.test_case "bridges and ports" `Quick test_vsctl_bridge_and_ports;
+          Alcotest.test_case "duplicates rejected" `Quick test_vsctl_duplicate_rejected;
+          Alcotest.test_case "ofport roundtrip" `Quick test_vsctl_ofport_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,211 @@
+(* Tests for the Table 1 tooling model. *)
+
+module Tools = Ovs_tools.Tools
+module Netdev = Ovs_netdev.Netdev
+
+let check = Alcotest.check
+
+let is_ok = Tools.is_ok
+
+(* substring search helper *)
+let str_search hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i =
+    if i + nl > hl then raise Not_found
+    else if String.sub hay i nl = needle then i
+    else go (i + 1)
+  in
+  go 0
+
+let contains hay needle =
+  try ignore (str_search hay needle); true with Not_found -> false
+
+let test_matrix_shape () =
+  let m = Tools.compatibility_matrix () in
+  check Alcotest.int "eight commands" 8 (List.length m);
+  List.iter
+    (fun (cmd, kernel, afxdp, dpdk) ->
+      Alcotest.(check bool) (cmd ^ " works on kernel driver") true kernel;
+      Alcotest.(check bool) (cmd ^ " works with AF_XDP (the paper's point)") true afxdp;
+      Alcotest.(check bool) (cmd ^ " fails on DPDK") false dpdk)
+    m
+
+let test_ip_link_output () =
+  let d = Netdev.create ~name:"eno1" ~mac:(Ovs_packet.Mac.of_string "02:01:02:03:04:05") () in
+  match Tools.ip_link d with
+  | Tools.Ok_output s -> Alcotest.(check bool) "mentions device" true (contains s "eno1")
+  | Tools.Not_supported _ -> Alcotest.fail "should work"
+
+let test_ip_link_set_state () =
+  let d = Netdev.create ~name:"eno1" () in
+  ignore (Tools.ip_link_set d ~up:false);
+  Alcotest.(check bool) "down" false d.Netdev.up;
+  ignore (Tools.ip_link_set d ~up:true);
+  Alcotest.(check bool) "up" true d.Netdev.up
+
+let test_ip_address_assignment () =
+  let d = Netdev.create ~name:"eno1" () in
+  let addr = Ovs_packet.Ipv4.addr_of_string "10.1.2.3" in
+  ignore (Tools.ip_address_add d ~addr);
+  check Alcotest.int "assigned" addr d.Netdev.ip_addr;
+  match Tools.ip_address_show d with
+  | Tools.Ok_output s -> Alcotest.(check bool) "shows address" true
+      (contains s "10.1.2.3")
+  | Tools.Not_supported _ -> Alcotest.fail "should work"
+
+let test_dpdk_device_unusable () =
+  let d = Netdev.create ~name:"dpdk0" ~driver:Netdev.Dpdk_driver () in
+  (match Tools.ip_link d with
+  | Tools.Not_supported msg ->
+      Alcotest.(check bool) "error mentions userspace driver" true
+        (contains msg "userspace")
+  | Tools.Ok_output _ -> Alcotest.fail "dpdk device must be invisible");
+  match Tools.nstat d with
+  | Tools.Not_supported _ -> ()
+  | Tools.Ok_output _ -> Alcotest.fail "nstat must fail too"
+
+let test_route_longest_prefix_match () =
+  let r = Tools.Route.create () in
+  let ip = Ovs_packet.Ipv4.addr_of_string in
+  Tools.Route.add r ~prefix:(ip "10.0.0.0") ~prefix_len:8 ~via:(ip "1.1.1.1") ~dev:"a";
+  Tools.Route.add r ~prefix:(ip "10.1.0.0") ~prefix_len:16 ~via:(ip "2.2.2.2") ~dev:"b";
+  (match Tools.Route.lookup r (ip "10.1.5.5") with
+  | Some e -> check Alcotest.string "more specific wins" "b" e.Tools.Route.dev
+  | None -> Alcotest.fail "no route");
+  (match Tools.Route.lookup r (ip "10.9.9.9") with
+  | Some e -> check Alcotest.string "falls to /8" "a" e.Tools.Route.dev
+  | None -> Alcotest.fail "no route");
+  Alcotest.(check bool) "no match outside" true (Tools.Route.lookup r (ip "11.0.0.1") = None)
+
+let test_neigh_table () =
+  let n = Tools.Neigh.create () in
+  let ip = Ovs_packet.Ipv4.addr_of_string "10.0.0.9" in
+  Tools.Neigh.learn n ~ip ~mac:(Ovs_packet.Mac.of_index 9);
+  Alcotest.(check bool) "learned" true
+    (Tools.Neigh.lookup n ip = Some (Ovs_packet.Mac.of_index 9))
+
+let echo_responder (req : Ovs_packet.Buffer.t) =
+  match Ovs_packet.Ethernet.parse req with
+  | Some e when e.Ovs_packet.Ethernet.eth_type = Ovs_packet.Ethernet.Ethertype.arp -> begin
+      match Ovs_packet.Arp.parse req with
+      | Some a ->
+          Some
+            (Ovs_packet.Build.arp ~src_mac:(Ovs_packet.Mac.of_index 50)
+               ~dst_mac:a.Ovs_packet.Arp.sha ~op:Ovs_packet.Arp.Op.reply
+               ~spa:a.Ovs_packet.Arp.tpa ~tpa:a.Ovs_packet.Arp.spa ())
+      | None -> None
+    end
+  | Some _ -> begin
+      match Ovs_packet.Ipv4.parse req with
+      | Some ip ->
+          Some
+            (Ovs_packet.Build.icmp ~src_ip:ip.Ovs_packet.Ipv4.dst
+               ~dst_ip:ip.Ovs_packet.Ipv4.src
+               ~icmp_type:Ovs_packet.Icmp.Kind.echo_reply ())
+      | None -> None
+    end
+  | None -> None
+
+let test_ping_success_and_failure () =
+  let d = Netdev.create ~name:"eno1" () in
+  let src_ip = Ovs_packet.Ipv4.addr_of_string "10.0.0.1" in
+  let dst_ip = Ovs_packet.Ipv4.addr_of_string "10.0.0.2" in
+  (match Tools.ping d ~src_ip ~dst_ip ~responder:echo_responder with
+  | Tools.Ok_output s ->
+      Alcotest.(check bool) "reports reply" true (contains s "64 bytes from")
+  | Tools.Not_supported m -> Alcotest.failf "ping failed: %s" m);
+  match Tools.ping d ~src_ip ~dst_ip ~responder:(fun _ -> None) with
+  | Tools.Not_supported _ -> ()
+  | Tools.Ok_output _ -> Alcotest.fail "unreachable host must fail"
+
+let test_arping () =
+  let d = Netdev.create ~name:"eno1" () in
+  match
+    Tools.arping d
+      ~src_ip:(Ovs_packet.Ipv4.addr_of_string "10.0.0.1")
+      ~dst_ip:(Ovs_packet.Ipv4.addr_of_string "10.0.0.2")
+      ~responder:echo_responder
+  with
+  | Tools.Ok_output s ->
+      Alcotest.(check bool) "unicast reply" true (contains s "Unicast reply")
+  | Tools.Not_supported m -> Alcotest.failf "arping failed: %s" m
+
+let test_tcpdump_renders_queued_packets () =
+  let d = Netdev.create ~name:"eno1" () in
+  Netdev.enqueue_on d ~queue:0 (Ovs_packet.Build.udp ~src_port:1234 ());
+  match Tools.tcpdump d ~count:4 with
+  | Tools.Ok_output s ->
+      Alcotest.(check bool) "shows flow" true (contains s "udp")
+  | Tools.Not_supported m -> Alcotest.failf "tcpdump failed: %s" m
+
+let test_nstat_counts () =
+  let d = Netdev.create ~name:"eno1" () in
+  Netdev.enqueue_on d ~queue:0 (Ovs_packet.Build.udp ());
+  match Tools.nstat d with
+  | Tools.Ok_output s ->
+      Alcotest.(check bool) "rx counted" true (contains s "rx_packets 1")
+  | Tools.Not_supported m -> Alcotest.failf "nstat failed: %s" m
+
+let test_pcap_roundtrip () =
+  let p1 = Ovs_packet.Build.udp ~src_port:1 () in
+  let p2 = Ovs_packet.Build.tcp ~src_port:2 () in
+  let b = Ovs_tools.Pcap.write [ (1_000_000_000., p1); (2_000_000_000., p2) ] in
+  (* 24-byte global header, magic first *)
+  check Alcotest.int "magic" 0xA1B2C3D4
+    (Int32.to_int (Bytes.get_int32_be b 0) land 0xFFFFFFFF);
+  match Ovs_tools.Pcap.read b with
+  | [ (t1, d1); (t2, d2) ] ->
+      check (Alcotest.float 1e4) "timestamp 1" 1_000_000_000. t1;
+      check (Alcotest.float 1e4) "timestamp 2" 2_000_000_000. t2;
+      check Alcotest.bytes "frame 1" (Ovs_packet.Buffer.contents p1) d1;
+      check Alcotest.bytes "frame 2" (Ovs_packet.Buffer.contents p2) d2
+  | l -> Alcotest.failf "expected 2 records, got %d" (List.length l)
+
+let test_tcpdump_pcap_capture () =
+  let d = Netdev.create ~name:"cap0" () in
+  Netdev.enqueue_on d ~queue:0 (Ovs_packet.Build.udp ());
+  Netdev.enqueue_on d ~queue:0 (Ovs_packet.Build.udp ());
+  (match Tools.tcpdump_pcap d ~now:0. ~count:8 with
+  | Tools.Ok_output s ->
+      let records = Ovs_tools.Pcap.read (Bytes.of_string s) in
+      check Alcotest.int "both captured" 2 (List.length records);
+      (* captured frames parse as real packets *)
+      List.iter
+        (fun (_, frame) ->
+          let pkt = Ovs_packet.Buffer.of_bytes frame in
+          Alcotest.(check bool) "valid ethernet" true
+            (Ovs_packet.Ethernet.parse pkt <> None))
+        records
+  | Tools.Not_supported m -> Alcotest.failf "capture failed: %s" m);
+  let dpdk = Netdev.create ~name:"dpdk0" ~driver:Netdev.Dpdk_driver () in
+  match Tools.tcpdump_pcap dpdk ~now:0. ~count:8 with
+  | Tools.Not_supported _ -> ()
+  | Tools.Ok_output _ -> Alcotest.fail "dpdk capture must fail"
+
+let () =
+  ignore is_ok;
+  Alcotest.run "ovs_tools"
+    [
+      ( "table1",
+        [
+          Alcotest.test_case "compatibility matrix" `Quick test_matrix_shape;
+          Alcotest.test_case "dpdk device unusable" `Quick test_dpdk_device_unusable;
+        ] );
+      ( "commands",
+        [
+          Alcotest.test_case "ip link" `Quick test_ip_link_output;
+          Alcotest.test_case "ip link set" `Quick test_ip_link_set_state;
+          Alcotest.test_case "ip address" `Quick test_ip_address_assignment;
+          Alcotest.test_case "ip route LPM" `Quick test_route_longest_prefix_match;
+          Alcotest.test_case "ip neigh" `Quick test_neigh_table;
+          Alcotest.test_case "ping" `Quick test_ping_success_and_failure;
+          Alcotest.test_case "arping" `Quick test_arping;
+          Alcotest.test_case "tcpdump" `Quick test_tcpdump_renders_queued_packets;
+          Alcotest.test_case "nstat" `Quick test_nstat_counts;
+        ] );
+      ( "pcap",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_pcap_roundtrip;
+          Alcotest.test_case "tcpdump -w" `Quick test_tcpdump_pcap_capture;
+        ] );
+    ]
