@@ -1,0 +1,18 @@
+# Tier-1 verification in one command.
+.PHONY: all check build test bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+check: build test
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -47,7 +47,7 @@ let fig2 () =
   row "%-8s %10s %10s@." "datapath" "paper" "measured";
   List.iter
     (fun (name, kind) ->
-      let r = Scenario.run { Scenario.default_config with kind; gbps = 25. } in
+      let r = Scenario.run (Scenario.config ~kind ~gbps:25. ()) in
       let p = List.assoc name paper in
       row "%-8s %8.1f M %8.2f M@." name p r.Scenario.rate_mpps)
     kinds
@@ -71,10 +71,7 @@ let table2 () =
   row "%-18s %9s %9s@." "optimizations" "paper" "measured";
   List.iter2
     (fun (name, opts) p ->
-      let r =
-        Scenario.run
-          { Scenario.default_config with kind = Dpif.Afxdp opts; gbps = 25. }
-      in
+      let r = Scenario.run (Scenario.config ~kind:(Dpif.Afxdp opts) ~gbps:25. ()) in
       row "%-18s %7.1f M %7.2f M@." name p r.Scenario.rate_mpps)
     Dpif.afxdp_ladder paper
 
@@ -125,7 +122,7 @@ let fig9 () =
   List.iter
     (fun (name, kind, topology) ->
       let run n_flows =
-        Scenario.run { Scenario.default_config with kind; topology; n_flows; gbps = 25. }
+        Scenario.run (Scenario.config ~kind ~topology ~n_flows ~gbps:25. ())
       in
       let r1 = run 1 and rk = run 1000 in
       row "%-24s %7.2f M/%4.1fc %7.2f M/%4.1fc@." name r1.Scenario.rate_mpps
@@ -140,8 +137,7 @@ let table4 () =
   List.iter
     (fun (name, kind, topology) ->
       let r =
-        Scenario.run
-          { Scenario.default_config with kind; topology; n_flows = 1000; gbps = 25. }
+        Scenario.run (Scenario.config ~kind ~topology ~n_flows:1000 ~gbps:25. ())
       in
       let b = r.Scenario.cpu in
       row "%-24s %8.1f %8.1f %8.1f %8.1f %8.1f@." name b.Ovs_sim.Cpu.bd_system
@@ -234,8 +230,8 @@ let fig12 () =
             (fun q ->
               let r =
                 Scenario.run
-                  { Scenario.default_config with kind; queues = q; frame_len;
-                    n_flows = 512; gbps = 25. }
+                  (Scenario.config ~kind ~queues:q ~frame_len ~n_flows:512
+                     ~gbps:25. ())
               in
               let gbps =
                 r.Scenario.rate_mpps *. 1e6
@@ -261,7 +257,7 @@ let ablations () =
     (fun n_flows ->
       let rate cache =
         (Scenario.run
-           { Scenario.default_config with n_flows; cache; warmup = 3000; measure = 20_000 })
+           (Scenario.config ~n_flows ~cache ~warmup:3000 ~measure:20_000 ()))
           .Scenario.rate_mpps
       in
       row "%-12d %10.2f M %10.2f M %10.2f M %10.2f M@." n_flows
@@ -281,8 +277,7 @@ let ablations () =
       let opts = { Dpif.afxdp_default with Dpif.batch_size } in
       let r =
         Scenario.run
-          { Scenario.default_config with kind = Dpif.Afxdp opts; warmup = 3000;
-            measure = 20_000 }
+          (Scenario.config ~kind:(Dpif.Afxdp opts) ~warmup:3000 ~measure:20_000 ())
       in
       row "%-8d %10.2f M@." batch_size r.Scenario.rate_mpps)
     [ 1; 4; 16; 32; 128 ];
@@ -294,8 +289,7 @@ let ablations () =
       let opts = { Dpif.afxdp_default with Dpif.lock; csum_offload = false } in
       let r =
         Scenario.run
-          { Scenario.default_config with kind = Dpif.Afxdp opts; warmup = 3000;
-            measure = 20_000 }
+          (Scenario.config ~kind:(Dpif.Afxdp opts) ~warmup:3000 ~measure:20_000 ())
       in
       row "%-20s %10.2f M@." name r.Scenario.rate_mpps)
     [ ("mutex", Ovs_xsk.Umempool.Mutex); ("spinlock", Ovs_xsk.Umempool.Spinlock);
@@ -326,6 +320,39 @@ let ablations () =
         (Ovs_datapath.Rxq_sched.effective_scaling rr ~loads)
         (Ovs_datapath.Rxq_sched.effective_scaling cb ~loads))
     [ 2; 3 ]
+
+(* ------------------------------------------------------ PMD runtime demo *)
+
+(* The Sec 3.2 O1 story made explicit: shard rx queues over dedicated
+   poll-mode cores and read the per-PMD pmd-stats-show breakdown. *)
+let pmd_exp () =
+  section "PMD runtime: per-PMD stats and 1->4 core scaling (AF_XDP, 64B)";
+  let legacy = Scenario.run (Scenario.config ~gbps:25. ()) in
+  let parity = Scenario.run (Scenario.config ~gbps:25. ~n_pmds:1 ~n_rxqs:1 ()) in
+  row "single-queue parity: legacy loop %.2f Mpps | PMD runtime (1 pmd) %.2f Mpps@."
+    legacy.Scenario.rate_mpps parity.Scenario.rate_mpps;
+  row "@.%-8s %12s %10s@." "n_pmds" "aggregate" "per-core";
+  let rates =
+    List.map
+      (fun n_pmds ->
+        let r =
+          Scenario.run
+            (Scenario.config ~gbps:100. ~n_flows:512 ~n_pmds ~n_rxqs:4 ())
+        in
+        row "%-8d %10.2f M %8.2f M@." n_pmds r.Scenario.rate_mpps
+          (r.Scenario.rate_mpps /. float_of_int n_pmds);
+        (n_pmds, r))
+      [ 1; 2; 4 ]
+  in
+  List.iter
+    (fun (n_pmds, r) ->
+      row "@.--- dpif-netdev/pmd-stats-show (%d PMDs) ---@." n_pmds;
+      row "%s@." (Ovs_tools.Tools.pmd_stats_show r.Scenario.pmds);
+      row "--- dpif-netdev/pmd-rxq-show ---@.";
+      row "%s@." (Ovs_tools.Tools.pmd_rxq_show r.Scenario.pmds))
+    rates;
+  row "@.--- coverage/show ---@.";
+  row "%s@." (Ovs_tools.Tools.coverage_show ())
 
 (* -------------------------------------------------- Bechamel micro bench *)
 
@@ -390,7 +417,7 @@ let all = [
   ("fig1", fig1); ("fig2", fig2); ("table1", table1); ("table2", table2);
   ("table3", table3); ("fig8", fig8); ("fig9", fig9); ("table4", table4);
   ("fig10", fig10); ("fig11", fig11); ("table5", table5); ("fig12", fig12);
-  ("ablations", ablations);
+  ("pmd", pmd_exp); ("ablations", ablations);
 ]
 
 let () =

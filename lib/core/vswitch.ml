@@ -76,7 +76,7 @@ let port_number t name = List.assoc_opt name t.port_names
 let add_flows t lines =
   let n = Ovs_ofproto.Parser.install_flows t.pipeline lines in
   (* rule changes invalidate the installed megaflows *)
-  Ovs_datapath.Dp_core.flush_caches t.dp.Dpif.core;
+  Dpif.flush_caches t.dp;
   n
 
 let add_flow t line = ignore (add_flows t [ line ])
@@ -88,12 +88,12 @@ let del_flows t spec =
   let table, m = Ovs_ofproto.Parser.parse_match_spec spec in
   let removed = Ovs_ofproto.Pipeline.del_flows ?table t.pipeline m in
   if removed > 0 then
-    ignore (Ovs_datapath.Dp_core.revalidate t.dp.Dpif.core);
+    ignore (Dpif.revalidate t.dp);
   removed
 
 (** ovs-ofctl dump-flows / ovs-appctl dpctl/dump-flows. *)
 let dump_flows ?table t = Ovs_ofproto.Pipeline.dump_flows ?table t.pipeline
-let dump_megaflows t = Ovs_datapath.Dp_core.dump_megaflows t.dp.Dpif.core
+let dump_megaflows t = Dpif.dump_megaflows t.dp
 
 (** Connect a reactive controller: [controller]-action packets become
     PACKET_INs on the wire; the controller's FLOW_MODs are applied through
@@ -101,8 +101,7 @@ let dump_megaflows t = Ovs_datapath.Dp_core.dump_megaflows t.dp.Dpif.core
     its PACKET_OUTs are transmitted. The complete Fig 7 control loop. *)
 let connect_controller t (ctrl : Ovs_ofproto.Controller.t) =
   let conn = Ovs_ofproto.Ofconn.create ~pipeline:t.pipeline () in
-  t.dp.Dpif.core.Ovs_datapath.Dp_core.controller <-
-    Some
+  Dpif.set_controller t.dp
       (fun pkt ->
         let data = Ovs_packet.Buffer.contents pkt in
         let packet_in =
@@ -144,7 +143,7 @@ let connect_controller t (ctrl : Ovs_ofproto.Controller.t) =
            done
          with Ovs_ofproto.Ofp_codec.Decode_error _ -> ());
         if !flow_mods > 0 then
-          ignore (Ovs_datapath.Dp_core.revalidate t.dp.Dpif.core));
+          ignore (Dpif.revalidate t.dp));
   log t "controller connected"
 
 (** Configure a meter (the OpenFlow rate-limiting stand-in for kernel QoS,
@@ -152,12 +151,12 @@ let connect_controller t (ctrl : Ovs_ofproto.Controller.t) =
     enforced by the datapath's [meter:N] action. *)
 let set_meter t ?(burst = 64.) ~id ~rate_pps () =
   Hashtbl.replace t.meters id { rate_pps; hits = 0; drops = 0 };
-  Ovs_datapath.Dp_core.set_meter t.dp.Dpif.core ~id ~rate_pps ~burst
+  Dpif.set_meter t.dp ~id ~rate_pps ~burst
 
-let meter_stats t ~id = Ovs_datapath.Dp_core.meter_stats t.dp.Dpif.core ~id
+let meter_stats t ~id = Dpif.meter_stats t.dp ~id
 
 (** Advance the switch's virtual clock (meters refill in virtual time). *)
-let set_time t now = t.dp.Dpif.core.Ovs_datapath.Dp_core.now <- now
+let set_time t now = Dpif.set_time t.dp now
 
 (** Drive one poll iteration over a port's queue (see {!Dpif.poll}). *)
 let poll t ~softirq ~pmd ~port_no ~queue () =

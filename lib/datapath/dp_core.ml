@@ -17,6 +17,7 @@
 
 module FK = Ovs_packet.Flow_key
 module Action = Ovs_ofproto.Action
+module Coverage = Ovs_sim.Coverage
 
 type flavor = Flavor_userspace | Flavor_kernel | Flavor_kernel_ebpf
 
@@ -27,10 +28,21 @@ type counters = {
   mutable passes : int;  (** datapath lookups, incl. recirculations *)
   mutable upcalls : int;
   mutable emc_hits : int;
+  mutable smc_hits : int;
   mutable dpcls_hits : int;
   mutable dropped : int;
   mutable sent : int;
 }
+
+(* process-global coverage counters, COVERAGE_INC-style *)
+let cov_emc_hit = Coverage.counter "dpif_emc_hit"
+let cov_smc_hit = Coverage.counter "dpif_smc_hit"
+let cov_masked_hit = Coverage.counter "dpif_masked_hit"
+let cov_upcall = Coverage.counter "dpif_upcall"
+let cov_upcall_lost = Coverage.counter "dpif_upcall_lost"
+let cov_recirc = Coverage.counter "dpif_recirc"
+let cov_drop = Coverage.counter "datapath_drop"
+let cov_meter_drop = Coverage.counter "dpif_meter_drop"
 
 (** An OpenFlow meter: a token bucket refilled in virtual time. The
     userspace reimplementation of the kernel's policers the paper had to
@@ -64,6 +76,11 @@ type t = {
   meters : (int, meter) Hashtbl.t;
   mutable controller : (Ovs_packet.Buffer.t -> unit) option;
       (** where the [controller] action punts packets (PACKET_IN) *)
+  mutable upcall_hook : (Ovs_packet.Buffer.t -> FK.t -> bool) option;
+      (** When set, a full fast-path miss does not translate inline:
+          the hook enqueues the packet for a deferred slow-path pass
+          (the PMD runtime's bounded upcall queue). A [false] return
+          means the queue was full and the packet is lost. *)
 }
 
 let fresh_counters () =
@@ -72,6 +89,7 @@ let fresh_counters () =
     passes = 0;
     upcalls = 0;
     emc_hits = 0;
+    smc_hits = 0;
     dpcls_hits = 0;
     dropped = 0;
     sent = 0;
@@ -95,7 +113,33 @@ let create ~flavor ~costs ~pipeline () =
     csum_offload = true;
     meters = Hashtbl.create 8;
     controller = None;
+    upcall_hook = None;
   }
+
+(* -- accessors over the sealed record -- *)
+
+let conntrack t = t.conntrack
+let counters t = t.counters
+let csum_offload t = t.csum_offload
+let set_csum_offload t v = t.csum_offload <- v
+let set_emc_enabled t v = t.emc_enabled <- v
+let set_smc_enabled t v = t.smc_enabled <- v
+let set_output t f = t.output <- f
+let set_controller t f = t.controller <- Some f
+let set_now t now = t.now <- now
+let now t = t.now
+let set_upcall_hook t h = t.upcall_hook <- h
+
+let reset_counters t =
+  let c = t.counters in
+  c.packets <- 0;
+  c.passes <- 0;
+  c.upcalls <- 0;
+  c.emc_hits <- 0;
+  c.smc_hits <- 0;
+  c.dpcls_hits <- 0;
+  c.dropped <- 0;
+  c.sent <- 0
 
 (** Configure a token-bucket meter (the [meter:N] action's target). *)
 let set_meter t ~id ~rate_pps ~burst =
@@ -122,6 +166,7 @@ let meter_admits t id =
       end
       else begin
         m.m_dropped <- m.m_dropped + 1;
+        Coverage.incr cov_meter_drop;
         false
       end
 
@@ -151,10 +196,11 @@ let extract_cost t =
       c.Ovs_sim.Costs.xdp_prog_overhead
       +. (60. *. c.Ovs_sim.Costs.ebpf_insn)
 
-(** Look up the cached actions for [key], charging the flavor's costs.
-    Falls back to the slow path (ofproto translation) on a full miss and
-    installs the resulting megaflow. *)
-let lookup t (charge : charge_fn) (key : FK.t) : Action.odp list =
+(** Look up the cached actions for [key] in the fast-path tiers only
+    (EMC → SMC → dpcls), charging the flavor's costs. [None] is a full
+    miss: every tier has been probed and charged, and the packet needs
+    the slow path. *)
+let lookup_cached t (charge : charge_fn) (key : FK.t) : Action.odp list option =
   let c = t.costs in
   let cat = fastpath_category t in
   t.counters.passes <- t.counters.passes + 1;
@@ -165,6 +211,7 @@ let lookup t (charge : charge_fn) (key : FK.t) : Action.odp list =
         | Some actions ->
             charge cat (c.Ovs_sim.Costs.emc_hit +. cold_penalty t);
             t.counters.emc_hits <- t.counters.emc_hits + 1;
+            Coverage.incr cov_emc_hit;
             Some actions
         | None ->
             charge cat c.Ovs_sim.Costs.emc_miss_probe;
@@ -184,6 +231,8 @@ let lookup t (charge : charge_fn) (key : FK.t) : Action.odp list =
                 charge cat
                   (c.Ovs_sim.Costs.emc_hit +. c.Ovs_sim.Costs.emc_miss_probe
                   +. cold_penalty t);
+                t.counters.smc_hits <- t.counters.smc_hits + 1;
+                Coverage.incr cov_smc_hit;
                 Some actions
             | None ->
                 charge cat c.Ovs_sim.Costs.emc_miss_probe;
@@ -193,7 +242,7 @@ let lookup t (charge : charge_fn) (key : FK.t) : Action.odp list =
       end
   in
   match (emc_result, smc_result) with
-  | Some actions, _ | None, Some actions -> actions
+  | Some actions, _ | None, Some actions -> Some actions
   | None, None -> begin
       let per_probe =
         (match t.flavor with
@@ -208,6 +257,7 @@ let lookup t (charge : charge_fn) (key : FK.t) : Action.odp list =
       | Some (actions, probes, mf_mask) ->
           charge cat (float_of_int probes *. per_probe);
           t.counters.dpcls_hits <- t.counters.dpcls_hits + 1;
+          Coverage.incr cov_masked_hit;
           (match t.emc with
           | Some emc when t.emc_enabled -> Ovs_flow.Emc.insert emc key actions
           | Some _ | None -> ());
@@ -215,38 +265,43 @@ let lookup t (charge : charge_fn) (key : FK.t) : Action.odp list =
           | Some smc when t.smc_enabled ->
               Ovs_flow.Smc.insert smc key ~mask:mf_mask actions
           | Some _ | None -> ());
-          actions
+          Some actions
       | None ->
-          let probes =
-            Int.max 1 (Ovs_flow.Dpcls.subtable_count t.dpcls)
-          in
+          let probes = Int.max 1 (Ovs_flow.Dpcls.subtable_count t.dpcls) in
           charge cat (float_of_int probes *. per_probe);
-          (* slow path: upcall into ovs-vswitchd / ofproto translation *)
-          t.counters.upcalls <- t.counters.upcalls + 1;
-          let upcall_cost =
-            match t.flavor with
-            | Flavor_userspace -> c.Ovs_sim.Costs.upcall
-            | Flavor_kernel | Flavor_kernel_ebpf -> c.Ovs_sim.Costs.netlink_upcall
-          in
-          let result = Ovs_ofproto.Pipeline.translate t.pipeline key in
-          charge Ovs_sim.Cpu.User
-            (upcall_cost
-            +. (float_of_int result.Ovs_ofproto.Pipeline.tables_visited
-               *. c.Ovs_sim.Costs.ofproto_table_lookup));
-          let actions = result.Ovs_ofproto.Pipeline.odp_actions in
-          Ovs_flow.Dpcls.insert t.dpcls
-            ~mask:result.Ovs_ofproto.Pipeline.megaflow_mask ~key actions;
-          charge cat c.Ovs_sim.Costs.megaflow_insert;
-          (match t.emc with
-          | Some emc when t.emc_enabled -> Ovs_flow.Emc.insert emc key actions
-          | Some _ | None -> ());
-          (match t.smc with
-          | Some smc when t.smc_enabled ->
-              Ovs_flow.Smc.insert smc key
-                ~mask:result.Ovs_ofproto.Pipeline.megaflow_mask actions
-          | Some _ | None -> ());
-          actions
+          None
     end
+
+(** The slow path: upcall into ovs-vswitchd / ofproto translation, and
+    install the resulting megaflow (plus microflow-cache entries). *)
+let slowpath t (charge : charge_fn) (key : FK.t) : Action.odp list =
+  let c = t.costs in
+  let cat = fastpath_category t in
+  t.counters.upcalls <- t.counters.upcalls + 1;
+  Coverage.incr cov_upcall;
+  let upcall_cost =
+    match t.flavor with
+    | Flavor_userspace -> c.Ovs_sim.Costs.upcall
+    | Flavor_kernel | Flavor_kernel_ebpf -> c.Ovs_sim.Costs.netlink_upcall
+  in
+  let result = Ovs_ofproto.Pipeline.translate t.pipeline key in
+  charge Ovs_sim.Cpu.User
+    (upcall_cost
+    +. (float_of_int result.Ovs_ofproto.Pipeline.tables_visited
+       *. c.Ovs_sim.Costs.ofproto_table_lookup));
+  let actions = result.Ovs_ofproto.Pipeline.odp_actions in
+  Ovs_flow.Dpcls.insert t.dpcls
+    ~mask:result.Ovs_ofproto.Pipeline.megaflow_mask ~key actions;
+  charge cat c.Ovs_sim.Costs.megaflow_insert;
+  (match t.emc with
+  | Some emc when t.emc_enabled -> Ovs_flow.Emc.insert emc key actions
+  | Some _ | None -> ());
+  (match t.smc with
+  | Some smc when t.smc_enabled ->
+      Ovs_flow.Smc.insert smc key
+        ~mask:result.Ovs_ofproto.Pipeline.megaflow_mask actions
+  | Some _ | None -> ());
+  actions
 
 (** Execute datapath actions over the packet, recirculating as needed.
     This is odp-execute: real byte rewrites, real tunnel push/pop, real
@@ -276,6 +331,7 @@ let rec execute t (charge : charge_fn) (pkt : Ovs_packet.Buffer.t) (key : FK.t)
           go rest
       | Action.Odp_drop ->
           t.counters.dropped <- t.counters.dropped + 1;
+          Coverage.incr cov_drop;
           go rest
       | Action.Odp_set (f, v) ->
           let need = Set_field.apply pkt key f v in
@@ -368,17 +424,69 @@ let rec execute t (charge : charge_fn) (pkt : Ovs_packet.Buffer.t) (key : FK.t)
     run another datapath pass — this is why the NSX pipeline costs three
     lookups per packet (Sec 5.1). *)
 and recirculate t charge pkt =
+  Coverage.incr cov_recirc;
+  do_pass t charge pkt
+
+(** One datapath pass: extract, look up, execute — deferring to the upcall
+    hook (when installed) on a full miss instead of translating inline. *)
+and do_pass t (charge : charge_fn) (pkt : Ovs_packet.Buffer.t) =
   charge (fastpath_category t) (extract_cost t);
   let key = FK.extract pkt in
-  let actions = lookup t charge key in
-  execute t charge pkt key actions
+  match lookup_cached t charge key with
+  | Some actions -> execute t charge pkt key actions
+  | None -> begin
+      match t.upcall_hook with
+      | Some hook ->
+          if not (hook pkt key) then begin
+            (* bounded upcall queue overflow: the packet is lost, exactly
+               like the kernel datapath's "lost" netlink upcalls *)
+            t.counters.dropped <- t.counters.dropped + 1;
+            Coverage.incr cov_upcall_lost
+          end
+      | None ->
+          let actions = slowpath t charge key in
+          execute t charge pkt key actions
+    end
 
 (** Full per-packet fast path: extract, look up, execute. *)
 let process t (charge : charge_fn) (pkt : Ovs_packet.Buffer.t) =
   t.counters.packets <- t.counters.packets + 1;
-  charge (fastpath_category t) (extract_cost t);
-  let key = FK.extract pkt in
-  let actions = lookup t charge key in
+  do_pass t charge pkt
+
+(** Run one deferred upcall to completion: translate, install the megaflow,
+    and execute the resulting actions over the queued packet. This is what
+    drains a PMD's bounded upcall queue into the shared slow path. *)
+let handle_upcall t (charge : charge_fn) (pkt : Ovs_packet.Buffer.t) (key : FK.t) =
+  let actions =
+    (* another queued upcall of the same flow may have installed the
+       megaflow already; re-probing first mirrors dpif-netdev's
+       handle_packet_upcall re-lookup — and a re-probe hit counts as a
+       megaflow hit like any other, keeping hits + misses = packets *)
+    match Ovs_flow.Dpcls.lookup_full t.dpcls key with
+    | Some (actions, probes, mf_mask) ->
+        let cat = fastpath_category t in
+        let per_probe =
+          (match t.flavor with
+          | Flavor_userspace -> t.costs.Ovs_sim.Costs.dpcls_subtable
+          | Flavor_kernel -> t.costs.Ovs_sim.Costs.kmod_flow_lookup
+          | Flavor_kernel_ebpf ->
+              t.costs.Ovs_sim.Costs.ebpf_map_lookup
+              +. (12. *. t.costs.Ovs_sim.Costs.ebpf_insn))
+          +. cold_penalty t
+        in
+        charge cat (float_of_int probes *. per_probe);
+        t.counters.dpcls_hits <- t.counters.dpcls_hits + 1;
+        Coverage.incr cov_masked_hit;
+        (match t.emc with
+        | Some emc when t.emc_enabled -> Ovs_flow.Emc.insert emc key actions
+        | Some _ | None -> ());
+        (match t.smc with
+        | Some smc when t.smc_enabled ->
+            Ovs_flow.Smc.insert smc key ~mask:mf_mask actions
+        | Some _ | None -> ());
+        actions
+    | None -> slowpath t charge key
+  in
   execute t charge pkt key actions
 
 (** Drop all cached flows (OpenFlow rule changes invalidate megaflows). *)

@@ -1,0 +1,111 @@
+(** The datapath core shared by every flavor: the cache hierarchy
+    (EMC → SMC → dpcls), the slow-path upcall into ofproto translation,
+    and datapath-action execution with recirculation.
+
+    Flavors differ in which caches exist, what each step costs, and which
+    CPU-time category the work lands in — see the implementation notes in
+    [dp_core.ml]. Internals (the caches themselves, the meter table, the
+    bound output function) are sealed behind this signature; callers go
+    through the accessors below. *)
+
+module FK = Ovs_packet.Flow_key
+module Action = Ovs_ofproto.Action
+
+type flavor =
+  | Flavor_userspace  (** dpif-netdev: DPDK and AF_XDP, [User] time *)
+  | Flavor_kernel  (** the kernel module, [Softirq] time *)
+  | Flavor_kernel_ebpf  (** the Sec 2.2.2 interpreted-eBPF prototype *)
+
+(** How work is billed: a CPU-time category and a duration in virtual ns. *)
+type charge_fn = Ovs_sim.Cpu.category -> Ovs_sim.Time.ns -> unit
+
+(** Aggregate datapath counters. The record is deliberately public (all
+    consumers read them; the PMD runtime snapshots them around each poll
+    to attribute deltas per core) — use {!reset_counters} to zero. *)
+type counters = {
+  mutable packets : int;
+  mutable passes : int;  (** datapath lookups, incl. recirculations *)
+  mutable upcalls : int;
+  mutable emc_hits : int;
+  mutable smc_hits : int;
+  mutable dpcls_hits : int;
+  mutable dropped : int;
+  mutable sent : int;
+}
+
+type t
+
+val create :
+  flavor:flavor -> costs:Ovs_sim.Costs.t -> pipeline:Ovs_ofproto.Pipeline.t -> unit -> t
+
+(** {1 Accessors} *)
+
+val conntrack : t -> Ovs_conntrack.Conntrack.t
+val counters : t -> counters
+val reset_counters : t -> unit
+
+(** The CPU category fast-path work lands in for this flavor. *)
+val fastpath_category : t -> Ovs_sim.Cpu.category
+
+val csum_offload : t -> bool
+
+(** Whether the NIC absorbs software checksum refreshes (Sec 5.5). *)
+val set_csum_offload : t -> bool -> unit
+
+(** Ablation switches for the microflow caches (Table 2 ladder). *)
+val set_emc_enabled : t -> bool -> unit
+
+val set_smc_enabled : t -> bool -> unit
+
+(** Bind where executed [output:N] actions deliver packets — set once by
+    the enclosing datapath when ports exist. *)
+val set_output : t -> (charge_fn -> int -> Ovs_packet.Buffer.t -> unit) -> unit
+
+(** Where the [controller] action punts packets (PACKET_IN). *)
+val set_controller : t -> (Ovs_packet.Buffer.t -> unit) -> unit
+
+(** Advance the core's virtual clock (meters and conntrack read it). *)
+val set_now : t -> Ovs_sim.Time.ns -> unit
+
+val now : t -> Ovs_sim.Time.ns
+
+(** {1 The deferred slow path (PMD upcall queues)} *)
+
+(** When a hook is installed, a full fast-path miss does not translate
+    inline: the hook enqueues the packet for a deferred slow-path pass.
+    A [false] return means the queue was full — the packet is counted
+    [dropped] and the [dpif_upcall_lost] coverage counter fires. *)
+val set_upcall_hook : t -> (Ovs_packet.Buffer.t -> FK.t -> bool) option -> unit
+
+(** Run one deferred upcall to completion: re-probe the megaflow table
+    (another queued upcall of the same flow may have installed it),
+    translate + install on a true miss, then execute over the queued
+    packet. This is what drains a PMD's bounded upcall queue. *)
+val handle_upcall : t -> charge_fn -> Ovs_packet.Buffer.t -> FK.t -> unit
+
+(** {1 Meters} *)
+
+(** Configure a token-bucket meter (the [meter:N] action's target). *)
+val set_meter : t -> id:int -> rate_pps:float -> burst:float -> unit
+
+(** [(passed, dropped)] for the meter, if configured. *)
+val meter_stats : t -> id:int -> (int * int) option
+
+(** {1 Per-packet processing} *)
+
+(** Full per-packet fast path: extract, look up, execute (or defer to the
+    upcall hook on a full miss). *)
+val process : t -> charge_fn -> Ovs_packet.Buffer.t -> unit
+
+(** {1 Flow-table management} *)
+
+(** Drop all cached flows (OpenFlow rule changes invalidate megaflows). *)
+val flush_caches : t -> unit
+
+(** Render the installed megaflows in dpctl/dump-flows style. *)
+val dump_megaflows : t -> string list
+
+(** Re-translate every installed megaflow against the current OpenFlow
+    tables and evict stale entries, like OVS's revalidator threads.
+    Returns the number of megaflows evicted. *)
+val revalidate : t -> int

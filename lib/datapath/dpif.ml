@@ -100,7 +100,7 @@ let afxdp_opts t =
 let create ?(costs = Costs.default) ~kind ~pipeline () =
   let core = Dp_core.create ~flavor:(flavor_of_kind kind) ~costs ~pipeline () in
   let opts = match kind with Afxdp o -> o | _ -> afxdp_default in
-  core.Dp_core.csum_offload <-
+  Dp_core.set_csum_offload core
     (match kind with
     | Afxdp o -> o.csum_offload
     | Dpdk | Kernel | Kernel_ebpf -> true);
@@ -118,8 +118,8 @@ let create ?(costs = Costs.default) ~kind ~pipeline () =
   }
 
 let port t no = List.find_opt (fun p -> p.port_no = no) t.ports
-let conntrack t = t.core.Dp_core.conntrack
-let counters t = t.core.Dp_core.counters
+let conntrack t = Dp_core.conntrack t.core
+let counters t = Dp_core.counters t.core
 
 (* -- transmit paths (bound into the core's output hook) -- *)
 
@@ -194,7 +194,7 @@ let tx_cost t (charge : Dp_core.charge_fn) (p : port) (pkt : Ovs_packet.Buffer.t
     end
 
 let bind_output t =
-  t.core.Dp_core.output <-
+  Dp_core.set_output t.core
     (fun charge port_no pkt ->
       match port t port_no with
       | None -> ()
@@ -281,7 +281,7 @@ let userspace_rx_prep t (charge : Dp_core.charge_fn) pkt ~need_rxhash =
     end
   end;
   (* software checksum validation when the NIC's hint is unavailable *)
-  if not t.core.Dp_core.csum_offload then
+  if not (Dp_core.csum_offload t.core) then
     charge Cpu.User (Costs.csum c ~bytes:(Ovs_packet.Buffer.length pkt))
 
 (** Poll one port's queue and run every dequeued packet through the
@@ -466,11 +466,36 @@ let set_xdp_program t ~port_no prog =
     phases (caches and conntrack state are preserved — warm start). *)
 let reset_measurement t =
   t.serialized_tx <- 0.;
-  let c = t.core.Dp_core.counters in
-  c.Dp_core.packets <- 0;
-  c.Dp_core.passes <- 0;
-  c.Dp_core.upcalls <- 0;
-  c.Dp_core.emc_hits <- 0;
-  c.Dp_core.dpcls_hits <- 0;
-  c.Dp_core.dropped <- 0;
-  c.Dp_core.sent <- 0
+  Dp_core.reset_counters t.core
+
+(* -- the stable command/accessor surface over the sealed record -- *)
+
+let kind t = t.kind
+let costs t = t.costs
+let ports t = List.rev t.ports  (* in add order *)
+let stats = counters
+let serialized_tx t = t.serialized_tx
+let active_queues t = t.active_queues
+
+(** Per-queue XSK sockets of an AF_XDP physical port (for the PMD runtime
+    to claim ring ownership), or [None] for other attachments. *)
+let xsks t ~port_no =
+  match port t port_no with
+  | Some { attach = At_phy_xsk { xsks; _ }; _ } -> Some xsks
+  | Some _ | None -> None
+
+let set_emc_enabled t v = Dp_core.set_emc_enabled t.core v
+let set_smc_enabled t v = Dp_core.set_smc_enabled t.core v
+let flush_caches t = Dp_core.flush_caches t.core
+let revalidate t = Dp_core.revalidate t.core
+let dump_megaflows t = Dp_core.dump_megaflows t.core
+let set_meter t ~id ~rate_pps ~burst = Dp_core.set_meter t.core ~id ~rate_pps ~burst
+let meter_stats t ~id = Dp_core.meter_stats t.core ~id
+let set_controller t f = Dp_core.set_controller t.core f
+let set_time t now = Dp_core.set_now t.core now
+let set_upcall_hook t h = Dp_core.set_upcall_hook t.core h
+let handle_upcall t charge pkt key = Dp_core.handle_upcall t.core charge pkt key
+let fastpath_category t = Dp_core.fastpath_category t.core
+
+(** [set_xdp_program] under its appctl-flavored name. *)
+let replace_xdp_prog = set_xdp_program

@@ -6,7 +6,11 @@
     switch. The engine moves real packets through real caches and rings,
     charging calibrated virtual time to the supplied execution contexts;
     experiments read throughput as packets over the bottleneck context's
-    busy time and CPU usage from the context breakdown. *)
+    busy time and CPU usage from the context breakdown.
+
+    [t] is abstract: consumers ([Vswitch], [Scenario], the PMD runtime,
+    tests) go through the accessor and command functions below rather
+    than reaching into datapath state. *)
 
 type afxdp_opts = {
   pmd_threads : bool;  (** O1: dedicated poll-mode threads *)
@@ -42,19 +46,7 @@ type attach =
 
 type port = { dev : Ovs_netdev.Netdev.t; attach : attach; port_no : int }
 
-type t = {
-  kind : kind;
-  costs : Ovs_sim.Costs.t;
-  core : Dp_core.t;
-  mutable ports : port list;
-  mutable next_port : int;
-  mutable serialized_tx : Ovs_sim.Time.ns;
-      (** kernel tx-queue critical-section accumulation: a rate floor the
-          harness applies to the wall time in multiqueue runs *)
-  mutable active_queues : int;
-  metadata_pool : Ovs_xsk.Dp_packet_pool.t;
-  vm : Ovs_ebpf.Vm.t;
-}
+type t
 
 val create :
   ?costs:Ovs_sim.Costs.t -> kind:kind -> pipeline:Ovs_ofproto.Pipeline.t -> unit -> t
@@ -64,9 +56,40 @@ val add_port : ?queues_override:int option -> t -> Ovs_netdev.Netdev.t -> int
     flavor; AF_XDP physical ports get a umem, per-queue XSKs and the
     default redirect program). Returns the port number. *)
 
+(** {1 Read accessors} *)
+
+val kind : t -> kind
+val costs : t -> Ovs_sim.Costs.t
+
+val afxdp_opts : t -> afxdp_opts
+(** The AF_XDP option block ([afxdp_default] for other kinds). *)
+
 val port : t -> int -> port option
+
+val ports : t -> port list
+(** All ports, in add order. *)
+
+val xsks : t -> port_no:int -> Ovs_xsk.Xsk.t array option
+(** Per-queue XSK sockets of an AF_XDP physical port (for the PMD runtime
+    to claim ring ownership), or [None] for other attachments. *)
+
 val conntrack : t -> Ovs_conntrack.Conntrack.t
+
 val counters : t -> Dp_core.counters
+
+val stats : t -> Dp_core.counters
+(** Alias of {!counters}, the appctl-flavored name. *)
+
+val serialized_tx : t -> Ovs_sim.Time.ns
+(** Accumulated kernel tx-queue critical-section time: a rate floor the
+    harness applies to the wall time in multiqueue runs. *)
+
+val active_queues : t -> int
+
+val fastpath_category : t -> Ovs_sim.Cpu.category
+(** The CPU category fast-path work lands in for this datapath's flavor. *)
+
+(** {1 Polling} *)
 
 val poll :
   t ->
@@ -81,6 +104,8 @@ val poll :
     datapath: kernel-side work (driver, XDP, XSK delivery) charges
     [softirq]; userspace work charges [pmd]. Returns packets seen. *)
 
+(** {1 Commands} *)
+
 val set_active_queues : t -> int -> unit
 (** How many receive queues carry traffic (drives the kernel's multiqueue
     contention model). *)
@@ -89,6 +114,45 @@ val set_xdp_program : t -> port_no:int -> Ovs_ebpf.Xdp.t -> unit
 (** Swap the XDP program on an AF_XDP physical port without restarting
     OVS (Secs 3.4/3.5). *)
 
+val replace_xdp_prog : t -> port_no:int -> Ovs_ebpf.Xdp.t -> unit
+(** Alias of {!set_xdp_program}, the appctl-flavored name. *)
+
+val set_emc_enabled : t -> bool -> unit
+val set_smc_enabled : t -> bool -> unit
+(** Ablation switches for the microflow caches (Table 2 ladder). *)
+
+val flush_caches : t -> unit
+(** Drop all cached flows (OpenFlow rule changes invalidate megaflows). *)
+
+val revalidate : t -> int
+(** Re-translate installed megaflows and evict stale entries; returns the
+    number evicted. *)
+
+val dump_megaflows : t -> string list
+(** The installed megaflows in dpctl/dump-flows style. *)
+
+val set_meter : t -> id:int -> rate_pps:float -> burst:float -> unit
+val meter_stats : t -> id:int -> (int * int) option
+
+val set_controller : t -> (Ovs_packet.Buffer.t -> unit) -> unit
+(** Where the [controller] action punts packets (PACKET_IN). *)
+
+val set_time : t -> Ovs_sim.Time.ns -> unit
+(** Advance the datapath's virtual clock (meters, conntrack). *)
+
 val reset_measurement : t -> unit
 (** Zero the counters and serialized-time accumulators between a warmup
     and a measurement phase (caches stay warm). *)
+
+(** {1 Deferred upcalls (PMD runtime)} *)
+
+val set_upcall_hook :
+  t -> (Ovs_packet.Buffer.t -> Ovs_packet.Flow_key.t -> bool) option -> unit
+(** Install (or clear) the miss hook: when set, a full fast-path miss
+    enqueues instead of translating inline; [false] means the bounded
+    queue was full and the packet is lost. *)
+
+val handle_upcall :
+  t -> Dp_core.charge_fn -> Ovs_packet.Buffer.t -> Ovs_packet.Flow_key.t -> unit
+(** Drain one deferred upcall: translate + install the megaflow (unless a
+    sibling upcall already did) and execute over the queued packet. *)

@@ -1,0 +1,100 @@
+(** The poll-mode runtime: dedicated PMD threads (Sec 3.2, O1).
+
+    Shards one port's receive queues across N simulated PMD cores using
+    {!Rxq_sched} assignments. Each PMD is its own {!Ovs_sim.Cpu.ctx} with
+    batched polling (batch size from the datapath's [afxdp_opts]) and a
+    bounded upcall queue draining into the shared slow path on the PMD's
+    own core — so total charged work matches the single-context path and
+    [n_pmds = 1] reproduces its rates. Per-PMD counters mirror
+    [dpif-netdev/pmd-stats-show]; {!assignment} is pmd-rxq-show. *)
+
+(** One receive queue as a PMD sees it. *)
+type rxq = {
+  rxq_port : int;
+  rxq_queue : int;
+  mutable rxq_cycles : Ovs_sim.Time.ns;  (** busy time spent on this rxq *)
+  mutable rxq_packets : int;
+}
+
+(** pmd-stats-show counters. [miss] reached the slow path; [lost] is an
+    upcall the bounded queue had no room for (packet dropped). *)
+type stats = {
+  mutable rx_packets : int;
+  mutable emc_hits : int;
+  mutable smc_hits : int;
+  mutable megaflow_hits : int;
+  mutable miss : int;
+  mutable lost : int;
+  mutable polls : int;
+  mutable idle_polls : int;  (** polls that dequeued nothing *)
+}
+
+type pmd
+type t
+
+val create :
+  ?upcall_capacity:int ->
+  dp:Dpif.t ->
+  machine:Ovs_sim.Cpu.t ->
+  softirq:Ovs_sim.Cpu.ctx array ->
+  port_no:int ->
+  n_rxqs:int ->
+  n_pmds:int ->
+  unit ->
+  t
+(** Build a runtime polling [n_rxqs] queues of [port_no], sharded
+    round-robin over [n_pmds] fresh PMD contexts created on [machine].
+    [softirq.(q)] is the kernel-side context for queue [q].
+    [upcall_capacity] (default 512) bounds each PMD's upcall queue. On
+    AF_XDP ports each queue's XSK is claimed for its owning PMD
+    (single-producer/single-consumer rings). *)
+
+(** {1 Polling} *)
+
+val poll_rxq : t -> pmd -> rxq -> int
+(** One burst from one rxq through the datapath, then drain the PMD's
+    upcall queue. Returns packets dequeued. *)
+
+val poll_all : t -> int
+(** One main-loop iteration for every PMD (each polls each of its rxqs
+    once). Returns total packets dequeued. *)
+
+(** {1 Introspection} *)
+
+val n_pmds : t -> int
+val pmds : t -> pmd list
+val pmd_id : pmd -> int
+val pmd_ctx : pmd -> Ovs_sim.Cpu.ctx
+val stats_of : pmd -> stats
+
+val ctxs : t -> Ovs_sim.Cpu.ctx list
+(** The PMD cores, for poll-floor accounting (busy-polling threads burn
+    their core regardless of load). *)
+
+val assignment : t -> (int * int * int) list
+(** The rxq→PMD map as sorted (port, queue, pmd) rows — pmd-rxq-show. *)
+
+(** A snapshot of one PMD for the appctl renderings. *)
+type report = {
+  r_pmd : int;
+  r_rxqs : (int * int * Ovs_sim.Time.ns * int) list;
+      (** (port, queue, busy ns, packets) per assigned rxq *)
+  r_stats : stats;  (** snapshot copy — safe to hold across resets *)
+  r_busy_ns : Ovs_sim.Time.ns;
+  r_idle_ns : Ovs_sim.Time.ns;  (** wall minus busy: spinning, not working *)
+  r_cycles_per_pkt : float;  (** busy ns per processed packet *)
+}
+
+val reports : ?wall:Ovs_sim.Time.ns -> t -> report list
+(** Per-PMD snapshots. [wall] (default: the busiest PMD's busy time)
+    anchors the idle-time calculation. *)
+
+(** {1 Maintenance} *)
+
+val reset_stats : t -> unit
+(** Zero per-PMD and per-rxq counters and each PMD core's clock (between
+    warmup and measurement). *)
+
+val rebalance : t -> unit
+(** Re-shard rxqs by measured per-rxq busy time (cycles-based
+    pmd-rxq-assign). *)

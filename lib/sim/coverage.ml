@@ -1,0 +1,49 @@
+(** A global coverage-counter registry, modelled on OVS's COVERAGE_INC
+    macros and the [ovs-appctl coverage/show] command.
+
+    Any subsystem registers a named counter once (typically at module
+    initialisation) and bumps it from its hot path; the registry renders
+    the counters sorted by name for the appctl-style tooling. Counters
+    are process-global — like real OVS coverage counters they aggregate
+    over every datapath instance in the process — and resettable between
+    measurement phases. *)
+
+type counter = { name : string; mutable count : int }
+
+let registry : (string, counter) Hashtbl.t = Hashtbl.create 64
+
+(** Register (or fetch) the counter called [name]. The returned handle is
+    stable: hot paths should call this once and keep the handle. *)
+let counter name : counter =
+  match Hashtbl.find_opt registry name with
+  | Some c -> c
+  | None ->
+      let c = { name; count = 0 } in
+      Hashtbl.add registry name c;
+      c
+
+let incr ?(n = 1) (c : counter) = c.count <- c.count + n
+
+(** One-shot bump by name (slower: one hashtable probe per call). *)
+let hit ?(n = 1) name = incr ~n (counter name)
+
+let read name = match Hashtbl.find_opt registry name with Some c -> c.count | None -> 0
+
+(** All counters, sorted by name. [nonzero] drops the ones that never
+    fired (coverage/show's default view). *)
+let dump ?(nonzero = true) () =
+  Hashtbl.fold (fun _ c acc -> c :: acc) registry []
+  |> List.filter (fun c -> (not nonzero) || c.count > 0)
+  |> List.sort (fun a b -> compare a.name b.name)
+  |> List.map (fun c -> (c.name, c.count))
+
+(** Render in coverage/show style. *)
+let show ?(nonzero = true) () =
+  let lines =
+    dump ~nonzero ()
+    |> List.map (fun (name, count) -> Printf.sprintf "%-32s %12d" name count)
+  in
+  String.concat "\n" (("counter" ^ String.make 25 ' ' ^ "total") :: lines)
+
+(** Zero every counter (handles stay valid). *)
+let reset () = Hashtbl.iter (fun _ c -> c.count <- 0) registry

@@ -267,3 +267,67 @@ let compatibility_matrix () =
         is_ok (run afxdp_dev cmd),
         is_ok (run dpdk_dev cmd) ))
     table1_commands
+
+(* -- ovs-appctl: the runtime introspection commands -- *)
+
+module Pmd = Ovs_datapath.Pmd
+
+(** [ovs-appctl dpif-netdev/pmd-stats-show] over a runtime's reports:
+    per-PMD cache-tier hits, misses/lost, busy vs idle cycles and average
+    cycles (virtual ns) per packet. *)
+let pmd_stats_show (reports : Pmd.report list) =
+  reports
+  |> List.map (fun (r : Pmd.report) ->
+         let s = r.Pmd.r_stats in
+         let total_cycles = r.Pmd.r_busy_ns +. r.Pmd.r_idle_ns in
+         let pct x =
+           if total_cycles > 0. then 100. *. x /. total_cycles else 0.
+         in
+         String.concat "\n"
+           [
+             Printf.sprintf "pmd thread numa_id 0 core_id %d:" r.Pmd.r_pmd;
+             Printf.sprintf "  packets received: %d" s.Pmd.rx_packets;
+             Printf.sprintf "  emc hits: %d" s.Pmd.emc_hits;
+             Printf.sprintf "  smc hits: %d" s.Pmd.smc_hits;
+             Printf.sprintf "  megaflow hits: %d" s.Pmd.megaflow_hits;
+             Printf.sprintf "  miss with success upcall: %d" s.Pmd.miss;
+             Printf.sprintf "  miss with failed upcall: %d" s.Pmd.lost;
+             Printf.sprintf "  avg cycles per packet: %.0f (%.0f/%d)"
+               r.Pmd.r_cycles_per_pkt r.Pmd.r_busy_ns s.Pmd.rx_packets;
+             Printf.sprintf "  idle cycles: %.0f (%.2f%%)" r.Pmd.r_idle_ns
+               (pct r.Pmd.r_idle_ns);
+             Printf.sprintf "  processing cycles: %.0f (%.2f%%)" r.Pmd.r_busy_ns
+               (pct r.Pmd.r_busy_ns);
+           ])
+  |> String.concat "\n"
+
+(** [ovs-appctl dpif-netdev/pmd-rxq-show]: the rxq→PMD placement with each
+    queue's share of its PMD's processing cycles. *)
+let pmd_rxq_show (reports : Pmd.report list) =
+  reports
+  |> List.map (fun (r : Pmd.report) ->
+         Printf.sprintf "pmd thread numa_id 0 core_id %d:" r.Pmd.r_pmd
+         :: List.map
+              (fun (port, queue, cycles, _pkts) ->
+                let usage =
+                  if r.Pmd.r_busy_ns > 0. then 100. *. cycles /. r.Pmd.r_busy_ns
+                  else 0.
+                in
+                Printf.sprintf
+                  "  port: %d  queue-id: %d (enabled)  pmd usage: %2.0f %%"
+                  port queue usage)
+              r.Pmd.r_rxqs
+         |> String.concat "\n")
+  |> String.concat "\n"
+
+(** [ovs-appctl coverage/show]: the process-global event counters. *)
+let coverage_show ?nonzero () = Ovs_sim.Coverage.show ?nonzero ()
+
+(** Dispatch an appctl command string. PMD commands render the supplied
+    runtime reports (pass the current {!Pmd.reports}). *)
+let appctl ?(pmds : Pmd.report list = []) cmd =
+  match cmd with
+  | "dpif-netdev/pmd-stats-show" -> Ok_output (pmd_stats_show pmds)
+  | "dpif-netdev/pmd-rxq-show" -> Ok_output (pmd_rxq_show pmds)
+  | "coverage/show" -> Ok_output (coverage_show ())
+  | other -> Not_supported (Printf.sprintf "\"%s\" is not a valid command" other)

@@ -10,6 +10,7 @@ module Cpu = Ovs_sim.Cpu
 module Costs = Ovs_sim.Costs
 module Netdev = Ovs_netdev.Netdev
 module Dpif = Ovs_datapath.Dpif
+module Pmd = Ovs_datapath.Pmd
 
 type virt = Vm_tap | Vm_vhost | Ct_veth | Ct_xdp | Ct_afpacket
 
@@ -28,6 +29,9 @@ type result = {
   cpu : Cpu.breakdown;
   packets : int;
   line_limited : bool;
+  pmds : Ovs_datapath.Pmd.report list;
+      (** per-PMD breakdowns when the poll-mode runtime drove the run
+          ([n_pmds >= 1] on a userspace datapath); empty otherwise *)
 }
 
 let pp_result ppf r =
@@ -58,6 +62,11 @@ type config = {
   warmup : int;
   measure : int;
   cache : cache_mode;
+  n_pmds : int;
+      (** >= 1 drives the run through the {!Ovs_datapath.Pmd} runtime with
+          that many PMD cores; 0 (the default) keeps the legacy
+          one-context-per-queue loop *)
+  n_rxqs : int;  (** rxqs for the PMD runtime; 0 means [queues] *)
 }
 
 let default_config =
@@ -71,7 +80,19 @@ let default_config =
     warmup = 4_000;
     measure = 40_000;
     cache = Cache_default;
+    n_pmds = 0;
+    n_rxqs = 0;
   }
+
+(** Builder over {!default_config}, so call sites survive new fields. *)
+let config ?(kind = default_config.kind) ?(topology = default_config.topology)
+    ?(n_flows = default_config.n_flows) ?(frame_len = default_config.frame_len)
+    ?(queues = default_config.queues) ?(gbps = default_config.gbps)
+    ?(warmup = default_config.warmup) ?(measure = default_config.measure)
+    ?(cache = default_config.cache) ?(n_pmds = default_config.n_pmds)
+    ?(n_rxqs = default_config.n_rxqs) () =
+  { kind; topology; n_flows; frame_len; queues; gbps; warmup; measure; cache;
+    n_pmds; n_rxqs }
 
 let is_userspace = function
   | Dpif.Dpdk | Dpif.Afxdp _ -> true
@@ -81,10 +102,12 @@ let run (cfg : config) : result =
   let costs = Costs.default in
   let machine = Cpu.create () in
   (* the kernel datapath gets every hyperthread's worth of RSS queues *)
+  let use_pmd_rt = cfg.n_pmds >= 1 && is_userspace cfg.kind in
   let queues =
     match cfg.kind with
     | Dpif.Kernel | Dpif.Kernel_ebpf -> Int.max cfg.queues (if cfg.n_flows > 1 then 16 else 1)
-    | Dpif.Dpdk | Dpif.Afxdp _ -> cfg.queues
+    | Dpif.Dpdk | Dpif.Afxdp _ ->
+        if use_pmd_rt && cfg.n_rxqs > 0 then cfg.n_rxqs else cfg.queues
   in
   let phy0 = Netdev.create ~name:"eth0" ~queues ~gbps:cfg.gbps () in
   let phy1 = Netdev.create ~name:"eth1" ~queues ~gbps:cfg.gbps () in
@@ -92,20 +115,29 @@ let run (cfg : config) : result =
   let dp = Dpif.create ~costs ~kind:cfg.kind ~pipeline () in
   (match cfg.cache with
   | Cache_default -> ()
-  | Cache_none ->
-      dp.Dpif.core.Ovs_datapath.Dp_core.emc_enabled <- false
+  | Cache_none -> Dpif.set_emc_enabled dp false
   | Cache_smc_only ->
-      dp.Dpif.core.Ovs_datapath.Dp_core.emc_enabled <- false;
-      dp.Dpif.core.Ovs_datapath.Dp_core.smc_enabled <- true
-  | Cache_emc_smc -> dp.Dpif.core.Ovs_datapath.Dp_core.smc_enabled <- true);
+      Dpif.set_emc_enabled dp false;
+      Dpif.set_smc_enabled dp true
+  | Cache_emc_smc -> Dpif.set_smc_enabled dp true);
   let p0 = Dpif.add_port dp phy0 in
   let p1 = Dpif.add_port dp phy1 in
 
   (* execution contexts *)
   let sirq = Array.init queues (fun i -> Cpu.ctx machine (Printf.sprintf "softirq%d" i)) in
   let opts = match cfg.kind with Dpif.Afxdp o -> o | _ -> Dpif.afxdp_default in
+  (* legacy loop: one PMD context per queue; the poll-mode runtime
+     shards the same queues over cfg.n_pmds cores instead *)
   let pmds =
-    Array.init queues (fun i -> Cpu.ctx machine (Printf.sprintf "pmd%d" i))
+    if use_pmd_rt then [||]
+    else Array.init queues (fun i -> Cpu.ctx machine (Printf.sprintf "pmd%d" i))
+  in
+  let rt =
+    if use_pmd_rt then
+      Some
+        (Pmd.create ~dp ~machine ~softirq:sirq ~port_no:p0 ~n_rxqs:queues
+           ~n_pmds:cfg.n_pmds ())
+    else None
   in
   let guest = Cpu.ctx machine "guest" in
   let vhost_kthread = Cpu.ctx machine "vhost" in
@@ -201,9 +233,13 @@ let run (cfg : config) : result =
         Netdev.rss_enqueue phy0 (Pktgen.next gen);
         incr injected
       done;
-      for q = 0 to queues - 1 do
-        ignore (Dpif.poll dp ~softirq:sirq.(q) ~pmd:pmds.(q) ~port_no:p0 ~queue:q ())
-      done;
+      (match rt with
+      | Some rt -> ignore (Pmd.poll_all rt)
+      | None ->
+          for q = 0 to queues - 1 do
+            ignore
+              (Dpif.poll dp ~softirq:sirq.(q) ~pmd:pmds.(q) ~port_no:p0 ~queue:q ())
+          done);
       match (vdev, pmd_v) with
       | Some _, Some pmd_vm ->
           ignore
@@ -216,11 +252,12 @@ let run (cfg : config) : result =
   drive cfg.warmup;
   List.iter Cpu.reset machine.Cpu.ctxs;
   Dpif.reset_measurement dp;
+  (match rt with Some rt -> Pmd.reset_stats rt | None -> ());
   let tx_before = phy1.Netdev.stats.Netdev.tx_packets in
   drive cfg.measure;
   let delivered = phy1.Netdev.stats.Netdev.tx_packets - tx_before in
 
-  let wall = Float.max (Cpu.wall machine) dp.Dpif.serialized_tx in
+  let wall = Float.max (Cpu.wall machine) (Dpif.serialized_tx dp) in
   let wall = Float.max wall 1. in
   let raw_rate = float_of_int delivered /. wall *. 1e9 in
   let line = Netdev.line_rate_pps phy0 ~frame_len:cfg.frame_len in
@@ -234,7 +271,9 @@ let run (cfg : config) : result =
        is_userspace cfg.kind && opts.Dpif.pmd_threads
        && cfg.topology <> PCP Ct_xdp
      then
-       Array.to_list (Array.sub pmds 0 queues)
+       (match rt with
+       | Some rt -> Pmd.ctxs rt
+       | None -> Array.to_list (Array.sub pmds 0 queues))
        @ (match pmd_v with Some p -> [ p ] | None -> [])
      else [])
     @
@@ -245,4 +284,11 @@ let run (cfg : config) : result =
   let cpu = Cpu.breakdown ~poll_floor machine ~wall in
   ignore vhost_kthread;
   ignore container;
-  { rate_mpps = rate /. 1e6; wall_ns = wall; cpu; packets = delivered; line_limited }
+  {
+    rate_mpps = rate /. 1e6;
+    wall_ns = wall;
+    cpu;
+    packets = delivered;
+    line_limited;
+    pmds = (match rt with Some rt -> Pmd.reports ~wall rt | None -> []);
+  }

@@ -14,6 +14,10 @@ type t = {
   mutable rx_dropped_ring_full : int;
   mutable tx_sent : int;
   mutable kicks : int;  (** sendto() syscalls to flush the tx ring *)
+  mutable owner_pmd : int;
+      (** id of the PMD thread that owns this socket's rings, or -1. AF_XDP
+          rings are single-producer/single-consumer, so exactly one PMD may
+          poll an XSK — the runtime claims ownership at assignment time. *)
 }
 
 let create ?(ring_size = 2048) ~umem ~pool ~queue_id () =
@@ -28,7 +32,13 @@ let create ?(ring_size = 2048) ~umem ~pool ~queue_id () =
     rx_dropped_ring_full = 0;
     tx_sent = 0;
     kicks = 0;
+    owner_pmd = -1;
   }
+
+(** Claim (or release, with [-1]) this socket's rings for one PMD. *)
+let set_owner t ~pmd = t.owner_pmd <- pmd
+
+let owner t = t.owner_pmd
 
 (** Userspace: refill the kernel's fill ring with up to [n] empty frames
     from the umempool. *)

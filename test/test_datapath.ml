@@ -109,7 +109,7 @@ let test_rule_changes_invalidate_caches () =
   ignore
     (Ovs_ofproto.Parser.install_flows r.pipeline
        [ Printf.sprintf "table=0,priority=100,in_port=%d actions=drop" r.p0 ]);
-  Dp_core.flush_caches r.dp.Dpif.core;
+  Dpif.flush_caches r.dp;
   push_and_poll r;
   check Alcotest.int "dropped after flush" 1 (tx_count r)
 
@@ -236,13 +236,13 @@ let test_serialized_tx_accounting () =
   forward_rule r;
   Dpif.set_active_queues r.dp 1;
   push_and_poll r;
-  let single = r.dp.Dpif.serialized_tx in
+  let single = Dpif.serialized_tx r.dp in
   Alcotest.(check bool) "some serialized time" true (single > 0.);
   Dpif.reset_measurement r.dp;
   Dpif.set_active_queues r.dp 4;
   push_and_poll r;
   Alcotest.(check bool) "contended section is longer" true
-    (r.dp.Dpif.serialized_tx > single)
+    (Dpif.serialized_tx r.dp > single)
 
 let test_xdp_program_swap_devmap_redirect () =
   let r = make_rig () in
@@ -352,8 +352,8 @@ let test_gso_on_non_tso_device () =
 let test_smc_serves_after_emc_disabled () =
   let r = make_rig () in
   forward_rule r;
-  r.dp.Dpif.core.Dp_core.emc_enabled <- false;
-  r.dp.Dpif.core.Dp_core.smc_enabled <- true;
+  Dpif.set_emc_enabled r.dp false;
+  Dpif.set_smc_enabled r.dp true;
   for _ = 1 to 10 do
     push_and_poll r
   done;
@@ -418,7 +418,7 @@ let test_dump_flows_and_megaflows () =
   check Alcotest.int "one rule" 1 (List.length lines);
   Alcotest.(check bool) "hit counter visible" true
     (contains (List.hd lines) "n_packets=1");  (* megaflow absorbed the rest *)
-  let mf = Dp_core.dump_megaflows r.dp.Dpif.core in
+  let mf = Dpif.dump_megaflows r.dp in
   check Alcotest.int "one megaflow" 1 (List.length mf);
   Alcotest.(check bool) "megaflow matches in_port" true
     (contains (List.hd mf) "in_port=");
