@@ -1,5 +1,5 @@
 # Tier-1 verification in one command.
-.PHONY: all check build test bench clean
+.PHONY: all check build test smoke bench clean
 
 all: build
 
@@ -9,7 +9,12 @@ build:
 test:
 	dune runtest
 
-check: build test
+# A fast end-to-end sanity pass: the PMD runtime and the per-stage cycle
+# attribution experiments both exit nonzero on failure.
+smoke:
+	dune exec bench/main.exe -- pmd stages
+
+check: build test smoke
 
 bench:
 	dune exec bench/main.exe

@@ -354,6 +354,40 @@ let pmd_exp () =
   row "@.--- coverage/show ---@.";
   row "%s@." (Ovs_tools.Tools.coverage_show ())
 
+(* ------------------------------------------------- per-stage attribution *)
+
+(* Where the per-packet nanoseconds go on each datapath — the instrument
+   behind the paper's Figs 9-14 and Table 4. Each run attaches a stage
+   tracer; the per-stage sums must reproduce the charged busy total
+   exactly (each charge is attributed to exactly one stage). *)
+let stages_exp () =
+  section "Per-stage cycle attribution (P2P, 1000 flows, 64B)";
+  List.iter
+    (fun (name, kind) ->
+      let r =
+        Scenario.run
+          (Scenario.config ~kind ~n_flows:1000 ~gbps:25. ~trace:true
+             ~warmup:3000 ~measure:20_000 ())
+      in
+      match r.Scenario.stage_trace with
+      | None -> row "%s: no stage trace recorded@." name
+      | Some tr ->
+          row "@.%s@." (Ovs_sim.Trace.render tr);
+          let sum = Ovs_sim.Trace.total tr in
+          let busy = r.Scenario.busy_ns in
+          let err =
+            if busy > 0. then 100. *. abs_float (sum -. busy) /. busy else 0.
+          in
+          row "stage sum %.0f ns vs charged total %.0f ns (%.4f%% difference)@."
+            sum busy err;
+          ignore name)
+    [ ("kernel", Dpif.Kernel);
+      ("AF_XDP", Dpif.Afxdp Dpif.afxdp_default);
+      ("DPDK", Dpif.Dpdk) ];
+  row "@.(rx + extract dominate the kernel path, tx ring work the AF_XDP@.";
+  row " path; with warm megaflows the cache tiers shrink dpcls and upcall@.";
+  row " time to noise, which is the Sec 2.1 caching argument in one table)@."
+
 (* -------------------------------------------------- Bechamel micro bench *)
 
 let micro () =
@@ -417,7 +451,7 @@ let all = [
   ("fig1", fig1); ("fig2", fig2); ("table1", table1); ("table2", table2);
   ("table3", table3); ("fig8", fig8); ("fig9", fig9); ("table4", table4);
   ("fig10", fig10); ("fig11", fig11); ("table5", table5); ("fig12", fig12);
-  ("pmd", pmd_exp); ("ablations", ablations);
+  ("pmd", pmd_exp); ("stages", stages_exp); ("ablations", ablations);
 ]
 
 let () =
@@ -426,14 +460,18 @@ let () =
   | [] ->
       List.iter (fun (_, f) -> f ()) all;
       micro ()
-  | [ "micro" ] -> micro ()
   | names ->
+      (* validate every name before running anything, so a typo exits
+         nonzero without half the experiments' output above it *)
+      let known n = n = "micro" || List.mem_assoc n all in
+      let unknown = List.filter (fun n -> not (known n)) names in
+      if unknown <> [] then begin
+        Fmt.epr "unknown experiment%s: %s (have: %s, micro)@."
+          (if List.length unknown > 1 then "s" else "")
+          (String.concat ", " unknown)
+          (String.concat ", " (List.map fst all));
+        exit 1
+      end;
       List.iter
-        (fun name ->
-          match List.assoc_opt name all with
-          | Some f -> f ()
-          | None ->
-              Fmt.epr "unknown experiment %s (have: %s, micro)@." name
-                (String.concat ", " (List.map fst all));
-              exit 1)
+        (fun name -> if name = "micro" then micro () else List.assoc name all ())
         names

@@ -228,6 +228,55 @@ let ruleset_cmd =
     (Cmd.info "ruleset" ~doc:"Generate the NSX-style rule set and report its Table 3 shape")
     Term.(const run $ rules $ sample)
 
+(* -- appctl command -- *)
+
+let appctl_cmd =
+  let demo_rules =
+    [
+      (* A small Geneve + conntrack pipeline: decap tunneled traffic into
+         table 1, run it through conntrack, forward everything out port 1. *)
+      "table=0,priority=100,udp,tp_dst=6081 actions=tnl_pop:1";
+      "table=0,priority=10 actions=output:1";
+      "table=1,priority=10 actions=ct(commit,zone=7,table=2)";
+      "table=2,priority=10 actions=output:1";
+    ]
+  in
+  let run datapath warm cmd =
+    let pipeline = Ovs_ofproto.Pipeline.create ~n_tables:4 () in
+    ignore (Ovs_ofproto.Parser.install_flows pipeline demo_rules);
+    let dp = Dpif.create ~kind:datapath ~pipeline () in
+    ignore (Dpif.add_port dp (Ovs_netdev.Netdev.create ~name:"eth0" ()));
+    ignore (Dpif.add_port dp (Ovs_netdev.Netdev.create ~name:"eth1" ()));
+    Dpif.set_tracer dp
+      (Some (Ovs_sim.Trace.create ~kind:(Dpif.kind_name datapath) ()));
+    let sink _cat _ns = () in
+    for i = 1 to warm do
+      let pkt = Ovs_packet.Build.udp ~src_port:(1024 + (i mod 512)) ~dst_port:5678 () in
+      pkt.Ovs_packet.Buffer.in_port <- 0;
+      Dpif.process dp sink pkt
+    done;
+    match Ovs_tools.Tools.appctl ~dp cmd with
+    | Ovs_tools.Tools.Ok_output out -> Fmt.pr "%s@." out
+    | Ovs_tools.Tools.Not_supported msg ->
+        Fmt.epr "ovs-appctl: %s@." msg;
+        exit 2
+  in
+  let cmd_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"CMD"
+             ~doc:"The command: 'ofproto/trace FLOW', 'dpif/show-stage-cycles', \
+                   'dpctl/dump-flows', 'coverage/show', ...")
+  in
+  let warm =
+    Arg.(value & opt int 0
+         & info [ "warm" ]
+             ~doc:"Inject N UDP packets first so the stats commands have data.")
+  in
+  Cmd.v
+    (Cmd.info "appctl"
+       ~doc:"Run an ovs-appctl-style command against a demo Geneve+conntrack datapath")
+    Term.(const run $ datapath_arg $ warm $ cmd_arg)
+
 (* -- tools command -- *)
 
 let tools_cmd =
@@ -248,4 +297,5 @@ let () =
     Cmd.info "ovs-repro" ~version:"1.0.0"
       ~doc:"Reproduction toolkit for 'Revisiting the Open vSwitch Dataplane Ten Years Later'"
   in
-  exit (Cmd.eval (Cmd.group info [ scenario_cmd; tcp_cmd; rr_cmd; xdp_cmd; ruleset_cmd; tools_cmd ]))
+  exit (Cmd.eval (Cmd.group info
+       [ scenario_cmd; tcp_cmd; rr_cmd; xdp_cmd; ruleset_cmd; appctl_cmd; tools_cmd ]))

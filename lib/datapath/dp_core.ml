@@ -18,6 +18,7 @@
 module FK = Ovs_packet.Flow_key
 module Action = Ovs_ofproto.Action
 module Coverage = Ovs_sim.Coverage
+module Trace = Ovs_sim.Trace
 
 type flavor = Flavor_userspace | Flavor_kernel | Flavor_kernel_ebpf
 
@@ -81,6 +82,9 @@ type t = {
           the hook enqueues the packet for a deferred slow-path pass
           (the PMD runtime's bounded upcall queue). A [false] return
           means the queue was full and the packet is lost. *)
+  mutable tracer : Trace.t option;
+      (** per-stage cycle attribution + packet-walk recorder; [None]
+          (the default) keeps the hot path untraced and allocation-free *)
 }
 
 let fresh_counters () =
@@ -114,6 +118,7 @@ let create ~flavor ~costs ~pipeline () =
     meters = Hashtbl.create 8;
     controller = None;
     upcall_hook = None;
+    tracer = None;
   }
 
 (* -- accessors over the sealed record -- *)
@@ -129,6 +134,40 @@ let set_controller t f = t.controller <- Some f
 let set_now t now = t.now <- now
 let now t = t.now
 let set_upcall_hook t h = t.upcall_hook <- h
+let set_tracer t r = t.tracer <- r
+let tracer t = t.tracer
+
+(* -- tracing helpers: all no-ops (and allocation-free) when untraced -- *)
+
+let trace_stage t s =
+  match t.tracer with Some r -> Trace.set_stage r s | None -> ()
+
+(* the detail thunk is only forced during an active walk *)
+let trace_note t s (detail : unit -> string) =
+  match t.tracer with
+  | Some r -> if Trace.walking r then Trace.note r s (detail ()) else Trace.set_stage r s
+  | None -> ()
+
+(** The names of the fields a megaflow mask constrains — how dump-flows
+    and trace renderings describe a megaflow's shape. *)
+let masked_fields (mask : FK.t) =
+  Array.to_list FK.Field.all
+  |> List.filter_map (fun f ->
+         if FK.get mask f <> 0 then Some (FK.Field.name f) else None)
+  |> String.concat ","
+
+(** Render a ct_state bitmap the ovs way: "+new+trk". *)
+let ct_state_string st =
+  if st = 0 then "(untracked)"
+  else
+    let bit b name acc = if st land b <> 0 then acc ^ "+" ^ name else acc in
+    ""
+    |> bit FK.Ct_state_bits.new_ "new"
+    |> bit FK.Ct_state_bits.est "est"
+    |> bit FK.Ct_state_bits.rel "rel"
+    |> bit FK.Ct_state_bits.rpl "rpl"
+    |> bit FK.Ct_state_bits.inv "inv"
+    |> bit FK.Ct_state_bits.trk "trk"
 
 let reset_counters t =
   let c = t.counters in
@@ -207,11 +246,13 @@ let lookup_cached t (charge : charge_fn) (key : FK.t) : Action.odp list option =
   let emc_result =
     match t.emc with
     | Some emc when t.emc_enabled -> begin
+        trace_stage t Trace.St_emc;
         match Ovs_flow.Emc.lookup emc key with
         | Some actions ->
             charge cat (c.Ovs_sim.Costs.emc_hit +. cold_penalty t);
             t.counters.emc_hits <- t.counters.emc_hits + 1;
             Coverage.incr cov_emc_hit;
+            trace_note t Trace.St_emc (fun () -> "hit: exact-match cache");
             Some actions
         | None ->
             charge cat c.Ovs_sim.Costs.emc_miss_probe;
@@ -225,6 +266,7 @@ let lookup_cached t (charge : charge_fn) (key : FK.t) : Action.odp list option =
     | None -> begin
         match t.smc with
         | Some smc when t.smc_enabled -> begin
+            trace_stage t Trace.St_smc;
             match Ovs_flow.Smc.lookup smc key with
             | Some actions ->
                 (* signature probe + one masked comparison *)
@@ -233,6 +275,7 @@ let lookup_cached t (charge : charge_fn) (key : FK.t) : Action.odp list option =
                   +. cold_penalty t);
                 t.counters.smc_hits <- t.counters.smc_hits + 1;
                 Coverage.incr cov_smc_hit;
+                trace_note t Trace.St_smc (fun () -> "hit: signature-match cache");
                 Some actions
             | None ->
                 charge cat c.Ovs_sim.Costs.emc_miss_probe;
@@ -253,11 +296,18 @@ let lookup_cached t (charge : charge_fn) (key : FK.t) : Action.odp list option =
             c.Ovs_sim.Costs.ebpf_map_lookup +. (12. *. c.Ovs_sim.Costs.ebpf_insn))
         +. cold_penalty t
       in
-      match Ovs_flow.Dpcls.lookup_full t.dpcls key with
-      | Some (actions, probes, mf_mask) ->
-          charge cat (float_of_int probes *. per_probe);
+      trace_stage t Trace.St_dpcls;
+      match Ovs_flow.Dpcls.lookup_entry t.dpcls key with
+      | Some (e, probes, mf_mask) ->
+          let cost = float_of_int probes *. per_probe in
+          charge cat cost;
+          e.Ovs_flow.Dpcls.cycles <- e.Ovs_flow.Dpcls.cycles +. cost;
           t.counters.dpcls_hits <- t.counters.dpcls_hits + 1;
           Coverage.incr cov_masked_hit;
+          trace_note t Trace.St_dpcls (fun () ->
+              Printf.sprintf "hit: megaflow on %s (%d subtable probe%s)"
+                (masked_fields mf_mask) probes (if probes = 1 then "" else "s"));
+          let actions = e.Ovs_flow.Dpcls.value in
           (match t.emc with
           | Some emc when t.emc_enabled -> Ovs_flow.Emc.insert emc key actions
           | Some _ | None -> ());
@@ -284,12 +334,40 @@ let slowpath t (charge : charge_fn) (key : FK.t) : Action.odp list =
     | Flavor_userspace -> c.Ovs_sim.Costs.upcall
     | Flavor_kernel | Flavor_kernel_ebpf -> c.Ovs_sim.Costs.netlink_upcall
   in
-  let result = Ovs_ofproto.Pipeline.translate t.pipeline key in
+  trace_note t Trace.St_upcall (fun () ->
+      match t.flavor with
+      | Flavor_userspace -> "miss in every fast-path tier: translating via ofproto"
+      | Flavor_kernel | Flavor_kernel_ebpf ->
+          "megaflow miss: netlink upcall to ovs-vswitchd");
+  let log =
+    match t.tracer with
+    | Some r when Trace.walking r ->
+        Some
+          (fun table_id rule ->
+            match rule with
+            | Some ru ->
+                Trace.note r Trace.St_upcall
+                  (Fmt.str "table %d: rule %d, priority %d, cookie 0x%x, actions: %a"
+                     table_id ru.Ovs_ofproto.Table.id ru.Ovs_ofproto.Table.priority
+                     ru.Ovs_ofproto.Table.cookie
+                     Fmt.(list ~sep:(any ",") Action.pp)
+                     ru.Ovs_ofproto.Table.value)
+            | None ->
+                Trace.note r Trace.St_upcall
+                  (Printf.sprintf "table %d: no match (table miss: drop)" table_id))
+    | Some _ | None -> None
+  in
+  let result = Ovs_ofproto.Pipeline.translate t.pipeline ?log key in
   charge Ovs_sim.Cpu.User
     (upcall_cost
     +. (float_of_int result.Ovs_ofproto.Pipeline.tables_visited
        *. c.Ovs_sim.Costs.ofproto_table_lookup));
   let actions = result.Ovs_ofproto.Pipeline.odp_actions in
+  trace_note t Trace.St_install (fun () ->
+      Fmt.str "install megaflow on %s, actions: %a"
+        (masked_fields result.Ovs_ofproto.Pipeline.megaflow_mask)
+        Fmt.(list ~sep:(any ",") Action.pp_odp)
+        actions);
   Ovs_flow.Dpcls.insert t.dpcls
     ~mask:result.Ovs_ofproto.Pipeline.megaflow_mask ~key actions;
   charge cat c.Ovs_sim.Costs.megaflow_insert;
@@ -323,6 +401,15 @@ let rec execute t (charge : charge_fn) (pkt : Ovs_packet.Buffer.t) (key : FK.t)
   let rec go = function
     | [] -> ()
     | act :: rest ->
+      let stage =
+        match act with
+        | Action.Odp_tnl_push _ -> Trace.St_encap
+        | Action.Odp_tnl_pop _ -> Trace.St_decap
+        | Action.Odp_ct _ -> Trace.St_conntrack
+        | Action.Odp_output _ -> Trace.St_tx
+        | _ -> Trace.St_action
+      in
+      trace_note t stage (fun () -> Fmt.str "%a" Action.pp_odp act);
       charge cat action_cost;
       match act with
       | Action.Odp_output port ->
@@ -355,6 +442,7 @@ let rec execute t (charge : charge_fn) (pkt : Ovs_packet.Buffer.t) (key : FK.t)
             (if t.csum_offload then 0.
              else Ovs_sim.Costs.csum c ~bytes:(Ovs_packet.Buffer.length pkt));
           t.counters.sent <- t.counters.sent + 1;
+          trace_stage t Trace.St_tx;
           t.output charge ts.Action.out_port pkt;
           go rest
       | Action.Odp_tnl_pop resume ->
@@ -401,6 +489,10 @@ let rec execute t (charge : charge_fn) (pkt : Ovs_packet.Buffer.t) (key : FK.t)
           pkt.Ovs_packet.Buffer.ct_zone <- zone;
           FK.set key FK.Field.Ct_state ct_state;
           FK.set key FK.Field.Ct_zone zone;
+          trace_note t Trace.St_conntrack (fun () ->
+              Printf.sprintf "conntrack: zone %d, ct_state=%s%s" zone
+                (ct_state_string ct_state)
+                (if commit then " (committed)" else ""));
           if resume_table >= 0 then begin
             pkt.Ovs_packet.Buffer.recirc_id <- resume_table;
             recirculate t charge pkt
@@ -430,8 +522,10 @@ and recirculate t charge pkt =
 (** One datapath pass: extract, look up, execute — deferring to the upcall
     hook (when installed) on a full miss instead of translating inline. *)
 and do_pass t (charge : charge_fn) (pkt : Ovs_packet.Buffer.t) =
+  trace_stage t Trace.St_extract;
   charge (fastpath_category t) (extract_cost t);
   let key = FK.extract pkt in
+  trace_note t Trace.St_extract (fun () -> Fmt.str "%a" FK.pp key);
   match lookup_cached t charge key with
   | Some actions -> execute t charge pkt key actions
   | None -> begin
@@ -448,46 +542,75 @@ and do_pass t (charge : charge_fn) (pkt : Ovs_packet.Buffer.t) =
           execute t charge pkt key actions
     end
 
-(** Full per-packet fast path: extract, look up, execute. *)
+(** Full per-packet fast path: extract, look up, execute. When a tracer is
+    installed, the pass runs inside a packet bracket with the charge_fn
+    wrapped exactly once — per-stage attribution therefore sums to the
+    end-to-end charged total by construction. Callers must hand [process]
+    an *unwrapped* charge_fn. *)
 let process t (charge : charge_fn) (pkt : Ovs_packet.Buffer.t) =
   t.counters.packets <- t.counters.packets + 1;
-  do_pass t charge pkt
+  match t.tracer with
+  | None -> do_pass t charge pkt
+  | Some r ->
+      Trace.packet_begin r;
+      do_pass t
+        (fun cat ns ->
+          Trace.on_charge r ns;
+          charge cat ns)
+        pkt;
+      Trace.packet_end r
 
 (** Run one deferred upcall to completion: translate, install the megaflow,
     and execute the resulting actions over the queued packet. This is what
     drains a PMD's bounded upcall queue into the shared slow path. *)
 let handle_upcall t (charge : charge_fn) (pkt : Ovs_packet.Buffer.t) (key : FK.t) =
-  let actions =
-    (* another queued upcall of the same flow may have installed the
-       megaflow already; re-probing first mirrors dpif-netdev's
-       handle_packet_upcall re-lookup — and a re-probe hit counts as a
-       megaflow hit like any other, keeping hits + misses = packets *)
-    match Ovs_flow.Dpcls.lookup_full t.dpcls key with
-    | Some (actions, probes, mf_mask) ->
-        let cat = fastpath_category t in
-        let per_probe =
-          (match t.flavor with
-          | Flavor_userspace -> t.costs.Ovs_sim.Costs.dpcls_subtable
-          | Flavor_kernel -> t.costs.Ovs_sim.Costs.kmod_flow_lookup
-          | Flavor_kernel_ebpf ->
-              t.costs.Ovs_sim.Costs.ebpf_map_lookup
-              +. (12. *. t.costs.Ovs_sim.Costs.ebpf_insn))
-          +. cold_penalty t
-        in
-        charge cat (float_of_int probes *. per_probe);
-        t.counters.dpcls_hits <- t.counters.dpcls_hits + 1;
-        Coverage.incr cov_masked_hit;
-        (match t.emc with
-        | Some emc when t.emc_enabled -> Ovs_flow.Emc.insert emc key actions
-        | Some _ | None -> ());
-        (match t.smc with
-        | Some smc when t.smc_enabled ->
-            Ovs_flow.Smc.insert smc key ~mask:mf_mask actions
-        | Some _ | None -> ());
-        actions
-    | None -> slowpath t charge key
+  let run (charge : charge_fn) =
+    let actions =
+      (* another queued upcall of the same flow may have installed the
+         megaflow already; re-probing first mirrors dpif-netdev's
+         handle_packet_upcall re-lookup — and a re-probe hit counts as a
+         megaflow hit like any other, keeping hits + misses = packets *)
+      trace_stage t Trace.St_dpcls;
+      match Ovs_flow.Dpcls.lookup_entry t.dpcls key with
+      | Some (e, probes, mf_mask) ->
+          let cat = fastpath_category t in
+          let per_probe =
+            (match t.flavor with
+            | Flavor_userspace -> t.costs.Ovs_sim.Costs.dpcls_subtable
+            | Flavor_kernel -> t.costs.Ovs_sim.Costs.kmod_flow_lookup
+            | Flavor_kernel_ebpf ->
+                t.costs.Ovs_sim.Costs.ebpf_map_lookup
+                +. (12. *. t.costs.Ovs_sim.Costs.ebpf_insn))
+            +. cold_penalty t
+          in
+          let cost = float_of_int probes *. per_probe in
+          charge cat cost;
+          e.Ovs_flow.Dpcls.cycles <- e.Ovs_flow.Dpcls.cycles +. cost;
+          t.counters.dpcls_hits <- t.counters.dpcls_hits + 1;
+          Coverage.incr cov_masked_hit;
+          let actions = e.Ovs_flow.Dpcls.value in
+          (match t.emc with
+          | Some emc when t.emc_enabled -> Ovs_flow.Emc.insert emc key actions
+          | Some _ | None -> ());
+          (match t.smc with
+          | Some smc when t.smc_enabled ->
+              Ovs_flow.Smc.insert smc key ~mask:mf_mask actions
+          | Some _ | None -> ());
+          actions
+      | None -> slowpath t charge key
+    in
+    execute t charge pkt key actions
   in
-  execute t charge pkt key actions
+  (* a deferred upcall is its own packet bracket: its stages histogram
+     separately from the fast-path probe that queued it *)
+  match t.tracer with
+  | None -> run charge
+  | Some r ->
+      Trace.packet_begin r;
+      run (fun cat ns ->
+          Trace.on_charge r ns;
+          charge cat ns);
+      Trace.packet_end r
 
 (** Drop all cached flows (OpenFlow rule changes invalidate megaflows). *)
 let flush_caches t =
@@ -498,7 +621,8 @@ let flush_caches t =
     the fast-path view (masked match, hit count, cached actions). *)
 let dump_megaflows t : string list =
   let out = ref [] in
-  Ovs_flow.Dpcls.iter t.dpcls (fun ~mask ~key actions hits ->
+  Ovs_flow.Dpcls.iter_entries t.dpcls (fun ~mask e ->
+      let key = e.Ovs_flow.Dpcls.key in
       let parts =
         Array.to_list FK.Field.all
         |> List.filter_map (fun f ->
@@ -507,11 +631,11 @@ let dump_megaflows t : string list =
                else Some (Printf.sprintf "%s=0x%x/0x%x" (FK.Field.name f) (FK.get key f) m))
       in
       out :=
-        Fmt.str "%s, packets:%d, actions:%a"
+        Fmt.str "%s, packets:%d, cycles:%.0f, actions:%a"
           (String.concat "," parts)
-          hits
+          e.Ovs_flow.Dpcls.hits e.Ovs_flow.Dpcls.cycles
           Fmt.(list ~sep:(any ",") Action.pp_odp)
-          actions
+          e.Ovs_flow.Dpcls.value
         :: !out);
   List.rev !out
 

@@ -77,6 +77,17 @@ val now : t -> Ovs_sim.Time.ns
     [dropped] and the [dpif_upcall_lost] coverage counter fires. *)
 val set_upcall_hook : t -> (Ovs_packet.Buffer.t -> FK.t -> bool) option -> unit
 
+(** {1 Tracing} *)
+
+(** Install (or remove) a packet-walk / per-stage cycle recorder. With
+    [None] (the default) the hot path runs untraced with no extra cost;
+    with [Some r] every charged nanosecond is attributed to the pipeline
+    stage being executed, and walk events are recorded while
+    [Ovs_sim.Trace.start_walk] is active. *)
+val set_tracer : t -> Ovs_sim.Trace.t option -> unit
+
+val tracer : t -> Ovs_sim.Trace.t option
+
 (** Run one deferred upcall to completion: re-probe the megaflow table
     (another queued upcall of the same flow may have installed it),
     translate + install on a true miss, then execute over the queued

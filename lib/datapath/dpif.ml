@@ -299,6 +299,20 @@ let poll t ~(softirq : Cpu.ctx) ~(pmd : Cpu.ctx) ?(max = 32) ~port_no ~queue ()
   let opts = afxdp_opts t in
   let charge_softirq cat ns = Cpu.charge softirq cat ns in
   let charge_pmd cat ns = Cpu.charge pmd cat ns in
+  (* Driver/rx-side work is attributed to the rx stage when traced.
+     [Dp_core.process] wraps its charge_fn itself, so it must always be
+     handed the *raw* closures — wrapping here too would double-count. *)
+  let traced (f : Dp_core.charge_fn) : Dp_core.charge_fn =
+    match Dp_core.tracer t.core with
+    | None -> f
+    | Some r ->
+        fun cat ns ->
+          Ovs_sim.Trace.set_stage r Ovs_sim.Trace.St_rx;
+          Ovs_sim.Trace.on_charge r ns;
+          f cat ns
+  in
+  let rx_softirq = traced charge_softirq in
+  let rx_pmd = traced charge_pmd in
   match p.attach with
   | At_phy_kernel -> begin
       (* NAPI poll in softirq: interrupt + batch dispatch, then per-packet
@@ -306,12 +320,12 @@ let poll t ~(softirq : Cpu.ctx) ~(pmd : Cpu.ctx) ?(max = 32) ~port_no ~queue ()
       let pkts = Ovs_netdev.Netdev.dequeue p.dev ~queue ~max in
       let n = List.length pkts in
       if n > 0 then begin
-        Cpu.charge softirq Cpu.Softirq c.Costs.softirq_dispatch;
+        rx_softirq Cpu.Softirq c.Costs.softirq_dispatch;
         let multiq = t.active_queues > 1 in
         List.iter
           (fun pkt ->
             pkt.Ovs_packet.Buffer.in_port <- port_no;
-            Cpu.charge softirq Cpu.Softirq
+            rx_softirq Cpu.Softirq
               ((if multiq then c.Costs.skb_alloc_cold else c.Costs.skb_alloc)
               +. if multiq then c.Costs.kmod_rss_penalty else 0.);
             Dp_core.process t.core charge_softirq pkt)
@@ -327,8 +341,8 @@ let poll t ~(softirq : Cpu.ctx) ~(pmd : Cpu.ctx) ?(max = 32) ~port_no ~queue ()
       List.iter
         (fun pkt ->
           pkt.Ovs_packet.Buffer.in_port <- port_no;
-          Cpu.charge pmd Cpu.User (c.Costs.dpdk_rx +. mq_penalty);
-          userspace_rx_prep t charge_pmd pkt ~need_rxhash:false;
+          rx_pmd Cpu.User (c.Costs.dpdk_rx +. mq_penalty);
+          userspace_rx_prep t rx_pmd pkt ~need_rxhash:false;
           Dp_core.process t.core charge_pmd pkt)
         pkts;
       List.length pkts
@@ -338,33 +352,33 @@ let poll t ~(softirq : Cpu.ctx) ~(pmd : Cpu.ctx) ?(max = 32) ~port_no ~queue ()
       (* kernel side: driver + XDP program + XSK delivery, in softirq *)
       let wire_pkts = Ovs_netdev.Netdev.dequeue p.dev ~queue ~max in
       if wire_pkts <> [] then
-        Cpu.charge softirq Cpu.Softirq c.Costs.softirq_dispatch;
+        rx_softirq Cpu.Softirq c.Costs.softirq_dispatch;
       List.iter
         (fun (pkt : Ovs_packet.Buffer.t) ->
           (* descriptor + headers ride one cache line; the per-byte DMA
              cost applies to the bytes beyond it *)
-          Cpu.charge softirq Cpu.Softirq
+          rx_softirq Cpu.Softirq
             (c.Costs.driver_rx_dma
             +. (c.Costs.afxdp_rx_per_byte
                *. float_of_int (Int.max 0 (Ovs_packet.Buffer.length pkt - 256))));
           let action, cost = Ovs_ebpf.Xdp.run prog c pkt in
-          Cpu.charge softirq Cpu.Softirq cost;
+          rx_softirq Cpu.Softirq cost;
           match action with
           | Ovs_ebpf.Vm.Redirect (Ovs_ebpf.Maps.Devmap, target_port) -> begin
               (* Fig 5 path C: straight to another device at driver level *)
-              Cpu.charge softirq Cpu.Softirq c.Costs.xdp_redirect;
+              rx_softirq Cpu.Softirq c.Costs.xdp_redirect;
               match port t target_port with
               | Some target ->
                   (match target.attach with
-                  | At_veth -> Cpu.charge softirq Cpu.Softirq c.Costs.veth_cross
+                  | At_veth -> rx_softirq Cpu.Softirq c.Costs.veth_cross
                   | _ -> ());
                   put_on_wire target.dev pkt
               | None -> ()
             end
           | Ovs_ebpf.Vm.Redirect (_, _) ->
-              Cpu.charge softirq Cpu.Softirq (2. *. c.Costs.xsk_ring_op);
+              rx_softirq Cpu.Softirq (2. *. c.Costs.xsk_ring_op);
               if opts.copy_mode then
-                Cpu.charge softirq Cpu.Softirq
+                rx_softirq Cpu.Softirq
                   (c.Costs.afxdp_copy_mode_per_byte
                   *. float_of_int (Ovs_packet.Buffer.length pkt));
               ignore
@@ -372,22 +386,22 @@ let poll t ~(softirq : Cpu.ctx) ~(pmd : Cpu.ctx) ?(max = 32) ~port_no ~queue ()
                    (Ovs_packet.Buffer.contents pkt)
                    ~len:(Ovs_packet.Buffer.length pkt))
           | Ovs_ebpf.Vm.Tx ->
-              Cpu.charge softirq Cpu.Softirq (c.Costs.driver_tx +. c.Costs.xdp_tx);
+              rx_softirq Cpu.Softirq (c.Costs.driver_tx +. c.Costs.xdp_tx);
               put_on_wire p.dev pkt
           | Ovs_ebpf.Vm.Pass ->
               (* up the regular stack (management traffic) *)
-              Cpu.charge softirq Cpu.Softirq c.Costs.skb_alloc
+              rx_softirq Cpu.Softirq c.Costs.skb_alloc
           | Ovs_ebpf.Vm.Drop | Ovs_ebpf.Vm.Aborted -> ())
         wire_pkts;
       (* userspace side: PMD thread (or the main thread without O1) *)
       let batch = Ovs_xsk.Xsk.rx_burst xsk ~max in
       let n = List.length batch in
       if n > 0 then begin
-        Cpu.charge pmd Cpu.User c.Costs.xsk_ring_op;  (* one burst pop *)
+        rx_pmd Cpu.User c.Costs.xsk_ring_op;  (* one burst pop *)
         if not opts.pmd_threads then
           (* without dedicated threads the main loop polls via syscalls and
              takes scheduler round trips (Sec 3.2, O1: 0.8 -> 4.8 Mpps) *)
-          Cpu.charge pmd Cpu.System
+          rx_pmd Cpu.System
             (float_of_int n
             *. (c.Costs.syscall +. (0.53 *. c.Costs.context_switch)));
         (* refill the fill ring for the next burst *)
@@ -399,7 +413,7 @@ let poll t ~(softirq : Cpu.ctx) ~(pmd : Cpu.ctx) ?(max = 32) ~port_no ~queue ()
           | Ovs_xsk.Umempool.Mutex | Ovs_xsk.Umempool.Spinlock ->
               2. *. float_of_int n
         in
-        Cpu.charge pmd Cpu.User
+        rx_pmd Cpu.User
           ((lock_events *. lock) +. (float_of_int n *. c.Costs.umem_frame_op));
         let mq_penalty =
           c.Costs.afxdp_mq_penalty_per_queue
@@ -408,8 +422,8 @@ let poll t ~(softirq : Cpu.ctx) ~(pmd : Cpu.ctx) ?(max = 32) ~port_no ~queue ()
         List.iter
           (fun (frame, pkt) ->
             pkt.Ovs_packet.Buffer.in_port <- port_no;
-            Cpu.charge pmd Cpu.User mq_penalty;
-            userspace_rx_prep t charge_pmd pkt ~need_rxhash:true;
+            rx_pmd Cpu.User mq_penalty;
+            userspace_rx_prep t rx_pmd pkt ~need_rxhash:true;
             Dp_core.process t.core charge_pmd pkt;
             Ovs_xsk.Xsk.release xsk ~frame)
           batch;
@@ -425,7 +439,7 @@ let poll t ~(softirq : Cpu.ctx) ~(pmd : Cpu.ctx) ?(max = 32) ~port_no ~queue ()
           pkt.Ovs_packet.Buffer.in_port <- port_no;
           match t.kind with
           | Kernel | Kernel_ebpf ->
-              Cpu.charge softirq Cpu.Softirq
+              rx_softirq Cpu.Softirq
                 (match p.attach with
                 | At_veth -> c.Costs.veth_cross
                 | _ -> c.Costs.tap_rx_kernel);
@@ -434,14 +448,14 @@ let poll t ~(softirq : Cpu.ctx) ~(pmd : Cpu.ctx) ?(max = 32) ~port_no ~queue ()
               (match p.attach with
               | At_tap ->
                   (* read(2) from the tap fd, amortized like the tx side *)
-                  Cpu.charge pmd Cpu.System
+                  rx_pmd Cpu.System
                     ((c.Costs.sendto_tap /. 4.)
                     +. Costs.copy c ~bytes:(Ovs_packet.Buffer.length pkt))
               | _ ->
-                  Cpu.charge pmd Cpu.User
+                  rx_pmd Cpu.User
                     (c.Costs.virtio_ring_op +. c.Costs.vhost_copy_fixed
                     +. Costs.copy c ~bytes:(Ovs_packet.Buffer.length pkt)));
-              userspace_rx_prep t charge_pmd pkt
+              userspace_rx_prep t rx_pmd pkt
                 ~need_rxhash:(match t.kind with Afxdp _ -> true | _ -> false);
               Dp_core.process t.core charge_pmd pkt)
         pkts;
@@ -466,7 +480,10 @@ let set_xdp_program t ~port_no prog =
     phases (caches and conntrack state are preserved — warm start). *)
 let reset_measurement t =
   t.serialized_tx <- 0.;
-  Dp_core.reset_counters t.core
+  Dp_core.reset_counters t.core;
+  match Dp_core.tracer t.core with
+  | Some r -> Ovs_sim.Trace.reset r
+  | None -> ()
 
 (* -- the stable command/accessor surface over the sealed record -- *)
 
@@ -496,6 +513,12 @@ let set_time t now = Dp_core.set_now t.core now
 let set_upcall_hook t h = Dp_core.set_upcall_hook t.core h
 let handle_upcall t charge pkt key = Dp_core.handle_upcall t.core charge pkt key
 let fastpath_category t = Dp_core.fastpath_category t.core
+let set_tracer t r = Dp_core.set_tracer t.core r
+let tracer t = Dp_core.tracer t.core
+
+(** Run one packet straight through the datapath core (no port/driver
+    model) — what ofproto/trace uses to walk an injected packet. *)
+let process t charge pkt = Dp_core.process t.core charge pkt
 
 (** [set_xdp_program] under its appctl-flavored name. *)
 let replace_xdp_prog = set_xdp_program

@@ -141,8 +141,21 @@ val set_time : t -> Ovs_sim.Time.ns -> unit
 (** Advance the datapath's virtual clock (meters, conntrack). *)
 
 val reset_measurement : t -> unit
-(** Zero the counters and serialized-time accumulators between a warmup
-    and a measurement phase (caches stay warm). *)
+(** Zero the counters, serialized-time accumulators and the installed
+    tracer's aggregates between a warmup and a measurement phase (caches
+    stay warm). *)
+
+(** {1 Tracing} *)
+
+val set_tracer : t -> Ovs_sim.Trace.t option -> unit
+(** Install (or remove) a packet-walk / per-stage cycle recorder on the
+    datapath core. [None] (the default) keeps the hot path untraced. *)
+
+val tracer : t -> Ovs_sim.Trace.t option
+
+val process : t -> Dp_core.charge_fn -> Ovs_packet.Buffer.t -> unit
+(** Run one packet straight through the datapath core (no port/driver
+    model) — what ofproto/trace uses to walk an injected packet. *)
 
 (** {1 Deferred upcalls (PMD runtime)} *)
 

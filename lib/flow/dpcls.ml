@@ -14,6 +14,10 @@ type 'a entry = {
   key : FK.t;  (** pre-masked key *)
   value : 'a;
   mutable hits : int;
+  mutable cycles : float;
+      (** virtual ns spent on lookups that hit this entry (credited by the
+          datapath, which knows the per-probe cost) — dpctl/dump-flows'
+          per-megaflow cycle stats *)
 }
 
 type 'a subtable = {
@@ -69,7 +73,7 @@ let insert t ~mask ~key value =
   if existing then
     bucket := List.map (fun e -> if FK.equal e.key masked then { e with value } else e) !bucket
   else begin
-    bucket := { key = masked; value; hits = 0 } :: !bucket;
+    bucket := { key = masked; value; hits = 0; cycles = 0. } :: !bucket;
     st.st_count <- st.st_count + 1
   end
 
@@ -78,7 +82,7 @@ let insert t ~mask ~key value =
     subtable's mask (for installing into upper cache layers), or [None]
     after probing them all. Subtables are re-sorted by hit count
     periodically, as the real dpcls does. *)
-let lookup_full t (key : FK.t) : ('a * int * FK.t) option =
+let lookup_entry t (key : FK.t) : ('a entry * int * FK.t) option =
   t.lookups <- t.lookups + 1;
   t.resort_counter <- t.resort_counter + 1;
   if t.resort_counter >= 1024 then begin
@@ -105,11 +109,17 @@ let lookup_full t (key : FK.t) : ('a * int * FK.t) option =
             e.hits <- e.hits + 1;
             st.st_hits <- st.st_hits + 1;
             t.total_probes <- t.total_probes + n + 1;
-            Some (e.value, n + 1, st.mask)
+            Some (e, n + 1, st.mask)
         | None -> probe (n + 1) rest
       end
   in
   probe 0 t.subtables
+
+(** {!lookup_entry} with the entry resolved to its value. *)
+let lookup_full t (key : FK.t) : ('a * int * FK.t) option =
+  match lookup_entry t key with
+  | Some (e, probes, mask) -> Some (e.value, probes, mask)
+  | None -> None
 
 (** {!lookup_full} without the mask. *)
 let lookup t (key : FK.t) : ('a * int) option =
@@ -152,6 +162,13 @@ let iter t f =
       Hashtbl.iter
         (fun _ bucket -> List.iter (fun e -> f ~mask:st.mask ~key:e.key e.value e.hits) !bucket)
         st.tbl)
+    t.subtables
+
+(** {!iter} with the full entry exposed (hit and cycle stats). *)
+let iter_entries t f =
+  List.iter
+    (fun st ->
+      Hashtbl.iter (fun _ bucket -> List.iter (fun e -> f ~mask:st.mask e) !bucket) st.tbl)
     t.subtables
 
 (** Mean subtables probed per lookup so far. *)

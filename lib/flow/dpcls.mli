@@ -7,6 +7,16 @@
 
 module FK = Ovs_packet.Flow_key
 
+type 'a entry = {
+  key : FK.t;  (** pre-masked key *)
+  value : 'a;
+  mutable hits : int;
+  mutable cycles : float;
+      (** virtual ns spent on lookups that hit this entry (credited by the
+          datapath, which knows the per-probe cost) — dpctl/dump-flows'
+          per-megaflow cycle stats *)
+}
+
 type 'a t
 
 val create : unit -> 'a t
@@ -21,11 +31,15 @@ val insert : 'a t -> mask:FK.t -> key:FK.t -> 'a -> unit
 (** Install (or replace) the megaflow matching [key] under [mask]. [key]
     need not be pre-masked. *)
 
-val lookup_full : 'a t -> FK.t -> ('a * int * FK.t) option
-(** [lookup_full t key] is [Some (value, subtables_probed, mask)] for the
+val lookup_entry : 'a t -> FK.t -> ('a entry * int * FK.t) option
+(** [lookup_entry t key] is [Some (entry, subtables_probed, mask)] for the
     first subtable containing a match, or [None] after probing them all.
     The returned mask identifies the matching megaflow's subtable so upper
-    cache layers can be populated. *)
+    cache layers can be populated; the entry is exposed so the caller can
+    credit lookup cycles to it. *)
+
+val lookup_full : 'a t -> FK.t -> ('a * int * FK.t) option
+(** {!lookup_entry} with the entry resolved to its value. *)
 
 val lookup : 'a t -> FK.t -> ('a * int) option
 (** {!lookup_full} without the mask. *)
@@ -40,6 +54,9 @@ val iter :
   'a t -> (mask:FK.t -> key:FK.t -> 'a -> int -> unit) -> unit
 (** Visit every megaflow as [(mask, masked key, value, hit count)] — the
     dpctl/dump-flows view. *)
+
+val iter_entries : 'a t -> (mask:FK.t -> 'a entry -> unit) -> unit
+(** {!iter} with the full entry exposed (hit and cycle stats). *)
 
 val mean_probes : 'a t -> float
 (** Mean subtables probed per lookup since creation. *)

@@ -62,8 +62,12 @@ let or_mask acc m =
   Array.iteri (fun i _ -> acc.(i) <- acc.(i) lor m.(i)) acc
 
 (** Translate [key]. [start_table] defaults to the table encoded in the
-    key's recirculation id (0 on first pass). The key is not modified. *)
-let translate t ?start_table (key : FK.t) : result =
+    key's recirculation id (0 on first pass). The key is not modified.
+    [log], when given, is called for every table visited with the matched
+    rule (or [None] on a table miss) — the ofproto/trace walk hook. *)
+let translate t ?start_table
+    ?(log : (int -> Action.t list Table.rule option -> unit) option)
+    (key : FK.t) : result =
   t.translations <- t.translations + 1;
   let start =
     match start_table with
@@ -87,6 +91,7 @@ let translate t ?start_table (key : FK.t) : result =
       let rule, masks = Table.lookup t.tables.(table_id) key in
       probed := !probed + List.length masks;
       List.iter (fun m -> or_mask mask m) masks;
+      (match log with Some f -> f table_id rule | None -> ());
       match rule with
       | None ->
           (* OpenFlow 1.3 default: table miss drops *)

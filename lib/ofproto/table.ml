@@ -11,12 +11,16 @@
 module FK = Ovs_packet.Flow_key
 
 type 'a rule = {
+  id : int;  (** unique per process; what ofproto/trace names rules by *)
   priority : int;
   match_ : Match_.t;
   value : 'a;
   cookie : int;
   mutable hits : int;
 }
+
+(* process-global so rule ids stay unique across tables and bridges *)
+let next_rule_id = ref 0
 
 type 'a subtable = {
   mask : FK.t;
@@ -61,7 +65,8 @@ let add t ?(cookie = 0) ~priority (match_ : Match_.t) value =
         Hashtbl.replace st.tbl h b;
         b
   in
-  bucket := { priority; match_; value; cookie; hits = 0 } :: !bucket;
+  incr next_rule_id;
+  bucket := { id = !next_rule_id; priority; match_; value; cookie; hits = 0 } :: !bucket;
   st.max_priority <- Int.max st.max_priority priority;
   st.rule_count <- st.rule_count + 1;
   t.rule_count <- t.rule_count + 1

@@ -323,11 +323,164 @@ let pmd_rxq_show (reports : Pmd.report list) =
 (** [ovs-appctl coverage/show]: the process-global event counters. *)
 let coverage_show ?nonzero () = Ovs_sim.Coverage.show ?nonzero ()
 
+(* -- ofproto/trace: inject a synthetic packet and render its walk -- *)
+
+module Dpif = Ovs_datapath.Dpif
+module Trace = Ovs_sim.Trace
+module Build = Ovs_packet.Build
+
+(** Build a packet from an ovs-ofctl-style flow spec: comma-separated
+    [in_port=N], a protocol word ([udp]/[tcp]/[icmp]/[arp], default udp),
+    [nw_src=]/[nw_dst=] (dotted quad or integer), [tp_src=]/[tp_dst=],
+    and [geneve=VNI] (or [tun_id=VNI]) to wrap the result in a Geneve
+    outer header. Raises [Failure] on an unknown token. *)
+let packet_of_flow_spec spec : Ovs_packet.Buffer.t =
+  let addr v =
+    match int_of_string_opt v with
+    | Some n -> n
+    | None -> Ovs_packet.Ipv4.addr_of_string v
+  in
+  let int_ k v =
+    match int_of_string_opt v with
+    | Some n -> n
+    | None -> failwith (Printf.sprintf "ofproto/trace: bad value %s=%s" k v)
+  in
+  let in_port = ref 0 in
+  let proto = ref `Udp in
+  let src_ip = ref (Ovs_packet.Ipv4.addr_of_string "10.0.0.1") in
+  let dst_ip = ref (Ovs_packet.Ipv4.addr_of_string "10.0.0.2") in
+  let src_port = ref 1234 in
+  let dst_port = ref 5678 in
+  let tun_vni = ref None in
+  String.split_on_char ',' spec
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+  |> List.iter (fun tok ->
+         match String.index_opt tok '=' with
+         | None -> begin
+             match tok with
+             | "udp" -> proto := `Udp
+             | "tcp" -> proto := `Tcp
+             | "icmp" -> proto := `Icmp
+             | "arp" -> proto := `Arp
+             | other ->
+                 failwith
+                   (Printf.sprintf "ofproto/trace: unknown protocol \"%s\"" other)
+           end
+         | Some i ->
+             let k = String.sub tok 0 i in
+             let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+             (match k with
+             | "in_port" -> in_port := int_ k v
+             | "nw_src" -> src_ip := addr v
+             | "nw_dst" -> dst_ip := addr v
+             | "tp_src" -> src_port := int_ k v
+             | "tp_dst" -> dst_port := int_ k v
+             | "geneve" | "tun_id" -> tun_vni := Some (int_ k v)
+             | other ->
+                 failwith
+                   (Printf.sprintf "ofproto/trace: unknown field \"%s\"" other)));
+  let pkt =
+    match !proto with
+    | `Udp ->
+        Build.udp ~src_ip:!src_ip ~dst_ip:!dst_ip ~src_port:!src_port
+          ~dst_port:!dst_port ()
+    | `Tcp ->
+        Build.tcp ~src_ip:!src_ip ~dst_ip:!dst_ip ~src_port:!src_port
+          ~dst_port:!dst_port ()
+    | `Icmp -> Build.icmp ~src_ip:!src_ip ~dst_ip:!dst_ip ()
+    | `Arp -> Build.arp ~spa:!src_ip ~tpa:!dst_ip ()
+  in
+  (match !tun_vni with
+  | Some vni ->
+      Ovs_packet.Tunnel.encap pkt Ovs_packet.Tunnel.Geneve ~vni
+        ~src_mac:(Ovs_packet.Mac.of_index 10)
+        ~dst_mac:(Ovs_packet.Mac.of_index 11)
+        ~src_ip:(Ovs_packet.Ipv4.addr_of_string "192.168.0.1")
+        ~dst_ip:(Ovs_packet.Ipv4.addr_of_string "192.168.0.2")
+        ()
+  | None -> ());
+  pkt.Ovs_packet.Buffer.in_port <- !in_port;
+  pkt
+
+(** [ovs-appctl ofproto/trace FLOW]: build a packet from the flow spec,
+    run it live through the datapath with a walk recorder attached, and
+    render the classic indented trace — the flow, every stage crossed
+    (cache level, table-by-table rule matching, conntrack verdict,
+    encap/decap, tx) and the per-stage cycles charged.
+
+    Unlike real OVS's translate-only trace this executes the packet
+    against live datapath state (caches are populated, conntrack commits),
+    which is what lets it report cache level and cycles. *)
+let ofproto_trace (dp : Dpif.t) spec =
+  match packet_of_flow_spec spec with
+  | exception Failure msg -> Not_supported msg
+  | pkt ->
+      let saved = Dpif.tracer dp in
+      let r = Trace.create ~kind:(Dpif.kind_name (Dpif.kind dp)) () in
+      Dpif.set_tracer dp (Some r);
+      Trace.start_walk r;
+      let total = ref 0. in
+      Dpif.process dp (fun _cat ns -> total := !total +. ns) pkt;
+      let events = Trace.stop_walk r in
+      let stages = Trace.last_packet r in
+      Dpif.set_tracer dp saved;
+      let lines = ref [] in
+      let add fmt = Printf.ksprintf (fun s -> lines := s :: !lines) fmt in
+      (match events with
+      | { Trace.ev_stage = Trace.St_extract; ev_detail } :: _ ->
+          add "Flow: %s" ev_detail
+      | _ -> ());
+      List.iter
+        (fun { Trace.ev_stage; ev_detail } ->
+          add "  [%-9s] %s" (Trace.stage_name ev_stage) ev_detail)
+        events;
+      add "";
+      add "per-stage cycles:";
+      List.iter
+        (fun (s, ns) -> add "  %-9s %10.0f" (Trace.stage_name s) ns)
+        stages;
+      add "  %-9s %10.0f" "total" !total;
+      Ok_output (String.concat "\n" (List.rev !lines))
+
+(** [ovs-appctl dpif/show-stage-cycles]: the aggregate per-stage cycle
+    attribution table of the datapath's installed tracer. *)
+let show_stage_cycles (dp : Dpif.t) =
+  match Dpif.tracer dp with
+  | Some r -> Ok_output (Trace.render r)
+  | None ->
+      Not_supported
+        "no stage tracer installed (Dpif.set_tracer first, or run with trace)"
+
+(** [ovs-appctl dpctl/dump-flows]: the installed megaflows with
+    per-megaflow hit and cycle statistics. *)
+let dpctl_dump_flows (dp : Dpif.t) =
+  Ok_output (String.concat "\n" (Dpif.dump_megaflows dp))
+
 (** Dispatch an appctl command string. PMD commands render the supplied
-    runtime reports (pass the current {!Pmd.reports}). *)
-let appctl ?(pmds : Pmd.report list = []) cmd =
+    runtime reports (pass the current {!Pmd.reports}); datapath commands
+    ([ofproto/trace], [dpif/show-stage-cycles], [dpctl/dump-flows]) need
+    the [dp] argument. *)
+let appctl ?(pmds : Pmd.report list = []) ?(dp : Dpif.t option) cmd =
+  let with_dp f =
+    match dp with
+    | Some dp -> f dp
+    | None -> Not_supported (cmd ^ ": no datapath supplied")
+  in
+  let trace_prefix = "ofproto/trace " in
   match cmd with
   | "dpif-netdev/pmd-stats-show" -> Ok_output (pmd_stats_show pmds)
   | "dpif-netdev/pmd-rxq-show" -> Ok_output (pmd_rxq_show pmds)
   | "coverage/show" -> Ok_output (coverage_show ())
+  | "dpif/show-stage-cycles" -> with_dp show_stage_cycles
+  | "dpctl/dump-flows" -> with_dp dpctl_dump_flows
+  | "ofproto/trace" -> Not_supported "usage: ofproto/trace FLOW"
+  | cmd
+    when String.length cmd > String.length trace_prefix
+         && String.sub cmd 0 (String.length trace_prefix) = trace_prefix ->
+      let spec =
+        String.sub cmd (String.length trace_prefix)
+          (String.length cmd - String.length trace_prefix)
+      in
+      with_dp (fun dp -> ofproto_trace dp spec)
   | other -> Not_supported (Printf.sprintf "\"%s\" is not a valid command" other)

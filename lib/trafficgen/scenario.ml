@@ -32,6 +32,12 @@ type result = {
   pmds : Ovs_datapath.Pmd.report list;
       (** per-PMD breakdowns when the poll-mode runtime drove the run
           ([n_pmds >= 1] on a userspace datapath); empty otherwise *)
+  busy_ns : Ovs_sim.Time.ns;
+      (** summed busy time across every execution context — the charged
+          total a stage trace's per-stage sums must reproduce *)
+  stage_trace : Ovs_sim.Trace.t option;
+      (** the measurement phase's per-stage cycle attribution, when the
+          run was configured with [trace] *)
 }
 
 let pp_result ppf r =
@@ -67,6 +73,7 @@ type config = {
           that many PMD cores; 0 (the default) keeps the legacy
           one-context-per-queue loop *)
   n_rxqs : int;  (** rxqs for the PMD runtime; 0 means [queues] *)
+  trace : bool;  (** attach a per-stage cycle tracer to the datapath *)
 }
 
 let default_config =
@@ -82,6 +89,7 @@ let default_config =
     cache = Cache_default;
     n_pmds = 0;
     n_rxqs = 0;
+    trace = false;
   }
 
 (** Builder over {!default_config}, so call sites survive new fields. *)
@@ -90,9 +98,9 @@ let config ?(kind = default_config.kind) ?(topology = default_config.topology)
     ?(queues = default_config.queues) ?(gbps = default_config.gbps)
     ?(warmup = default_config.warmup) ?(measure = default_config.measure)
     ?(cache = default_config.cache) ?(n_pmds = default_config.n_pmds)
-    ?(n_rxqs = default_config.n_rxqs) () =
+    ?(n_rxqs = default_config.n_rxqs) ?(trace = default_config.trace) () =
   { kind; topology; n_flows; frame_len; queues; gbps; warmup; measure; cache;
-    n_pmds; n_rxqs }
+    n_pmds; n_rxqs; trace }
 
 let is_userspace = function
   | Dpif.Dpdk | Dpif.Afxdp _ -> true
@@ -122,6 +130,9 @@ let run (cfg : config) : result =
   | Cache_emc_smc -> Dpif.set_smc_enabled dp true);
   let p0 = Dpif.add_port dp phy0 in
   let p1 = Dpif.add_port dp phy1 in
+  if cfg.trace then
+    Dpif.set_tracer dp
+      (Some (Ovs_sim.Trace.create ~kind:(Dpif.kind_name cfg.kind) ()));
 
   (* execution contexts *)
   let sirq = Array.init queues (fun i -> Cpu.ctx machine (Printf.sprintf "softirq%d" i)) in
@@ -284,6 +295,9 @@ let run (cfg : config) : result =
   let cpu = Cpu.breakdown ~poll_floor machine ~wall in
   ignore vhost_kthread;
   ignore container;
+  let busy_ns =
+    List.fold_left (fun acc ctx -> acc +. Cpu.busy ctx) 0. machine.Cpu.ctxs
+  in
   {
     rate_mpps = rate /. 1e6;
     wall_ns = wall;
@@ -291,4 +305,6 @@ let run (cfg : config) : result =
     packets = delivered;
     line_limited;
     pmds = (match rt with Some rt -> Pmd.reports ~wall rt | None -> []);
+    busy_ns;
+    stage_trace = Dpif.tracer dp;
   }

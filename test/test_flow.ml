@@ -196,6 +196,148 @@ let prop_dpcls_vs_oracle =
       done;
       !ok)
 
+(* -- cache-hierarchy invariants (EMC + SMC + dpcls against the datapath) -- *)
+
+module Smc = Ovs_flow.Smc
+module Dpif = Ovs_datapath.Dpif
+module Dp_core = Ovs_datapath.Dp_core
+module Netdev = Ovs_netdev.Netdev
+module Buffer = Ovs_packet.Buffer
+
+(* The three cache tiers may miss independently, but any tier that claims a
+   hit must agree with the classifier (the ground truth): a disagreement
+   would forward a packet on a stale or foreign megaflow. *)
+let prop_cache_tiers_agree =
+  QCheck.Test.make ~count:60 ~name:"EMC/SMC/dpcls agree on every lookup"
+    QCheck.(small_int)
+    (fun seed ->
+      let prng = Ovs_sim.Prng.of_int (seed + 11) in
+      let cls = Dpcls.create () in
+      let emc = Emc.create ~entries:1024 () in
+      let smc = Smc.create ~entries:1024 () in
+      let masks =
+        [|
+          mask_of [ FK.Field.Nw_src ];
+          mask_of [ FK.Field.Nw_src; FK.Field.Tp_src ];
+          mask_of [ FK.Field.In_port; FK.Field.Nw_dst ];
+        |]
+      in
+      for v = 0 to 19 do
+        let k = FK.create () in
+        Array.iter (fun f -> FK.set k f (Ovs_sim.Prng.int prng 16)) FK.Field.all;
+        Dpcls.insert cls ~mask:masks.(v mod 3) ~key:k v
+      done;
+      let seen = ref [] in
+      let ok = ref true in
+      let probe k =
+        let truth = Dpcls.lookup_full cls k in
+        (match (Emc.lookup emc k, truth) with
+        | Some v, Some (v', _, _) when v <> v' -> ok := false
+        | Some _, None -> ok := false
+        | _ -> ());
+        (match (Smc.lookup smc k, truth) with
+        | Some v, Some (v', _, _) when v <> v' -> ok := false
+        | Some _, None -> ok := false
+        | _ -> ());
+        (* a dpcls hit populates the upper tiers, like the datapath does *)
+        match truth with
+        | Some (v, _, mask) ->
+            Emc.insert emc k v;
+            Smc.insert smc k ~mask v;
+            seen := FK.copy k :: !seen
+        | None -> ()
+      in
+      for _ = 1 to 200 do
+        let k = FK.create () in
+        Array.iter (fun f -> FK.set k f (Ovs_sim.Prng.int prng 16)) FK.Field.all;
+        probe k;
+        (* revisit a known flow: every tier must now hit and agree *)
+        match !seen with
+        | k' :: _ -> probe k'
+        | [] -> ()
+      done;
+      !ok)
+
+let flow_rules = [ "table=0,priority=10,udp actions=output:1" ]
+
+let make_dp ?(rules = flow_rules) () =
+  let pipeline = Ovs_ofproto.Pipeline.create ~n_tables:2 () in
+  ignore (Ovs_ofproto.Parser.install_flows pipeline rules);
+  let dp = Dpif.create ~kind:Dpif.Dpdk ~pipeline () in
+  for i = 0 to 2 do
+    ignore (Dpif.add_port dp (Netdev.create ~name:(Printf.sprintf "p%d" i) ()))
+  done;
+  (pipeline, dp)
+
+let udp_pkt () =
+  let pkt = Ovs_packet.Build.udp ~src_port:7777 () in
+  pkt.Buffer.in_port <- 0;
+  pkt
+
+let process dp pkt = Dpif.process dp (fun _ _ -> ()) pkt
+
+let test_hit_after_install_miss_after_flush () =
+  let _, dp = make_dp () in
+  let c = Dpif.counters dp in
+  process dp (udp_pkt ());
+  check Alcotest.int "first packet upcalls" 1 c.Dp_core.upcalls;
+  check Alcotest.int "megaflow installed" 1 (List.length (Dpif.dump_megaflows dp));
+  process dp (udp_pkt ());
+  check Alcotest.int "second packet hits the cache" 1 c.Dp_core.upcalls;
+  check Alcotest.int "EMC served it" 1 c.Dp_core.emc_hits;
+  Dpif.flush_caches dp;
+  check Alcotest.int "flush empties the flow table" 0
+    (List.length (Dpif.dump_megaflows dp));
+  process dp (udp_pkt ());
+  check Alcotest.int "post-flush packet misses again" 2 c.Dp_core.upcalls
+
+let new_policy = "table=0,priority=100,udp actions=output:2"
+
+let test_revalidate_evicts_and_never_resurrects () =
+  let pipeline, dp = make_dp () in
+  process dp (udp_pkt ());
+  let dumped = String.concat "\n" (Dpif.dump_megaflows dp) in
+  Alcotest.(check bool) "old policy cached" true
+    (Astring.String.is_infix ~affix:"output(1)" dumped);
+  (* the controller overrides the policy; the cached megaflow is now stale *)
+  ignore (Ovs_ofproto.Parser.install_flows pipeline [ new_policy ]);
+  Alcotest.(check bool) "revalidation evicts the stale megaflow" true
+    (Dpif.revalidate dp >= 1);
+  let dumped = String.concat "\n" (Dpif.dump_megaflows dp) in
+  Alcotest.(check bool) "stale megaflow gone" false
+    (Astring.String.is_infix ~affix:"output(1)" dumped);
+  (* re-processing must follow the new policy, and revalidation must agree *)
+  process dp (udp_pkt ());
+  let dumped = String.concat "\n" (Dpif.dump_megaflows dp) in
+  Alcotest.(check bool) "new policy cached" true
+    (Astring.String.is_infix ~affix:"output(2)" dumped);
+  Alcotest.(check bool) "old megaflow did not come back" false
+    (Astring.String.is_infix ~affix:"output(1)" dumped);
+  check Alcotest.int "nothing left to evict" 0 (Dpif.revalidate dp)
+
+(* Regression for the deferred-upcall re-probe path: an upcall queued
+   before a rule change must translate against the *new* tables when it is
+   finally drained, not resurrect the old decision. *)
+let test_deferred_upcall_sees_rule_change () =
+  let pipeline, dp = make_dp () in
+  let hit_ports = ref [] in
+  List.iter
+    (fun p ->
+      Netdev.set_tx_sink p.Dpif.dev (fun dev _ ->
+          hit_ports := dev.Netdev.port_no :: !hit_ports))
+    (Dpif.ports dp);
+  let pending = Queue.create () in
+  Dpif.set_upcall_hook dp (Some (fun pkt key -> Queue.add (pkt, key) pending; true));
+  process dp (udp_pkt ());
+  check Alcotest.int "packet parked on the upcall queue" 1 (Queue.length pending);
+  ignore (Ovs_ofproto.Parser.install_flows pipeline [ new_policy ]);
+  (let pkt, key = Queue.pop pending in
+   Dpif.handle_upcall dp (fun _ _ -> ()) pkt key);
+  Alcotest.(check (list Alcotest.int)) "forwarded by the new rule" [ 2 ] !hit_ports;
+  let dumped = String.concat "\n" (Dpif.dump_megaflows dp) in
+  Alcotest.(check bool) "megaflow carries the new actions" true
+    (Astring.String.is_infix ~affix:"output(2)" dumped)
+
 let qcheck = List.map QCheck_alcotest.to_alcotest
 
 let () =
@@ -221,4 +363,14 @@ let () =
           Alcotest.test_case "resort keeps semantics" `Quick test_dpcls_resort_keeps_semantics;
         ]
         @ qcheck [ prop_dpcls_vs_oracle ] );
+      ( "hierarchy",
+        [
+          Alcotest.test_case "hit after install, miss after flush" `Quick
+            test_hit_after_install_miss_after_flush;
+          Alcotest.test_case "revalidate never resurrects" `Quick
+            test_revalidate_evicts_and_never_resurrects;
+          Alcotest.test_case "deferred upcall sees rule change" `Quick
+            test_deferred_upcall_sees_rule_change;
+        ]
+        @ qcheck [ prop_cache_tiers_agree ] );
     ]

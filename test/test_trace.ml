@@ -1,0 +1,263 @@
+(* Tests for the packet-walk tracer and per-stage cycle attribution:
+   the walk matches the appctl rendering, per-stage cycles sum to the
+   charged total, and a disabled tracer costs the hot path nothing. *)
+
+module Trace = Ovs_sim.Trace
+module Dpif = Ovs_datapath.Dpif
+module Tools = Ovs_tools.Tools
+module Netdev = Ovs_netdev.Netdev
+module Buffer = Ovs_packet.Buffer
+module Build = Ovs_packet.Build
+
+let check = Alcotest.check
+
+(* The bin/ demo pipeline: decap Geneve into table 1, conntrack, output. *)
+let demo_rules =
+  [
+    "table=0,priority=100,udp,tp_dst=6081 actions=tnl_pop:1";
+    "table=0,priority=10 actions=output:1";
+    "table=1,priority=10 actions=ct(commit,zone=7,table=2)";
+    "table=2,priority=10 actions=output:1";
+  ]
+
+let make_dp ?(kind = Dpif.Dpdk) ?(rules = demo_rules) () =
+  let pipeline = Ovs_ofproto.Pipeline.create ~n_tables:4 () in
+  ignore (Ovs_ofproto.Parser.install_flows pipeline rules);
+  let dp = Dpif.create ~kind ~pipeline () in
+  ignore (Dpif.add_port dp (Netdev.create ~name:"p0" ()));
+  ignore (Dpif.add_port dp (Netdev.create ~name:"p1" ()));
+  dp
+
+let appctl_ok dp cmd =
+  match Tools.appctl ~dp cmd with
+  | Tools.Ok_output s -> s
+  | Tools.Not_supported msg -> Alcotest.fail (cmd ^ ": " ^ msg)
+
+let contains haystack needle = Astring.String.is_infix ~affix:needle haystack
+
+let require out needle =
+  if not (contains out needle) then
+    Alcotest.failf "expected %S in output:\n%s" needle out
+
+(* -- acceptance: ofproto/trace on a Geneve + conntrack flow -- *)
+
+let test_trace_geneve_conntrack () =
+  let dp = make_dp () in
+  let out = appctl_ok dp "ofproto/trace udp,geneve=7" in
+  require out "Flow: ";
+  (* the full table walk: rule ids, priorities and actions per table *)
+  require out "table 0: rule ";
+  require out "priority 100";
+  require out "tnl_pop";
+  require out "table 1: rule ";
+  require out "ct(";
+  require out "table 2: rule ";
+  require out "output:1";
+  (* stage events for decap, conntrack verdict and tx *)
+  require out "[decap";
+  require out "[conntrack]";
+  require out "ct_state=+new+trk";
+  require out "[tx";
+  (* megaflow installs are reported with their wildcard sets *)
+  require out "install megaflow on ";
+  (* per-stage cycle attribution is appended *)
+  require out "per-stage cycles:";
+  require out "upcall";
+  require out "total"
+
+let test_trace_cache_level_on_warm_flow () =
+  let dp = make_dp () in
+  (* first pass misses and installs; the second identical flow spec must
+     report which cache served it *)
+  ignore (appctl_ok dp "ofproto/trace udp,tp_src=4242");
+  let out = appctl_ok dp "ofproto/trace udp,tp_src=4242" in
+  require out "hit: exact-match cache";
+  (* a warm hit never re-enters the slow path *)
+  if contains out "table 0:" then Alcotest.fail ("unexpected table walk:\n" ^ out)
+
+let test_trace_usage_and_unknown () =
+  let dp = make_dp () in
+  (match Tools.appctl ~dp "ofproto/trace" with
+  | Tools.Not_supported msg -> require msg "usage"
+  | Tools.Ok_output _ -> Alcotest.fail "bare ofproto/trace accepted");
+  match Tools.appctl ~dp "ofproto/trace frob=1" with
+  | Tools.Not_supported _ -> ()
+  | Tools.Ok_output _ -> Alcotest.fail "bad flow spec accepted"
+
+(* -- the walk events match what the appctl rendering prints -- *)
+
+let test_walk_matches_rendering () =
+  let spec = "udp,geneve=9,tp_src=31337" in
+  let rendered = appctl_ok (make_dp ()) ("ofproto/trace " ^ spec) in
+  let rendered_stages =
+    String.split_on_char '\n' rendered
+    |> List.filter_map (fun line ->
+           if String.length line > 4 && String.sub line 0 3 = "  [" then
+             Some (String.trim (String.sub line 3 9))
+           else None)
+  in
+  (* replay the identical packet through an identical datapath by hand *)
+  let dp = make_dp () in
+  let tr = Trace.create ~kind:"test" () in
+  Dpif.set_tracer dp (Some tr);
+  Trace.start_walk tr;
+  Dpif.process dp (fun _ _ -> ()) (Tools.packet_of_flow_spec spec);
+  let events = Trace.stop_walk tr in
+  let walked_stages = List.map (fun e -> Trace.stage_name e.Trace.ev_stage) events in
+  check
+    Alcotest.(list string)
+    "same stages in the same order" walked_stages rendered_stages
+
+(* -- per-stage cycles sum to the charged total -- *)
+
+let close ~msg a b =
+  let denom = Float.max 1. (Float.max (abs_float a) (abs_float b)) in
+  if abs_float (a -. b) /. denom > 1e-6 then
+    Alcotest.failf "%s: %f vs %f" msg a b
+
+let test_per_packet_cycles_sum () =
+  let dp = make_dp () in
+  let tr = Trace.create ~kind:"test" () in
+  Dpif.set_tracer dp (Some tr);
+  let charged = ref 0. in
+  let charge _cat ns = charged := !charged +. ns in
+  (* cold pass: upcall + install + tunnel + conntrack stages *)
+  Dpif.process dp charge (Tools.packet_of_flow_spec "udp,geneve=3");
+  let sum stages = List.fold_left (fun acc (_, ns) -> acc +. ns) 0. stages in
+  close ~msg:"cold packet: stage sum = charged" (sum (Trace.last_packet tr)) !charged;
+  close ~msg:"tracer total tracks charges" (Trace.total tr) !charged;
+  (* warm pass: pure cache-hit fast path *)
+  let before = !charged in
+  Dpif.process dp charge (Tools.packet_of_flow_spec "udp,geneve=3");
+  close ~msg:"warm packet: stage sum = charged"
+    (sum (Trace.last_packet tr))
+    (!charged -. before);
+  check Alcotest.int "two packet brackets" 2 (Trace.packets tr)
+
+let scenario_stage_sum kind () =
+  let cfg =
+    Ovs_trafficgen.Scenario.config ~kind ~n_flows:200 ~gbps:25. ~warmup:1_000
+      ~measure:8_000 ~trace:true ()
+  in
+  let r = Ovs_trafficgen.Scenario.run cfg in
+  match r.Ovs_trafficgen.Scenario.stage_trace with
+  | None -> Alcotest.fail "no stage trace on a traced run"
+  | Some tr ->
+      Alcotest.(check bool) "traced packets" true (Trace.packets tr > 0);
+      close ~msg:"stage totals sum to the charged busy time" (Trace.total tr)
+        r.Ovs_trafficgen.Scenario.busy_ns
+
+(* -- disabled tracing is free -- *)
+
+let run_packets dp n =
+  let charged = ref 0. in
+  for i = 1 to n do
+    let pkt = Build.udp ~src_port:(1000 + (i mod 16)) () in
+    pkt.Buffer.in_port <- 0;
+    Dpif.process dp (fun _cat ns -> charged := !charged +. ns) pkt
+  done;
+  !charged
+
+let test_disabled_tracer_zero_cost () =
+  let plain = make_dp () in
+  let traced = make_dp () in
+  Dpif.set_tracer traced (Some (Trace.create ~kind:"test" ()));
+  let a = run_packets plain 500 and b = run_packets traced 500 in
+  check (Alcotest.float 0.) "identical charged cycles" a b
+
+let test_disabled_tracer_zero_allocations () =
+  let dp = make_dp () in
+  (* warm the caches so both measured batches run the same EMC-hit path *)
+  ignore (run_packets dp 64);
+  (* on OCaml 5 [Gc.allocated_bytes] only advances at collection points,
+     so force a minor collection to synchronize the counter first *)
+  let allocated () =
+    Gc.minor ();
+    Gc.allocated_bytes ()
+  in
+  let batch () =
+    let before = allocated () in
+    ignore (run_packets dp 512);
+    allocated () -. before
+  in
+  let first = batch () in
+  let second = batch () in
+  check (Alcotest.float 0.) "steady-state allocations are flat (no hidden tracer state)"
+    first second
+
+let test_tracer_without_walk_records_no_events () =
+  let dp = make_dp () in
+  let tr = Trace.create ~kind:"test" () in
+  Dpif.set_tracer dp (Some tr);
+  ignore (run_packets dp 32);
+  check Alcotest.int "no walk, no events" 0 (List.length (Trace.stop_walk tr));
+  Alcotest.(check bool) "but histograms accumulated" true (Trace.total tr > 0.)
+
+(* -- aggregates: show-stage-cycles and dump-flows stats -- *)
+
+let test_show_stage_cycles () =
+  let dp = make_dp () in
+  (match Tools.appctl ~dp "dpif/show-stage-cycles" with
+  | Tools.Not_supported msg -> require msg "no stage tracer"
+  | Tools.Ok_output _ -> Alcotest.fail "rendered without a tracer");
+  Dpif.set_tracer dp (Some (Trace.create ~kind:"dpdk" ()));
+  ignore (run_packets dp 100);
+  let out = appctl_ok dp "dpif/show-stage-cycles" in
+  require out "per-stage cycle attribution";
+  require out "100 packets";
+  require out "emc";
+  require out "tx";
+  require out "total"
+
+let test_dump_flows_stats () =
+  let dp = make_dp () in
+  ignore (run_packets dp 10);
+  let out = appctl_ok dp "dpctl/dump-flows" in
+  require out "packets:";
+  require out "cycles:";
+  require out "actions:"
+
+let test_reset_measurement_clears_trace () =
+  let dp = make_dp () in
+  let tr = Trace.create ~kind:"test" () in
+  Dpif.set_tracer dp (Some tr);
+  ignore (run_packets dp 50);
+  Dpif.reset_measurement dp;
+  check Alcotest.int "packets zeroed" 0 (Trace.packets tr);
+  check (Alcotest.float 0.) "totals zeroed" 0. (Trace.total tr);
+  ignore (run_packets dp 7);
+  check Alcotest.int "counts resume" 7 (Trace.packets tr)
+
+let () =
+  Alcotest.run "ovs_trace"
+    [
+      ( "ofproto/trace",
+        [
+          Alcotest.test_case "geneve+conntrack walk" `Quick test_trace_geneve_conntrack;
+          Alcotest.test_case "cache level on warm flow" `Quick
+            test_trace_cache_level_on_warm_flow;
+          Alcotest.test_case "usage and unknown specs" `Quick test_trace_usage_and_unknown;
+          Alcotest.test_case "walk matches rendering" `Quick test_walk_matches_rendering;
+        ] );
+      ( "attribution",
+        [
+          Alcotest.test_case "per-packet sums" `Quick test_per_packet_cycles_sum;
+          Alcotest.test_case "scenario sum: kernel" `Quick (scenario_stage_sum Dpif.Kernel);
+          Alcotest.test_case "scenario sum: dpdk" `Quick (scenario_stage_sum Dpif.Dpdk);
+          Alcotest.test_case "scenario sum: afxdp" `Quick
+            (scenario_stage_sum (Dpif.Afxdp Dpif.afxdp_default));
+        ] );
+      ( "overhead",
+        [
+          Alcotest.test_case "zero cost when disabled" `Quick test_disabled_tracer_zero_cost;
+          Alcotest.test_case "flat allocations" `Quick test_disabled_tracer_zero_allocations;
+          Alcotest.test_case "no events without walk" `Quick
+            test_tracer_without_walk_records_no_events;
+        ] );
+      ( "appctl",
+        [
+          Alcotest.test_case "show-stage-cycles" `Quick test_show_stage_cycles;
+          Alcotest.test_case "dump-flows stats" `Quick test_dump_flows_stats;
+          Alcotest.test_case "reset clears trace" `Quick test_reset_measurement_clears_trace;
+        ] );
+    ]
