@@ -1,5 +1,5 @@
 # Tier-1 verification in one command.
-.PHONY: all check build test smoke bench clean
+.PHONY: all check build test smoke bench chaos clean
 
 all: build
 
@@ -14,7 +14,13 @@ test:
 smoke:
 	dune exec bench/main.exe -- pmd stages
 
-check: build test smoke
+# The chaos bench: every fault plan against every leg, exact packet
+# conservation and post-recovery throughput enforced (exit nonzero on any
+# LEAK/DEGRADED row). Writes BENCH_chaos.json.
+chaos:
+	dune exec bench/main.exe -- chaos --json
+
+check: build test smoke chaos
 
 bench:
 	dune exec bench/main.exe

@@ -388,6 +388,43 @@ let stages_exp () =
   row " path; with warm megaflows the cache tiers shrink dpcls and upcall@.";
   row " time to noise, which is the Sec 2.1 caching argument in one table)@."
 
+(* ----------------------------------------------------------- chaos bench *)
+
+module Chaos = Ovs_trafficgen.Chaos
+
+let chaos_json = ref false
+
+(* every fault plan from the catalog against the legs it applies to; a
+   failed verdict (conservation leak or unrecovered throughput) fails
+   the bench run *)
+let chaos_exp () =
+  section "Chaos bench: fault plans vs the kernel / AF_XDP / PMD legs";
+  let rows = Chaos.run_all () in
+  row "%s@." (Chaos.render rows);
+  (match
+     List.find_opt (fun r -> r.Chaos.row_plan = "pmd_crash") rows
+   with
+  | Some r -> (
+      match r.Chaos.row_res.Scenario.c_recovery_ns with
+      | Some ns ->
+          row "pmd_crash vs the Sec 6 upgrade model: %a@."
+            Ovs_core.Upgrade.pp_downtime
+            (Ovs_core.Upgrade.compare_downtime ~measured_recovery_ns:ns);
+          row "@.--- dpif/health-show after the crash run ---@.%s@."
+            r.Chaos.row_res.Scenario.c_health
+      | None -> ())
+  | None -> ());
+  if !chaos_json then begin
+    let out = open_out "BENCH_chaos.json" in
+    output_string out (Chaos.to_json rows);
+    close_out out;
+    row "wrote BENCH_chaos.json@."
+  end;
+  if not (Chaos.all_pass rows) then begin
+    Fmt.epr "chaos bench FAILED: conservation leak or unrecovered plan@.";
+    exit 1
+  end
+
 (* -------------------------------------------------- Bechamel micro bench *)
 
 let micro () =
@@ -452,10 +489,16 @@ let all = [
   ("table3", table3); ("fig8", fig8); ("fig9", fig9); ("table4", table4);
   ("fig10", fig10); ("fig11", fig11); ("table5", table5); ("fig12", fig12);
   ("pmd", pmd_exp); ("stages", stages_exp); ("ablations", ablations);
+  ("chaos", chaos_exp);
 ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl |> List.filter (fun a -> a <> "--") in
+  let args =
+    List.filter
+      (fun a -> if a = "--json" then (chaos_json := true; false) else true)
+      args
+  in
   match args with
   | [] ->
       List.iter (fun (_, f) -> f ()) all;

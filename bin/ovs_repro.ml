@@ -255,7 +255,8 @@ let appctl_cmd =
       pkt.Ovs_packet.Buffer.in_port <- 0;
       Dpif.process dp sink pkt
     done;
-    match Ovs_tools.Tools.appctl ~dp cmd with
+    let health = Ovs_datapath.Health.create ~dp () in
+    match Ovs_tools.Tools.appctl ~dp ~health cmd with
     | Ovs_tools.Tools.Ok_output out -> Fmt.pr "%s@." out
     | Ovs_tools.Tools.Not_supported msg ->
         Fmt.epr "ovs-appctl: %s@." msg;

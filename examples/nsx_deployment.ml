@@ -85,25 +85,30 @@ let () =
             ~local_vm_mac:vm_a_mac ~remote_vm_mac:vm_b_mac in
   let b = make_host ~name:"hostB" ~local_vtep:"192.168.0.2" ~remote_vtep:"192.168.0.1"
             ~local_vm_mac:vm_b_mac ~remote_vm_mac:vm_a_mac in
-  Netdev.set_tx_sink a.uplink (fun _ pkt -> Netdev.enqueue_on b.uplink ~queue:0 pkt);
-  Netdev.set_tx_sink b.uplink (fun _ pkt -> Netdev.enqueue_on a.uplink ~queue:0 pkt);
+  Netdev.set_tx_sink a.uplink (fun _ pkt ->
+      ignore (Netdev.enqueue_on b.uplink ~queue:0 pkt : bool));
+  Netdev.set_tx_sink b.uplink (fun _ pkt ->
+      ignore (Netdev.enqueue_on a.uplink ~queue:0 pkt : bool));
   let to_b = ref 0 and to_a = ref 0 in
   Netdev.set_tx_sink b.vif (fun _ _ -> incr to_b);
   Netdev.set_tx_sink a.vif (fun _ _ -> incr to_a);
 
   Fmt.pr "VM A -> VM B: TCP SYN to port 80 (allowed by the firewall)@.";
-  Netdev.enqueue_on a.vif ~queue:0 (tcp ~from_a:true ~flags:P.Tcp.Flags.syn ~dst_port:80);
+  ignore (Netdev.enqueue_on a.vif ~queue:0 (tcp ~from_a:true ~flags:P.Tcp.Flags.syn ~dst_port:80) : bool);
   settle [ a; b ];
   Fmt.pr "  delivered to VM B: %d (via Geneve vni 7001)@." !to_b;
 
   Fmt.pr "VM B -> VM A: SYN+ACK reply (established via conntrack)@.";
-  Netdev.enqueue_on b.vif ~queue:0
-    (tcp ~from_a:false ~flags:(P.Tcp.Flags.syn lor P.Tcp.Flags.ack) ~dst_port:51000);
+  ignore
+    (Netdev.enqueue_on b.vif ~queue:0
+       (tcp ~from_a:false ~flags:(P.Tcp.Flags.syn lor P.Tcp.Flags.ack)
+          ~dst_port:51000)
+      : bool);
   settle [ a; b ];
   Fmt.pr "  delivered to VM A: %d@." !to_a;
 
   Fmt.pr "VM A -> VM B: TCP SYN to port 22 (blocked by the firewall)@.";
-  Netdev.enqueue_on a.vif ~queue:0 (tcp ~from_a:true ~flags:P.Tcp.Flags.syn ~dst_port:22);
+  ignore (Netdev.enqueue_on a.vif ~queue:0 (tcp ~from_a:true ~flags:P.Tcp.Flags.syn ~dst_port:22) : bool);
   settle [ a; b ];
   Fmt.pr "  delivered to VM B: %d (unchanged: dropped at host A)@." !to_b;
 

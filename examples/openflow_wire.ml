@@ -85,7 +85,7 @@ let () =
   | _ -> ());
 
   (* tcpdump -w on the AF_XDP-managed port still works (Table 1) *)
-  Netdev.enqueue_on eth0 ~queue:0 (Ovs_packet.Build.udp ());
+  ignore (Netdev.enqueue_on eth0 ~queue:0 (Ovs_packet.Build.udp ()) : bool);
   (match Ovs_tools.Tools.tcpdump_pcap eth0 ~now:0. ~count:4 with
   | Ovs_tools.Tools.Ok_output pcap ->
       Fmt.pr "@.$ tcpdump -w capture.pcap -i eth0  -> %d pcap bytes (magic a1b2c3d4)@."

@@ -72,7 +72,7 @@ let () =
   for i = 0 to 2 do
     let pkt = flow i in
     let key = session_key (P.Flow_key.extract pkt) in
-    Netdev.enqueue_on phy ~queue:0 pkt;
+    ignore (Netdev.enqueue_on phy ~queue:0 pkt : bool);
     ignore (Dpif.poll dp ~softirq:sirq ~pmd ~port_no:p0 ~queue:0 ());
     (* the controller's decision: pin the session to a backend in XDP *)
     let mac = backend_macs.(i mod Array.length backend_macs) in
@@ -86,7 +86,7 @@ let () =
   Fmt.pr "@.-- steady state (fast path in XDP) --@.";
   for _ = 1 to 300 do
     for i = 0 to 2 do
-      Netdev.enqueue_on phy ~queue:0 (flow i);
+      ignore (Netdev.enqueue_on phy ~queue:0 (flow i) : bool);
       ignore (Dpif.poll dp ~softirq:sirq ~pmd ~port_no:p0 ~queue:0 ())
     done
   done;

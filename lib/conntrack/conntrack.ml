@@ -7,6 +7,8 @@
 
 module FK = Ovs_packet.Flow_key
 
+let cov_zone_limit_drop = Ovs_sim.Coverage.counter "ct_zone_limit_drop"
+
 (** Canonical 5-tuple plus zone; directionality is derived by comparing
     against the stored original direction. *)
 type tuple = {
@@ -242,10 +244,18 @@ let commit t ~now ~zone ?nat (k : FK.t) : conn option =
             Hashtbl.replace t.zone_counts zone r;
             r
       in
-      let limit = Hashtbl.find_opt t.zone_limits zone in
+      (* the effective limit is the configured one, tightened by any open
+         Ct_pressure fault window on this zone *)
+      let limit =
+        match (Hashtbl.find_opt t.zone_limits zone, Ovs_faults.Faults.ct_limit ~zone) with
+        | Some l, Some forced -> Some (Int.min l forced)
+        | None, forced -> forced
+        | (Some _ as l), None -> l
+      in
       match limit with
       | Some l when !count >= l ->
           t.limit_drops <- t.limit_drops + 1;
+          Ovs_sim.Coverage.incr cov_zone_limit_drop;
           None
       | _ ->
           let state =
@@ -323,6 +333,37 @@ let apply_nat (conn : conn) ~is_reply (buf : Ovs_packet.Buffer.t) (k : FK.t) =
       | None -> ());
       if !changed then Ovs_packet.Ipv4.update_csum buf;
       !changed
+
+(** Shrink [zone] to at most [limit] tracked connections by evicting
+    arbitrary entries — conntrack's early_drop behavior under table
+    pressure, and the window-open side effect of a [Ct_pressure] fault:
+    evicted connections must re-commit, and while the forced limit
+    holds, those commits fail into the invalid state. Returns the number
+    evicted. *)
+let evict_to_limit t ~zone ~limit =
+  let excess = zone_count t ~zone - limit in
+  if excess <= 0 then 0
+  else begin
+    let victims = ref [] and left = ref excess in
+    (try
+       Hashtbl.iter
+         (fun tup conn ->
+           if !left > 0 && tup = conn.orig && tup.zone = zone then begin
+             victims := conn :: !victims;
+             decr left
+           end)
+         t.conns
+     with Exit -> ());
+    List.iter
+      (fun conn ->
+        Hashtbl.remove t.conns conn.orig;
+        Hashtbl.remove t.conns (tuple_reverse conn.orig);
+        match Hashtbl.find_opt t.zone_counts conn.orig.zone with
+        | Some r -> decr r
+        | None -> ())
+      !victims;
+    List.length !victims
+  end
 
 (** Expire connections idle past their protocol timeout. Returns how many
     were reclaimed. *)

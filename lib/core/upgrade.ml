@@ -55,6 +55,32 @@ let annual_fleet_disruption_hours arch ~hosts ~fixes_per_year =
      +. if c.workloads_disrupted then 600. (* migration traffic and risk *) else 0.)
   /. 3600.
 
+(** Anchor a measured recovery episode (the chaos bench's PMD
+    crash-to-healthy time, in virtual nanoseconds) to the modeled
+    userspace process-restart downtime above. The measured number is an
+    in-process respawn with warm caches revalidated; the model charges a
+    full restart with caches rebuilt — the ratio is how much of the
+    modeled downtime is cache warm-up rather than respawn latency. *)
+type downtime_comparison = {
+  measured_recovery_s : float;
+  modeled_downtime_s : float;
+  downtime_ratio : float;  (** measured / modeled *)
+}
+
+let compare_downtime ~measured_recovery_ns =
+  let measured_recovery_s = measured_recovery_ns /. 1e9 in
+  let modeled_downtime_s = (upgrade Arch_userspace).dataplane_downtime_s in
+  {
+    measured_recovery_s;
+    modeled_downtime_s;
+    downtime_ratio = measured_recovery_s /. modeled_downtime_s;
+  }
+
+let pp_downtime ppf c =
+  Fmt.pf ppf
+    "measured recovery %.6f s vs modeled restart %.1f s (ratio %.2e)"
+    c.measured_recovery_s c.modeled_downtime_s c.downtime_ratio
+
 let pp_cost ppf c =
   Fmt.pf ppf "downtime %.2fs reboot=%b workloads-disrupted=%b revalidation=%b"
     c.dataplane_downtime_s c.needs_reboot c.workloads_disrupted

@@ -20,3 +20,16 @@ val annual_fleet_disruption_hours :
 (** Host-hours of disruption to keep a fleet patched for a year. *)
 
 val pp_cost : Format.formatter -> upgrade_cost -> unit
+
+(** Measured-vs-modeled downtime: the chaos bench's recovery time against
+    the modeled userspace process-restart cost. *)
+type downtime_comparison = {
+  measured_recovery_s : float;
+  modeled_downtime_s : float;
+  downtime_ratio : float;  (** measured / modeled *)
+}
+
+val compare_downtime : measured_recovery_ns:float -> downtime_comparison
+(** [measured_recovery_ns] is virtual time from {!Ovs_datapath.Health}. *)
+
+val pp_downtime : Format.formatter -> downtime_comparison -> unit

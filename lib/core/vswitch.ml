@@ -169,7 +169,7 @@ let inject t ~machine_ctx (pkt : Ovs_packet.Buffer.t) ~port_no =
   match Dpif.port t.dp port_no with
   | None -> invalid_arg "Vswitch.inject: unknown port"
   | Some p ->
-      Ovs_netdev.Netdev.enqueue_on p.Dpif.dev ~queue:0 pkt;
+      ignore (Ovs_netdev.Netdev.enqueue_on p.Dpif.dev ~queue:0 pkt : bool);
       ignore
         (Dpif.poll t.dp ~softirq:machine_ctx ~pmd:machine_ctx ~port_no ~queue:0 ())
 

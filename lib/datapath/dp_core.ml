@@ -44,6 +44,7 @@ let cov_upcall_lost = Coverage.counter "dpif_upcall_lost"
 let cov_recirc = Coverage.counter "dpif_recirc"
 let cov_drop = Coverage.counter "datapath_drop"
 let cov_meter_drop = Coverage.counter "dpif_meter_drop"
+let cov_decap_drop = Coverage.counter "dpif_tnl_decap_drop"
 
 (** An OpenFlow meter: a token bucket refilled in virtual time. The
     userspace reimplementation of the kernel's policers the paper had to
@@ -450,7 +451,9 @@ let rec execute t (charge : charge_fn) (pkt : Ovs_packet.Buffer.t) (key : FK.t)
           | Some _ ->
               pkt.Ovs_packet.Buffer.recirc_id <- resume;
               recirculate t charge pkt
-          | None -> t.counters.dropped <- t.counters.dropped + 1);
+          | None ->
+              t.counters.dropped <- t.counters.dropped + 1;
+              Coverage.incr cov_decap_drop);
           go rest
       | Action.Odp_ct { zone; commit; nat; resume_table } -> begin
           let ct = t.conntrack in

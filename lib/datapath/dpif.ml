@@ -396,6 +396,10 @@ let poll t ~(softirq : Cpu.ctx) ~(pmd : Cpu.ctx) ?(max = 32) ~port_no ~queue ()
       (* userspace side: PMD thread (or the main thread without O1) *)
       let batch = Ovs_xsk.Xsk.rx_burst xsk ~max in
       let n = List.length batch in
+      (* refill the fill ring for the next burst — even on an idle poll:
+         after a pool-exhaustion episode the fill ring can be empty with
+         nothing in flight, and only the refill un-wedges rx *)
+      ignore (Ovs_xsk.Xsk.refill xsk n);
       if n > 0 then begin
         rx_pmd Cpu.User c.Costs.xsk_ring_op;  (* one burst pop *)
         if not opts.pmd_threads then
@@ -404,8 +408,6 @@ let poll t ~(softirq : Cpu.ctx) ~(pmd : Cpu.ctx) ?(max = 32) ~port_no ~queue ()
           rx_pmd Cpu.System
             (float_of_int n
             *. (c.Costs.syscall +. (0.53 *. c.Costs.context_switch)));
-        (* refill the fill ring for the next burst *)
-        ignore (Ovs_xsk.Xsk.refill xsk n);
         let lock = Ovs_xsk.Umempool.lock_cost pool c in
         let lock_events =
           match opts.lock with
@@ -499,6 +501,13 @@ let active_queues t = t.active_queues
 let xsks t ~port_no =
   match port t port_no with
   | Some { attach = At_phy_xsk { xsks; _ }; _ } -> Some xsks
+  | Some _ | None -> None
+
+(** The umem pool behind an AF_XDP physical port (for health monitoring
+    and frame-leak repair), or [None] for other attachments. *)
+let umem_pool t ~port_no =
+  match port t port_no with
+  | Some { attach = At_phy_xsk { pool; _ }; _ } -> Some pool
   | Some _ | None -> None
 
 let set_emc_enabled t v = Dp_core.set_emc_enabled t.core v

@@ -73,6 +73,10 @@ val xsks : t -> port_no:int -> Ovs_xsk.Xsk.t array option
 (** Per-queue XSK sockets of an AF_XDP physical port (for the PMD runtime
     to claim ring ownership), or [None] for other attachments. *)
 
+val umem_pool : t -> port_no:int -> Ovs_xsk.Umempool.t option
+(** The umem pool behind an AF_XDP physical port (for health monitoring
+    and frame-leak repair), or [None] for other attachments. *)
+
 val conntrack : t -> Ovs_conntrack.Conntrack.t
 
 val counters : t -> Dp_core.counters

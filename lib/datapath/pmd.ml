@@ -25,6 +25,16 @@ let cov_poll = Coverage.counter "pmd_poll"
 let cov_idle_poll = Coverage.counter "pmd_idle_poll"
 let cov_upcall_enqueued = Coverage.counter "pmd_upcall_enqueued"
 let cov_rebalance = Coverage.counter "pmd_rxq_rebalance"
+let cov_upcall_retried = Coverage.counter "pmd_upcall_retried"
+let cov_retry_lost = Coverage.counter "pmd_retry_lost"
+let cov_crash = Coverage.counter "pmd_crash"
+let cov_restart = Coverage.counter "pmd_restart"
+
+module Faults = Ovs_faults.Faults
+
+(* retry backoff: re-queueing an upcall costs a little PMD time per
+   attempt (the thread sleeps/spins before retrying) *)
+let retry_backoff_ns = 100.
 
 (** One receive queue as a PMD sees it: identity plus the measured load
     that cycles-based rebalancing sorts on. *)
@@ -45,6 +55,7 @@ type stats = {
   mutable megaflow_hits : int;
   mutable miss : int;
   mutable lost : int;
+  mutable retried : int;  (** upcalls parked in the retry queue *)
   mutable polls : int;
   mutable idle_polls : int;  (** polls that dequeued nothing *)
 }
@@ -57,6 +68,7 @@ let fresh_stats () =
     megaflow_hits = 0;
     miss = 0;
     lost = 0;
+    retried = 0;
     polls = 0;
     idle_polls = 0;
   }
@@ -67,6 +79,10 @@ type pmd = {
   mutable rxqs : rxq list;
   pstats : stats;
   upcalls : (Ovs_packet.Buffer.t * Ovs_packet.Flow_key.t) Queue.t;
+  retries : (Ovs_packet.Buffer.t * Ovs_packet.Flow_key.t * int) Queue.t;
+      (** upcalls the bounded queue refused, with their attempt count *)
+  mutable alive : bool;  (** false between a crash fault and restart *)
+  mutable restarts : int;
 }
 
 type t = {
@@ -76,6 +92,8 @@ type t = {
   port_no : int;
   n_rxqs : int;
   upcall_capacity : int;
+  retry_capacity : int;
+  max_retries : int;
   batch : int;
 }
 
@@ -112,8 +130,8 @@ let apply_assignment t (a : Rxq_sched.assignment) =
   done;
   claim_xsks t
 
-let create ?(upcall_capacity = 512) ~dp ~machine ~softirq ~port_no ~n_rxqs
-    ~n_pmds () =
+let create ?(upcall_capacity = 512) ?(retry_capacity = 256) ?(max_retries = 3)
+    ~dp ~machine ~softirq ~port_no ~n_rxqs ~n_pmds () =
   if n_pmds <= 0 then invalid_arg "Pmd.create: n_pmds must be positive";
   if n_rxqs <= 0 then invalid_arg "Pmd.create: n_rxqs must be positive";
   if Array.length softirq < n_rxqs then
@@ -126,6 +144,9 @@ let create ?(upcall_capacity = 512) ~dp ~machine ~softirq ~port_no ~n_rxqs
           rxqs = [];
           pstats = fresh_stats ();
           upcalls = Queue.create ();
+          retries = Queue.create ();
+          alive = true;
+          restarts = 0;
         })
   in
   let t =
@@ -136,6 +157,8 @@ let create ?(upcall_capacity = 512) ~dp ~machine ~softirq ~port_no ~n_rxqs
       port_no;
       n_rxqs;
       upcall_capacity;
+      retry_capacity;
+      max_retries;
       batch = (Dpif.afxdp_opts dp).Dpif.batch_size;
     }
   in
@@ -157,16 +180,57 @@ let assignment t =
          List.map (fun r -> (r.rxq_port, r.rxq_queue, p.id)) p.rxqs)
   |> List.sort compare
 
+(* When the bounded queue refuses an upcall (overflow, or an armed
+   upcall-storm fault), park it in the retry queue instead of losing it
+   outright — the retry queue is bounded too, so sustained pressure still
+   loses packets, but a transient burst recovers without drops. Returning
+   [true] tells the datapath we own the packet; a definitive loss returns
+   [false] so Dp_core counts the drop. The retry machinery is dormant on
+   the sunny path: the upcall queue never overflows there. *)
 let upcall_hook_for t pmd (pkt : Ovs_packet.Buffer.t) key =
-  if Queue.length pmd.upcalls >= t.upcall_capacity then begin
-    pmd.pstats.lost <- pmd.pstats.lost + 1;
-    false
-  end
+  if Queue.length pmd.upcalls >= t.upcall_capacity || Faults.upcall_storm ()
+  then
+    if Queue.length pmd.retries < t.retry_capacity then begin
+      Queue.add (pkt, key, 0) pmd.retries;
+      pmd.pstats.retried <- pmd.pstats.retried + 1;
+      Coverage.incr cov_upcall_retried;
+      true
+    end
+    else begin
+      pmd.pstats.lost <- pmd.pstats.lost + 1;
+      false
+    end
   else begin
     Queue.add (pkt, key) pmd.upcalls;
     Coverage.incr cov_upcall_enqueued;
     true
   end
+
+(* Bounded retry with backoff: each pass moves parked upcalls back into
+   the main queue if it has room, charging a small per-attempt backoff to
+   the PMD's core; an upcall out of attempts is lost for good (counted in
+   both [lost] and the datapath's [dropped] — the hook already said we
+   owned it). *)
+let process_retries t pmd =
+  let n = Queue.length pmd.retries in
+  for _ = 1 to n do
+    let pkt, key, attempts = Queue.pop pmd.retries in
+    if attempts >= t.max_retries then begin
+      pmd.pstats.lost <- pmd.pstats.lost + 1;
+      let c = Dpif.counters t.dp in
+      c.Dp_core.dropped <- c.Dp_core.dropped + 1;
+      Coverage.incr cov_retry_lost
+    end
+    else begin
+      Cpu.charge pmd.ctx Cpu.User
+        (retry_backoff_ns *. float_of_int (attempts + 1));
+      if
+        Queue.length pmd.upcalls < t.upcall_capacity
+        && not (Faults.upcall_storm ())
+      then Queue.add (pkt, key) pmd.upcalls
+      else Queue.add (pkt, key, attempts + 1) pmd.retries
+    end
+  done
 
 (* Drain this PMD's bounded upcall queue into the shared slow path,
    charging the PMD's own core (dpif-netdev PMDs handle their own
@@ -180,8 +244,11 @@ let drain_upcalls t pmd =
   done
 
 (** Poll one of [pmd]'s rxqs: one burst through the datapath, then drain
-    the upcall queue. Returns packets dequeued. *)
+    the upcall queue. Returns packets dequeued. A dead or stalled PMD
+    does nothing; its rxqs back up. *)
 let poll_rxq t pmd (rxq : rxq) =
+  if (not pmd.alive) || Faults.pmd_stalled ~pmd:pmd.id then 0
+  else begin
   let agg = Dpif.counters t.dp in
   let emc0 = agg.Dp_core.emc_hits
   and smc0 = agg.Dp_core.smc_hits
@@ -194,6 +261,7 @@ let poll_rxq t pmd (rxq : rxq) =
       ~softirq:t.softirq.(rxq.rxq_queue)
       ~pmd:pmd.ctx ~max:t.batch ~port_no:rxq.rxq_port ~queue:rxq.rxq_queue ()
   in
+  process_retries t pmd;
   drain_upcalls t pmd;
   Dpif.set_upcall_hook t.dp None;
   let s = pmd.pstats in
@@ -211,10 +279,53 @@ let poll_rxq t pmd (rxq : rxq) =
   rxq.rxq_cycles <- rxq.rxq_cycles +. (Cpu.busy pmd.ctx -. busy0);
   rxq.rxq_packets <- rxq.rxq_packets + n;
   n
+  end
+
+(* Crash transitions (fault injection): a PMD crash is a process crash —
+   queued upcalls die with the thread (counted lost and dropped), and the
+   shared caches are flushed because the datapath process restarts cold.
+   The [pmd_crash_pending] hook fires exactly once per crash fault. *)
+let handle_crashes t =
+  Array.iter
+    (fun pmd ->
+      if Faults.pmd_crash_pending ~pmd:pmd.id then begin
+        let died = Queue.length pmd.upcalls + Queue.length pmd.retries in
+        pmd.pstats.lost <- pmd.pstats.lost + died;
+        let c = Dpif.counters t.dp in
+        c.Dp_core.dropped <- c.Dp_core.dropped + died;
+        Queue.clear pmd.upcalls;
+        Queue.clear pmd.retries;
+        pmd.alive <- false;
+        Coverage.incr cov_crash;
+        Dpif.flush_caches t.dp
+      end)
+    t.pmds
+
+(** Restart a crashed PMD (the health monitor's repair): reclaim its XSK
+    rings, revalidate what survives in the flow caches — the crash
+    flushed them, so traffic repopulates the megaflow table through the
+    normal upcall path (the re-sync of Sec 2.1). *)
+let restart t pmd =
+  if not pmd.alive then begin
+    pmd.alive <- true;
+    pmd.restarts <- pmd.restarts + 1;
+    claim_xsks t;
+    Faults.mark_pmd_restarted ~pmd:pmd.id;
+    ignore (Dpif.revalidate t.dp : int);
+    Coverage.incr cov_restart
+  end
+
+let alive pmd = pmd.alive
+let restarts pmd = pmd.restarts
+
+(** Upcalls waiting in this PMD (main queue + retry queue) — in-flight
+    packets for conservation accounting. *)
+let queued pmd = Queue.length pmd.upcalls + Queue.length pmd.retries
 
 (** One main-loop iteration for every PMD: each polls each of its rxqs
     once. Returns total packets dequeued across the runtime. *)
 let poll_all t =
+  handle_crashes t;
   Array.fold_left
     (fun acc pmd ->
       List.fold_left (fun acc rxq -> acc + poll_rxq t pmd rxq) acc pmd.rxqs)
@@ -232,6 +343,7 @@ let reset_stats t =
       s.megaflow_hits <- 0;
       s.miss <- 0;
       s.lost <- 0;
+      s.retried <- 0;
       s.polls <- 0;
       s.idle_polls <- 0;
       Cpu.reset p.ctx;
@@ -289,6 +401,7 @@ let reports ?wall t =
                megaflow_hits = s.megaflow_hits;
                miss = s.miss;
                lost = s.lost;
+               retried = s.retried;
                polls = s.polls;
                idle_polls = s.idle_polls;
              };

@@ -25,6 +25,7 @@ type stats = {
   mutable megaflow_hits : int;
   mutable miss : int;
   mutable lost : int;
+  mutable retried : int;  (** upcalls parked in the retry queue *)
   mutable polls : int;
   mutable idle_polls : int;  (** polls that dequeued nothing *)
 }
@@ -34,6 +35,8 @@ type t
 
 val create :
   ?upcall_capacity:int ->
+  ?retry_capacity:int ->
+  ?max_retries:int ->
   dp:Dpif.t ->
   machine:Ovs_sim.Cpu.t ->
   softirq:Ovs_sim.Cpu.ctx array ->
@@ -45,9 +48,12 @@ val create :
 (** Build a runtime polling [n_rxqs] queues of [port_no], sharded
     round-robin over [n_pmds] fresh PMD contexts created on [machine].
     [softirq.(q)] is the kernel-side context for queue [q].
-    [upcall_capacity] (default 512) bounds each PMD's upcall queue. On
-    AF_XDP ports each queue's XSK is claimed for its owning PMD
-    (single-producer/single-consumer rings). *)
+    [upcall_capacity] (default 512) bounds each PMD's upcall queue;
+    refused upcalls park in a bounded retry queue ([retry_capacity],
+    default 256) and are retried with backoff up to [max_retries]
+    (default 3) times before being lost. On AF_XDP ports each queue's
+    XSK is claimed for its owning PMD (single-producer/single-consumer
+    rings). *)
 
 (** {1 Polling} *)
 
@@ -66,6 +72,20 @@ val pmds : t -> pmd list
 val pmd_id : pmd -> int
 val pmd_ctx : pmd -> Ovs_sim.Cpu.ctx
 val stats_of : pmd -> stats
+
+val alive : pmd -> bool
+(** [false] between a crash fault and the health monitor's restart. *)
+
+val restarts : pmd -> int
+
+val queued : pmd -> int
+(** Upcalls waiting in this PMD (main + retry queues) — in-flight
+    packets for conservation accounting. *)
+
+val restart : t -> pmd -> unit
+(** Restart a crashed PMD: reclaim XSK rings and revalidate the flow
+    caches; traffic repopulates the megaflows through the normal upcall
+    path. No-op on a live PMD. *)
 
 val ctxs : t -> Ovs_sim.Cpu.ctx list
 (** The PMD cores, for poll-floor accounting (busy-polling threads burn

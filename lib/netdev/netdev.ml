@@ -8,9 +8,19 @@
     per-queue XDP programs (Fig 6's whole-device vs per-queue attachment),
     and kernel visibility (which decides whether Table 1's tools work). *)
 
+module Faults = Ovs_faults.Faults
+
+let cov_link_down = Ovs_sim.Coverage.counter "netdev_link_down_drop"
+let cov_rx_overflow = Ovs_sim.Coverage.counter "netdev_rx_overflow"
+
 type driver =
   | Kernel_driver  (** standard in-kernel driver (kernel OVS, or AF_XDP) *)
   | Dpdk_driver  (** userspace PMD; invisible to kernel tools *)
+
+type rx_policy =
+  | Rx_drop  (** full ring: count the packet in [rx_dropped] (default) *)
+  | Rx_backpressure
+      (** full ring: refuse the packet uncounted; the sender must retry *)
 
 type kind =
   | Physical
@@ -41,6 +51,7 @@ type t = {
   offloads : offloads;
   rx_queues : Ovs_packet.Buffer.t Queue.t array;
   queue_capacity : int;
+  mutable rx_policy : rx_policy;  (** what a full rx ring does *)
   mutable tx_sink : (t -> Ovs_packet.Buffer.t -> unit) option;
       (** where transmitted packets go (the wire, a peer, a VM) *)
   mutable peer : t option;  (** veth peer / wire peer *)
@@ -68,6 +79,7 @@ let create ?(kind = Physical) ?(driver = Kernel_driver) ?(queues = 1)
     offloads = { rx_csum = true; tx_csum = true; tso = true };
     rx_queues = Array.init queues (fun _ -> Queue.create ());
     queue_capacity;
+    rx_policy = Rx_drop;
     tx_sink = None;
     peer = None;
     xdp_progs = Array.make queues None;
@@ -95,20 +107,38 @@ let line_rate_pps t ~frame_len =
 
 (* -- receive side (packets arriving from the wire / a peer) -- *)
 
-(** Deliver a packet into [queue], dropping when the ring is full. *)
+(** Deliver a packet into [queue]. Returns [true] when the device
+    accepted it. [false] means the caller still owns the packet's frame:
+    either the packet was dropped and counted here ([rx_dropped] — carrier
+    down, or a full ring under [Rx_drop]) or it was refused {e uncounted}
+    (full ring under [Rx_backpressure]); in both cases the frame can be
+    recycled instead of leaked. *)
 let enqueue_on t ~queue (pkt : Ovs_packet.Buffer.t) =
-  let q = t.rx_queues.(queue) in
-  if Queue.length q >= t.queue_capacity then
-    t.stats.rx_dropped <- t.stats.rx_dropped + 1
-  else begin
-    t.stats.rx_packets <- t.stats.rx_packets + 1;
-    t.stats.rx_bytes <- t.stats.rx_bytes + Ovs_packet.Buffer.length pkt;
-    Queue.push pkt q
+  if (not t.up) || Faults.link_down ~port:t.port_no then begin
+    t.stats.rx_dropped <- t.stats.rx_dropped + 1;
+    Ovs_sim.Coverage.incr cov_link_down;
+    false
   end
+  else
+    let q = t.rx_queues.(queue) in
+    if Queue.length q >= t.queue_capacity then
+      match t.rx_policy with
+      | Rx_drop ->
+          t.stats.rx_dropped <- t.stats.rx_dropped + 1;
+          Ovs_sim.Coverage.incr cov_rx_overflow;
+          false
+      | Rx_backpressure -> false
+    else begin
+      t.stats.rx_packets <- t.stats.rx_packets + 1;
+      t.stats.rx_bytes <- t.stats.rx_bytes + Ovs_packet.Buffer.length pkt;
+      Queue.push pkt q;
+      true
+    end
 
 (** Deliver using receive-side scaling: the queue is chosen by the packet's
     5-tuple hash, as NIC hardware RSS does. Requires [rss_hash] set, or
-    computes it from the key (hardware does this for free). *)
+    computes it from the key (hardware does this for free). Returns
+    acceptance like {!enqueue_on}. *)
 let rss_enqueue t (pkt : Ovs_packet.Buffer.t) =
   let h =
     if pkt.Ovs_packet.Buffer.rss_hash <> 0 then pkt.Ovs_packet.Buffer.rss_hash
@@ -121,14 +151,17 @@ let rss_enqueue t (pkt : Ovs_packet.Buffer.t) =
   in
   enqueue_on t ~queue:(h mod t.n_queues) pkt
 
-(** Poll up to [max] packets off one rx queue. *)
+(** Poll up to [max] packets off one rx queue. A stalled queue (fault
+    injection) yields nothing; its packets wait in place. *)
 let dequeue t ~queue ~max =
-  let q = t.rx_queues.(queue) in
-  let rec take n acc =
-    if n >= max || Queue.is_empty q then List.rev acc
-    else take (n + 1) (Queue.pop q :: acc)
-  in
-  take 0 []
+  if Faults.rxq_stalled ~port:t.port_no ~queue then []
+  else
+    let q = t.rx_queues.(queue) in
+    let rec take n acc =
+      if n >= max || Queue.is_empty q then List.rev acc
+      else take (n + 1) (Queue.pop q :: acc)
+    in
+    take 0 []
 
 let pending t =
   Array.fold_left (fun n q -> n + Queue.length q) 0 t.rx_queues
@@ -148,8 +181,8 @@ let transmit t (pkt : Ovs_packet.Buffer.t) =
 let connect a b =
   a.peer <- Some b;
   b.peer <- Some a;
-  set_tx_sink a (fun _ pkt -> rss_enqueue b pkt);
-  set_tx_sink b (fun _ pkt -> rss_enqueue a pkt)
+  set_tx_sink a (fun _ pkt -> ignore (rss_enqueue b pkt : bool));
+  set_tx_sink b (fun _ pkt -> ignore (rss_enqueue a pkt : bool))
 
 (** Create a veth pair: two devices whose transmits cross namespaces into
     each other without copying (Sec 3.4). *)

@@ -17,6 +17,11 @@ type driver =
   | Kernel_driver  (** standard in-kernel driver (kernel OVS, or AF_XDP) *)
   | Dpdk_driver  (** userspace PMD; invisible to kernel tools *)
 
+type rx_policy =
+  | Rx_drop  (** full ring: count the packet in [rx_dropped] (default) *)
+  | Rx_backpressure
+      (** full ring: refuse the packet uncounted; the sender must retry *)
+
 type kind =
   | Physical
   | Tap  (** kernel-backed virtual device; userspace writes via syscalls *)
@@ -46,6 +51,7 @@ type t = {
   offloads : offloads;
   rx_queues : Ovs_packet.Buffer.t Queue.t array;
   queue_capacity : int;
+  mutable rx_policy : rx_policy;  (** what a full rx ring does *)
   mutable tx_sink : (t -> Ovs_packet.Buffer.t -> unit) option;
       (** where transmitted packets go (the wire, a peer, a VM) *)
   mutable peer : t option;  (** veth peer / wire peer *)
@@ -80,15 +86,20 @@ val line_rate_pps : t -> frame_len:int -> float
 
 (** {1 Receive side} *)
 
-val enqueue_on : t -> queue:int -> Ovs_packet.Buffer.t -> unit
-(** Deliver a packet into [queue], dropping when the ring is full. *)
+val enqueue_on : t -> queue:int -> Ovs_packet.Buffer.t -> bool
+(** Deliver a packet into [queue]. [true] when accepted. [false] means
+    the caller still owns the frame: the packet was dropped-and-counted
+    ([rx_dropped] — carrier down or full ring under [Rx_drop]) or refused
+    uncounted (full ring under [Rx_backpressure]); recycle it, don't leak
+    it. *)
 
-val rss_enqueue : t -> Ovs_packet.Buffer.t -> unit
+val rss_enqueue : t -> Ovs_packet.Buffer.t -> bool
 (** Deliver using receive-side scaling: queue chosen by the packet's
-    5-tuple hash, as NIC hardware RSS does. *)
+    5-tuple hash, as NIC hardware RSS does. Acceptance as {!enqueue_on}. *)
 
 val dequeue : t -> queue:int -> max:int -> Ovs_packet.Buffer.t list
-(** Poll up to [max] packets off one rx queue. *)
+(** Poll up to [max] packets off one rx queue. A queue stalled by fault
+    injection yields nothing; its packets wait in place. *)
 
 val pending : t -> int
 (** Packets waiting across all rx queues. *)

@@ -457,30 +457,57 @@ let show_stage_cycles (dp : Dpif.t) =
 let dpctl_dump_flows (dp : Dpif.t) =
   Ok_output (String.concat "\n" (Dpif.dump_megaflows dp))
 
+module Health = Ovs_datapath.Health
+module Faults = Ovs_faults.Faults
+
+(** [ovs-appctl fault/inject SPEC]: parse and arm one fault on the
+    process-global injector (arming an empty plan first if none). *)
+let fault_inject spec =
+  match Faults.of_spec spec with
+  | Ok f ->
+      Faults.inject f;
+      Ok_output (Fmt.str "armed: %a" Faults.pp_fault f)
+  | Error e -> Not_supported e
+
 (** Dispatch an appctl command string. PMD commands render the supplied
     runtime reports (pass the current {!Pmd.reports}); datapath commands
     ([ofproto/trace], [dpif/show-stage-cycles], [dpctl/dump-flows]) need
-    the [dp] argument. *)
-let appctl ?(pmds : Pmd.report list = []) ?(dp : Dpif.t option) cmd =
+    the [dp] argument; [dpif/health-show] needs [health]. The [fault/*]
+    commands drive the global injector directly. *)
+let appctl ?(pmds : Pmd.report list = []) ?(dp : Dpif.t option)
+    ?(health : Health.t option) cmd =
   let with_dp f =
     match dp with
     | Some dp -> f dp
     | None -> Not_supported (cmd ^ ": no datapath supplied")
   in
+  let prefixed prefix =
+    String.length cmd > String.length prefix
+    && String.sub cmd 0 (String.length prefix) = prefix
+  in
+  let arg prefix = String.sub cmd (String.length prefix)
+      (String.length cmd - String.length prefix)
+  in
   let trace_prefix = "ofproto/trace " in
+  let fault_prefix = "fault/inject " in
   match cmd with
   | "dpif-netdev/pmd-stats-show" -> Ok_output (pmd_stats_show pmds)
   | "dpif-netdev/pmd-rxq-show" -> Ok_output (pmd_rxq_show pmds)
   | "coverage/show" -> Ok_output (coverage_show ())
   | "dpif/show-stage-cycles" -> with_dp show_stage_cycles
   | "dpctl/dump-flows" -> with_dp dpctl_dump_flows
+  | "fault/list" -> Ok_output (Faults.render ())
+  | "fault/clear" ->
+      Faults.disarm ();
+      Ok_output "all faults cleared"
+  | "fault/inject" ->
+      Not_supported "usage: fault/inject KIND [key=value]... (at/for in ms)"
+  | "dpif/health-show" -> (
+      match health with
+      | Some h -> Ok_output (Health.render h ~now:(Faults.now ()))
+      | None -> Not_supported (cmd ^ ": no health monitor supplied"))
   | "ofproto/trace" -> Not_supported "usage: ofproto/trace FLOW"
-  | cmd
-    when String.length cmd > String.length trace_prefix
-         && String.sub cmd 0 (String.length trace_prefix) = trace_prefix ->
-      let spec =
-        String.sub cmd (String.length trace_prefix)
-          (String.length cmd - String.length trace_prefix)
-      in
-      with_dp (fun dp -> ofproto_trace dp spec)
+  | _ when prefixed fault_prefix -> fault_inject (arg fault_prefix)
+  | _ when prefixed trace_prefix ->
+      with_dp (fun dp -> ofproto_trace dp (arg trace_prefix))
   | other -> Not_supported (Printf.sprintf "\"%s\" is not a valid command" other)

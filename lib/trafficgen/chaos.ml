@@ -1,0 +1,217 @@
+(** The chaos bench: every fault plan from the catalog, run against the
+    datapath legs it applies to ([bench -- chaos]).
+
+    Each run is three measurement phases on one warm rig
+    ({!Scenario.run_chaos}): an unfaulted baseline, the same traffic with
+    the plan armed (drained until every fault window has closed and the
+    health monitor reports healthy), and an unfaulted post-recovery
+    phase. A run passes when packet conservation is exact — offered =
+    delivered + accounted drops with nothing left in flight — and the
+    post-recovery rate is within 1% of the in-run baseline (same
+    scenario, same seed). *)
+
+module Time = Ovs_sim.Time
+module Faults = Ovs_faults.Faults
+module Dpif = Ovs_datapath.Dpif
+module Netdev = Ovs_netdev.Netdev
+
+(** The datapath legs a plan can run against. [Pmd_leg] is AF_XDP under
+    the poll-mode runtime (two PMD cores) — the only leg with PMD
+    threads to stall, crash and restart. *)
+type leg = Kernel_leg | Afxdp_leg | Pmd_leg
+
+let leg_name = function
+  | Kernel_leg -> "kernel"
+  | Afxdp_leg -> "afxdp"
+  | Pmd_leg -> "pmd"
+
+let all_legs = [ Kernel_leg; Afxdp_leg; Pmd_leg ]
+let userspace_legs = [ Afxdp_leg; Pmd_leg ]
+
+(** One catalog entry: a fault plan plus the scenario knobs it needs
+    (ingress policy, strict matching for mangled traffic, a conntrack
+    zone for pressure faults) and the legs it applies to. *)
+type spec = {
+  s_name : string;
+  s_legs : leg list;
+  s_plan : Faults.plan;
+  s_rx_policy : Netdev.rx_policy;
+  s_strict : bool;
+  s_ct_zone : int option;
+}
+
+(* windows are milliseconds of virtual time after the faulted phase
+   starts (phase B resets every core's clock) *)
+let window name action ~at ~dur =
+  {
+    Faults.f_name = name;
+    f_action = action;
+    f_start = Time.ms at;
+    f_stop = Time.ms (at +. dur);
+  }
+
+let entry ?(legs = all_legs) ?(rx_policy = Netdev.Rx_drop) ?(strict = false)
+    ?ct_zone name faults =
+  {
+    s_name = name;
+    s_legs = legs;
+    s_plan = Faults.plan ~name faults;
+    s_rx_policy = rx_policy;
+    s_strict = strict;
+    s_ct_zone = ct_zone;
+  }
+
+(* the ingress NIC is always the datapath's port 0, the egress port 1;
+   PMD ids start at 0 *)
+let catalog =
+  [
+    entry "link_flap"
+      [
+        window "flap1" (Faults.Link_down { port = 0 }) ~at:0.2 ~dur:0.3;
+        window "flap2" (Faults.Link_down { port = 0 }) ~at:0.9 ~dur:0.3;
+      ];
+    entry "rxq_stall"
+      [ window "stall" (Faults.Rxq_stall { port = 0; queue = -1 }) ~at:0.2 ~dur:0.4 ];
+    entry "backpressure" ~legs:[ Afxdp_leg ] ~rx_policy:Netdev.Rx_backpressure
+      [ window "stall" (Faults.Rxq_stall { port = 0; queue = -1 }) ~at:0.2 ~dur:0.4 ];
+    entry "umem_leak" ~legs:userspace_legs
+      [ window "leak" (Faults.Umem_leak { frames = 512 }) ~at:0.2 ~dur:0.4 ];
+    entry "umem_exhaust" ~legs:userspace_legs
+      [ window "exhaust" Faults.Umem_exhaust ~at:0.2 ~dur:0.3 ];
+    entry "pmd_stall" ~legs:[ Pmd_leg ]
+      [ window "stall" (Faults.Pmd_stall { pmd = 0 }) ~at:0.2 ~dur:0.4 ];
+    entry "pmd_crash" ~legs:[ Pmd_leg ]
+      [ window "crash" (Faults.Pmd_crash { pmd = 0 }) ~at:0.2 ~dur:0.05 ];
+    entry "upcall_storm" ~legs:[ Pmd_leg ]
+      [ window "storm" Faults.Upcall_storm ~at:0.2 ~dur:0.3 ];
+    entry "pkt_mangle" ~legs:[ Kernel_leg; Afxdp_leg ] ~strict:true
+      [
+        window "truncate" (Faults.Pkt_truncate { prob = 0.2 }) ~at:0.2 ~dur:0.8;
+        window "corrupt" (Faults.Pkt_corrupt { prob = 0.2 }) ~at:0.2 ~dur:0.8;
+      ];
+    entry "ct_pressure" ~legs:[ Kernel_leg; Afxdp_leg ] ~ct_zone:7
+      [
+        window "pressure" (Faults.Ct_pressure { zone = 7; limit = 16 }) ~at:0.2
+          ~dur:0.8;
+      ];
+  ]
+
+let leg_config (s : spec) leg =
+  let base ~kind ~n_pmds ~n_rxqs ~queues =
+    Scenario.config ~kind ~n_pmds ~n_rxqs ~queues ~n_flows:64 ~measure:20_000
+      ~rx_policy:s.s_rx_policy ~strict_match:s.s_strict
+      ~ct_zone:s.s_ct_zone ()
+  in
+  match leg with
+  | Kernel_leg -> base ~kind:Dpif.Kernel ~n_pmds:0 ~n_rxqs:0 ~queues:1
+  | Afxdp_leg ->
+      base ~kind:(Dpif.Afxdp Dpif.afxdp_default) ~n_pmds:0 ~n_rxqs:0 ~queues:1
+  | Pmd_leg ->
+      base ~kind:(Dpif.Afxdp Dpif.afxdp_default) ~n_pmds:2 ~n_rxqs:2 ~queues:2
+
+(** One chaos run, judged. *)
+type row = {
+  row_plan : string;
+  row_leg : leg;
+  row_res : Scenario.chaos_result;
+  row_recovered : bool;  (** post-recovery rate within 1% of baseline *)
+  row_pass : bool;  (** conservation exact and recovered *)
+}
+
+let judge plan leg (res : Scenario.chaos_result) =
+  let recovered =
+    res.Scenario.c_post_mpps >= 0.99 *. res.Scenario.c_baseline_mpps
+  in
+  {
+    row_plan = plan;
+    row_leg = leg;
+    row_res = res;
+    row_recovered = recovered;
+    row_pass = res.Scenario.c_conserved && recovered;
+  }
+
+let run_one (s : spec) leg =
+  let res = Scenario.run_chaos (leg_config s leg) s.s_plan in
+  judge s.s_name leg res
+
+let run_all () =
+  List.concat_map (fun s -> List.map (run_one s) s.s_legs) catalog
+
+let all_pass rows = List.for_all (fun r -> r.row_pass) rows
+
+(** {1 Rendering} *)
+
+let render rows =
+  let b = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "%-13s %-7s %9s %9s %9s  %9s %7s %6s %10s  %s\n" "plan" "leg"
+    "base Mpps" "fault" "post" "offered" "drops" "lost" "recovery" "verdict";
+  List.iter
+    (fun r ->
+      let c = r.row_res in
+      add "%-13s %-7s %9.3f %9.3f %9.3f  %9d %7d %6d %10s  %s\n" r.row_plan
+        (leg_name r.row_leg) c.Scenario.c_baseline_mpps
+        c.Scenario.c_faulted_mpps c.Scenario.c_post_mpps c.Scenario.c_offered
+        c.Scenario.c_drops
+        (c.Scenario.c_offered - c.Scenario.c_delivered)
+        (match c.Scenario.c_recovery_ns with
+        | Some ns -> Fmt.str "%a" Time.pp_ns ns
+        | None -> "-")
+        (if r.row_pass then "PASS"
+         else if not c.Scenario.c_conserved then
+           Printf.sprintf "LEAK (in flight %d, unaccounted %d)"
+             c.Scenario.c_in_flight
+             (c.Scenario.c_offered - c.Scenario.c_delivered
+            - c.Scenario.c_drops)
+         else "DEGRADED"))
+    rows;
+  Buffer.contents b
+
+(* hand-rolled JSON: the repo has no json dependency *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json rows =
+  let b = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n  \"bench\": \"chaos\",\n  \"runs\": [\n";
+  List.iteri
+    (fun i r ->
+      let c = r.row_res in
+      add "    {\"plan\": \"%s\", \"leg\": \"%s\",\n" (json_escape r.row_plan)
+        (leg_name r.row_leg);
+      add "     \"baseline_mpps\": %.4f, \"faulted_mpps\": %.4f, \"post_mpps\": %.4f,\n"
+        c.Scenario.c_baseline_mpps c.Scenario.c_faulted_mpps
+        c.Scenario.c_post_mpps;
+      add "     \"offered\": %d, \"delivered\": %d, \"drops\": %d,\n"
+        c.Scenario.c_offered c.Scenario.c_delivered c.Scenario.c_drops;
+      add "     \"pressure_rejects\": %d, \"in_flight\": %d, \"conserved\": %b,\n"
+        c.Scenario.c_pressure_rejects c.Scenario.c_in_flight
+        c.Scenario.c_conserved;
+      add "     \"recovery_ns\": %s, \"restarts\": %d, \"repairs\": %d,\n"
+        (match c.Scenario.c_recovery_ns with
+        | Some ns -> Printf.sprintf "%.0f" ns
+        | None -> "null")
+        c.Scenario.c_restarts c.Scenario.c_repairs;
+      add "     \"fired\": {%s},\n"
+        (String.concat ", "
+           (List.map
+              (fun (n, k) -> Printf.sprintf "\"%s\": %d" (json_escape n) k)
+              c.Scenario.c_fired));
+      add "     \"recovered\": %b, \"pass\": %b}%s\n" r.row_recovered
+        r.row_pass
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  add "  ],\n  \"all_pass\": %b\n}\n" (all_pass rows);
+  Buffer.contents b

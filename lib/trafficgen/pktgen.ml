@@ -6,7 +6,8 @@ open Ovs_packet
 
 type t = {
   templates : Buffer.t array;
-  prng : Ovs_sim.Prng.t;
+  seed : int;
+  mutable prng : Ovs_sim.Prng.t;
   mutable sent : int;
 }
 
@@ -32,7 +33,22 @@ let create ?(seed = 42) ?(dst_mac = Mac.of_index 2) ~n_flows ~frame_len () =
         pkt.Buffer.rss_hash <- Flow_key.rss_hash key;
         pkt)
   in
-  { templates; prng; sent = 0 }
+  { templates; seed; prng; sent = 0 }
+
+(** Rewind the flow-choice stream to the template set's seed state, so a
+    measurement phase can replay the exact packet sequence of an earlier
+    one (the chaos bench compares phases of identical traffic). The
+    template build consumed PRNG draws; replay them to land on the same
+    state [create] left behind. *)
+let reset t =
+  let prng = Ovs_sim.Prng.of_int t.seed in
+  Array.iter
+    (fun _ ->
+      ignore (Ovs_sim.Prng.int prng 1000);
+      ignore (Ovs_sim.Prng.int prng 1000))
+    t.templates;
+  t.prng <- prng;
+  t.sent <- 0
 
 (** Next packet: an independent clone of a uniformly chosen template. *)
 let next t =

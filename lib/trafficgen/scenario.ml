@@ -8,9 +8,12 @@
 
 module Cpu = Ovs_sim.Cpu
 module Costs = Ovs_sim.Costs
+module Time = Ovs_sim.Time
 module Netdev = Ovs_netdev.Netdev
 module Dpif = Ovs_datapath.Dpif
 module Pmd = Ovs_datapath.Pmd
+module Health = Ovs_datapath.Health
+module Faults = Ovs_faults.Faults
 
 type virt = Vm_tap | Vm_vhost | Ct_veth | Ct_xdp | Ct_afpacket
 
@@ -74,6 +77,15 @@ type config = {
           one-context-per-queue loop *)
   n_rxqs : int;  (** rxqs for the PMD runtime; 0 means [queues] *)
   trace : bool;  (** attach a per-stage cycle tracer to the datapath *)
+  faults : Faults.plan option;
+      (** arm this fault plan over the measurement ({!run_chaos}) *)
+  rx_policy : Netdev.rx_policy;  (** ingress NIC's full-ring behavior *)
+  strict_match : bool;
+      (** P2P: match udp explicitly with a default-drop rule, so mangled
+          packets become accounted drops instead of riding a wildcard *)
+  ct_zone : int option;
+      (** P2P: send traffic through ct(commit) in this zone with an
+          invalid-state drop rule (the conntrack-pressure target) *)
 }
 
 let default_config =
@@ -90,6 +102,10 @@ let default_config =
     n_pmds = 0;
     n_rxqs = 0;
     trace = false;
+    faults = None;
+    rx_policy = Netdev.Rx_drop;
+    strict_match = false;
+    ct_zone = None;
   }
 
 (** Builder over {!default_config}, so call sites survive new fields. *)
@@ -98,15 +114,42 @@ let config ?(kind = default_config.kind) ?(topology = default_config.topology)
     ?(queues = default_config.queues) ?(gbps = default_config.gbps)
     ?(warmup = default_config.warmup) ?(measure = default_config.measure)
     ?(cache = default_config.cache) ?(n_pmds = default_config.n_pmds)
-    ?(n_rxqs = default_config.n_rxqs) ?(trace = default_config.trace) () =
+    ?(n_rxqs = default_config.n_rxqs) ?(trace = default_config.trace)
+    ?(faults = default_config.faults) ?(rx_policy = default_config.rx_policy)
+    ?(strict_match = default_config.strict_match)
+    ?(ct_zone = default_config.ct_zone) () =
   { kind; topology; n_flows; frame_len; queues; gbps; warmup; measure; cache;
-    n_pmds; n_rxqs; trace }
+    n_pmds; n_rxqs; trace; faults; rx_policy; strict_match; ct_zone }
 
 let is_userspace = function
   | Dpif.Dpdk | Dpif.Afxdp _ -> true
   | Dpif.Kernel | Dpif.Kernel_ebpf -> false
 
-let run (cfg : config) : result =
+(** Everything [run] builds before driving traffic: machine, datapath,
+    NICs, execution contexts, the optional PMD runtime and virtual
+    endpoint, and the generator — extracted so {!run_chaos} can drive
+    one rig through several measurement phases. *)
+type rig = {
+  r_cfg : config;
+  r_machine : Cpu.t;
+  r_dp : Dpif.t;
+  r_phy0 : Netdev.t;
+  r_phy1 : Netdev.t;
+  r_p0 : int;
+  r_p1 : int;
+  r_queues : int;
+  r_opts : Dpif.afxdp_opts;
+  r_sirq : Cpu.ctx array;
+  r_pmds : Cpu.ctx array;  (** legacy one-ctx-per-queue loop *)
+  r_rt : Pmd.t option;
+  r_guest : Cpu.ctx;
+  r_vdev : Netdev.t option;
+  r_vport : int;
+  r_pmd_v : Cpu.ctx option;
+  r_gen : Pktgen.t;
+}
+
+let setup (cfg : config) : rig =
   let costs = Costs.default in
   let machine = Cpu.create () in
   (* the kernel datapath gets every hyperthread's worth of RSS queues *)
@@ -119,6 +162,7 @@ let run (cfg : config) : result =
   in
   let phy0 = Netdev.create ~name:"eth0" ~queues ~gbps:cfg.gbps () in
   let phy1 = Netdev.create ~name:"eth1" ~queues ~gbps:cfg.gbps () in
+  phy0.Netdev.rx_policy <- cfg.rx_policy;
   let pipeline = Ovs_ofproto.Pipeline.create ~n_tables:4 () in
   let dp = Dpif.create ~costs ~kind:cfg.kind ~pipeline () in
   (match cfg.cache with
@@ -164,7 +208,35 @@ let run (cfg : config) : result =
   let vdev, vport, pmd_v =
     match cfg.topology with
     | P2P ->
-        rule p0 p1;
+        (match (cfg.ct_zone, cfg.strict_match) with
+        | Some z, _ ->
+            (* traffic commits into a conntrack zone; invalid state (the
+               zone-limit verdict) is an accounted drop *)
+            ignore
+              (Ovs_ofproto.Parser.install_flows pipeline
+                 [
+                   Printf.sprintf
+                     "table=0,priority=100,in_port=%d,ip \
+                      actions=ct(commit,zone=%d,table=1)"
+                     p0 z;
+                   "table=0,priority=1 actions=drop";
+                   "table=1,priority=200,ct_state=+trk+inv actions=drop";
+                   Printf.sprintf
+                     "table=1,priority=100,ct_state=+trk actions=output:%d" p1;
+                 ])
+        | None, true ->
+            (* match the offered traffic exactly, with a default drop —
+               mangled packets become accounted drops instead of riding
+               an in_port wildcard *)
+            ignore
+              (Ovs_ofproto.Parser.install_flows pipeline
+                 [
+                   Printf.sprintf
+                     "table=0,priority=100,in_port=%d,udp actions=output:%d"
+                     p0 p1;
+                   "table=0,priority=1 actions=drop";
+                 ])
+        | None, false -> rule p0 p1);
         (None, -1, None)
     | PVP virt -> begin
         let kind = match virt with Vm_tap -> Netdev.Tap | _ -> Netdev.Vhostuser in
@@ -182,7 +254,7 @@ let run (cfg : config) : result =
                   +. 110.)
             | _ -> ());
             Cpu.charge guest Cpu.Guest (guest_fwd_cost costs);
-            Netdev.enqueue_on d ~queue:0 pkt);
+            ignore (Netdev.enqueue_on d ~queue:0 pkt : bool));
         (Some dev, vp, Some (Cpu.ctx machine "pmd-vm"))
       end
     | PCP virt -> begin
@@ -224,7 +296,7 @@ let run (cfg : config) : result =
         | _ ->
             Netdev.set_tx_sink dev (fun d pkt ->
                 Cpu.charge container Cpu.Softirq (container_echo_cost costs);
-                Netdev.enqueue_on d ~queue:0 pkt));
+                ignore (Netdev.enqueue_on d ~queue:0 pkt : bool)));
         (Some dev, vp, Some (Cpu.ctx machine "pmd-vm"))
       end
   in
@@ -235,43 +307,117 @@ let run (cfg : config) : result =
   let gen = Pktgen.create ~n_flows:cfg.n_flows ~frame_len:cfg.frame_len () in
   let active = Pktgen.queues_hit gen ~n_queues:queues in
   Dpif.set_active_queues dp active;
+  ignore vhost_kthread;
+  ignore container;
+  {
+    r_cfg = cfg;
+    r_machine = machine;
+    r_dp = dp;
+    r_phy0 = phy0;
+    r_phy1 = phy1;
+    r_p0 = p0;
+    r_p1 = p1;
+    r_queues = queues;
+    r_opts = opts;
+    r_sirq = sirq;
+    r_pmds = pmds;
+    r_rt = rt;
+    r_guest = guest;
+    r_vdev = vdev;
+    r_vport = vport;
+    r_pmd_v = pmd_v;
+    r_gen = gen;
+  }
 
-  let batch = 32 in
-  let drive n =
-    let injected = ref 0 in
-    while !injected < n do
-      for _ = 1 to batch do
-        Netdev.rss_enqueue phy0 (Pktgen.next gen);
-        incr injected
-      done;
-      (match rt with
-      | Some rt -> ignore (Pmd.poll_all rt)
-      | None ->
-          for q = 0 to queues - 1 do
-            ignore
-              (Dpif.poll dp ~softirq:sirq.(q) ~pmd:pmds.(q) ~port_no:p0 ~queue:q ())
-          done);
-      match (vdev, pmd_v) with
-      | Some _, Some pmd_vm ->
-          ignore
-            (Dpif.poll dp ~softirq:sirq.(0) ~pmd:pmd_vm ~port_no:vport ~queue:0 ())
-      | _ -> ()
-    done
+let batch = 32
+
+(* One poll sweep over the rig: every PMD (or legacy per-queue context)
+   once, plus the virtual endpoint's return port. *)
+let poll_sweep (r : rig) =
+  (match r.r_rt with
+  | Some rt -> ignore (Pmd.poll_all rt)
+  | None ->
+      for q = 0 to r.r_queues - 1 do
+        ignore
+          (Dpif.poll r.r_dp ~softirq:r.r_sirq.(q) ~pmd:r.r_pmds.(q)
+             ~port_no:r.r_p0 ~queue:q ())
+      done);
+  match (r.r_vdev, r.r_pmd_v) with
+  | Some _, Some pmd_vm ->
+      ignore
+        (Dpif.poll r.r_dp ~softirq:r.r_sirq.(0) ~pmd:pmd_vm ~port_no:r.r_vport
+           ~queue:0 ())
+  | _ -> ()
+
+let drive (r : rig) n =
+  let injected = ref 0 in
+  while !injected < n do
+    for _ = 1 to batch do
+      ignore (Netdev.rss_enqueue r.r_phy0 (Pktgen.next r.r_gen) : bool);
+      incr injected
+    done;
+    poll_sweep r
+  done
+
+module Dp_core = Ovs_datapath.Dp_core
+module Xsk = Ovs_xsk.Xsk
+
+(* packets inside the rig: NIC rx queues, XSK rx rings, PMD upcall and
+   retry queues — everything offered but not yet delivered or dropped *)
+let in_flight (r : rig) =
+  Netdev.pending r.r_phy0
+  + (match r.r_vdev with Some d -> Netdev.pending d | None -> 0)
+  + (match Dpif.xsks r.r_dp ~port_no:r.r_p0 with
+    | Some xs ->
+        Array.fold_left (fun a x -> a + Ovs_xsk.Ring.available x.Xsk.rx) 0 xs
+    | None -> 0)
+  + (match r.r_rt with
+    | Some rt -> List.fold_left (fun a p -> a + Pmd.queued p) 0 (Pmd.pmds rt)
+    | None -> 0)
+
+(* run the rig dry without injecting, so a measurement phase starts (and
+   its predecessor's packets end) on empty queues *)
+let quiesce (r : rig) =
+  let budget = ref 10_000 in
+  while in_flight r > 0 && !budget > 0 do
+    decr budget;
+    poll_sweep r
+  done
+
+(* Quiesce, reset clocks, counters and the generator's flow-choice
+   stream, drive [n] packets, return (delivered, rate in pps over the
+   phase's wall time). Phases replay identical traffic, so their rates
+   are comparable at exact-determinism tightness. *)
+let measure_phase (r : rig) n =
+  quiesce r;
+  Pktgen.reset r.r_gen;
+  List.iter Cpu.reset r.r_machine.Cpu.ctxs;
+  Dpif.reset_measurement r.r_dp;
+  (match r.r_rt with Some rt -> Pmd.reset_stats rt | None -> ());
+  let tx0 = r.r_phy1.Netdev.stats.Netdev.tx_packets in
+  drive r n;
+  let delivered = r.r_phy1.Netdev.stats.Netdev.tx_packets - tx0 in
+  let wall =
+    Float.max (Float.max (Cpu.wall r.r_machine) (Dpif.serialized_tx r.r_dp)) 1.
   in
+  (delivered, float_of_int delivered /. wall *. 1e9)
 
+let run (cfg : config) : result =
+  let r = setup cfg in
+  let machine = r.r_machine and dp = r.r_dp and rt = r.r_rt in
   (* warm up caches and megaflows, then measure from a clean slate *)
-  drive cfg.warmup;
+  drive r cfg.warmup;
   List.iter Cpu.reset machine.Cpu.ctxs;
   Dpif.reset_measurement dp;
   (match rt with Some rt -> Pmd.reset_stats rt | None -> ());
-  let tx_before = phy1.Netdev.stats.Netdev.tx_packets in
-  drive cfg.measure;
-  let delivered = phy1.Netdev.stats.Netdev.tx_packets - tx_before in
+  let tx_before = r.r_phy1.Netdev.stats.Netdev.tx_packets in
+  drive r cfg.measure;
+  let delivered = r.r_phy1.Netdev.stats.Netdev.tx_packets - tx_before in
 
   let wall = Float.max (Cpu.wall machine) (Dpif.serialized_tx dp) in
   let wall = Float.max wall 1. in
   let raw_rate = float_of_int delivered /. wall *. 1e9 in
-  let line = Netdev.line_rate_pps phy0 ~frame_len:cfg.frame_len in
+  let line = Netdev.line_rate_pps r.r_phy0 ~frame_len:cfg.frame_len in
   let line_limited = raw_rate > line in
   let rate = Float.min raw_rate line in
   (* polling threads burn their core regardless of load *)
@@ -279,22 +425,20 @@ let run (cfg : config) : result =
     (* in the XDP-redirect container path the PMD threads see no traffic
        at all, so OVS need not dedicate cores to it (Table 4: 1.0) *)
     (if
-       is_userspace cfg.kind && opts.Dpif.pmd_threads
+       is_userspace cfg.kind && r.r_opts.Dpif.pmd_threads
        && cfg.topology <> PCP Ct_xdp
      then
        (match rt with
        | Some rt -> Pmd.ctxs rt
-       | None -> Array.to_list (Array.sub pmds 0 queues))
-       @ (match pmd_v with Some p -> [ p ] | None -> [])
+       | None -> Array.to_list (Array.sub r.r_pmds 0 r.r_queues))
+       @ (match r.r_pmd_v with Some p -> [ p ] | None -> [])
      else [])
     @
     match cfg.topology with
-    | PVP _ -> [ guest ]  (* the guest runs a poll-mode forwarder *)
+    | PVP _ -> [ r.r_guest ]  (* the guest runs a poll-mode forwarder *)
     | P2P | PCP _ -> []
   in
   let cpu = Cpu.breakdown ~poll_floor machine ~wall in
-  ignore vhost_kthread;
-  ignore container;
   let busy_ns =
     List.fold_left (fun acc ctx -> acc +. Cpu.busy ctx) 0. machine.Cpu.ctxs
   in
@@ -307,4 +451,176 @@ let run (cfg : config) : result =
     pmds = (match rt with Some rt -> Pmd.reports ~wall rt | None -> []);
     busy_ns;
     stage_trace = Dpif.tracer dp;
+  }
+
+(* -- chaos: three measurement phases on one rig -- *)
+
+(** What {!run_chaos} measures: an unfaulted baseline phase, a faulted
+    phase (plan armed, health monitor sweeping, drained to empty), and a
+    post-recovery phase on the same warm rig. Conservation is exact
+    bookkeeping over the faulted phase: every offered packet is either
+    delivered or in a drop counter, with nothing left in flight. *)
+type chaos_result = {
+  c_plan : string;
+  c_baseline_mpps : float;
+  c_faulted_mpps : float;  (** includes the drain: degraded throughput *)
+  c_post_mpps : float;
+  c_offered : int;  (** packets charged to the faulted phase *)
+  c_delivered : int;
+  c_drops : int;  (** accounted drops, summed over every drop counter *)
+  c_pressure_rejects : int;
+      (** refused uncounted under [Rx_backpressure]; never offered *)
+  c_in_flight : int;  (** packets still queued after the drain (want 0) *)
+  c_conserved : bool;  (** offered = delivered + drops, in flight = 0 *)
+  c_recovery_ns : Time.ns option;
+      (** duration of the last completed unhealthy episode *)
+  c_restarts : int;  (** PMD restarts performed by the health monitor *)
+  c_repairs : int;
+  c_fired : (string * int) list;  (** per-fault fire counts *)
+  c_health : string;  (** dpif/health-show at end of the faulted phase *)
+}
+
+let run_chaos (cfg : config) (plan : Faults.plan) : chaos_result =
+  let cfg = { cfg with faults = Some plan } in
+  let r = setup cfg in
+  let machine = r.r_machine and dp = r.r_dp in
+  let phy0 = r.r_phy0 and phy1 = r.r_phy1 in
+  (* Virtual wall time only advances through charges; a fault window that
+     stops all forwarding would otherwise never close. The chaos runner
+     models the generator as its own line-rate core: each offered packet
+     charges its wire time, and drain iterations that move nothing charge
+     an idle tick. Plain [run] never creates this context, so unfaulted
+     runs stay byte-identical. *)
+  let loadgen = Cpu.ctx machine "loadgen" in
+  let pkt_ns = 1e9 /. Netdev.line_rate_pps phy0 ~frame_len:cfg.frame_len in
+  drive r cfg.warmup;
+
+  (* phase A: unfaulted baseline on the warm rig *)
+  let _, baseline_pps = measure_phase r cfg.measure in
+
+  (* phase B: the same traffic with the plan armed *)
+  quiesce r;
+  Pktgen.reset r.r_gen;
+  List.iter Cpu.reset machine.Cpu.ctxs;
+  Dpif.reset_measurement dp;
+  (match r.r_rt with Some rt -> Pmd.reset_stats rt | None -> ());
+  let health = Health.create ~dp ?rt:r.r_rt () in
+  Faults.arm plan;
+  let tx0 = phy1.Netdev.stats.Netdev.tx_packets in
+  let rxd0 = phy0.Netdev.stats.Netdev.rx_dropped in
+  let vdev_rxd0 =
+    match r.r_vdev with
+    | Some d -> d.Netdev.stats.Netdev.rx_dropped
+    | None -> 0
+  in
+  let xsk_drops () =
+    match Dpif.xsks dp ~port_no:r.r_p0 with
+    | Some xs ->
+        Array.fold_left
+          (fun a x -> a + x.Xsk.rx_dropped_no_frame + x.Xsk.rx_dropped_ring_full)
+          0 xs
+    | None -> 0
+  in
+  let xsk0 = xsk_drops () in
+  let dp0 = (Dpif.counters dp).Dp_core.dropped in
+  let offered = ref 0 and pressure = ref 0 in
+  let tick () =
+    let now = Cpu.wall machine in
+    let opened = Faults.tick now in
+    List.iter
+      (fun (f : Faults.fault) ->
+        match f.Faults.f_action with
+        | Faults.Upcall_storm ->
+            (* the storm begins with a cache flush: every packet misses
+               into the (refusing) upcall queue *)
+            Dpif.flush_caches dp
+        | Faults.Ct_pressure { zone; limit } ->
+            (* table pressure early-drops existing connections; they must
+               re-commit against the forced limit and fail into +inv *)
+            ignore
+              (Ovs_conntrack.Conntrack.evict_to_limit (Dpif.conntrack dp)
+                 ~zone ~limit
+                : int)
+        | _ -> ())
+      opened;
+    ignore (Health.check health ~now : int)
+  in
+  let injected = ref 0 in
+  while !injected < cfg.measure do
+    for _ = 1 to batch do
+      let pkt = Pktgen.next r.r_gen in
+      (match Faults.mutate () with
+      | Some (`Truncate frac) ->
+          pkt.Ovs_packet.Buffer.len <-
+            Int.max 4
+              (int_of_float (frac *. float_of_int pkt.Ovs_packet.Buffer.len))
+      | Some `Corrupt ->
+          (* clobber the ethertype: the frame stops being IP *)
+          Ovs_packet.Buffer.set_u8 pkt 12 0xff
+      | None -> ());
+      Cpu.charge loadgen Cpu.User pkt_ns;
+      let rxd_before = phy0.Netdev.stats.Netdev.rx_dropped in
+      if Netdev.rss_enqueue phy0 pkt then incr offered
+      else if phy0.Netdev.stats.Netdev.rx_dropped > rxd_before then
+        (* dropped-and-counted at the NIC: still offered *)
+        incr offered
+      else incr pressure;
+      incr injected
+    done;
+    tick ();
+    poll_sweep r
+  done;
+  (* drain: keep the clock moving until every window has closed, every
+     queue is empty and the monitor reports healthy *)
+  let iters = ref 0 in
+  while
+    (in_flight r > 0 || Faults.pending_windows ()
+   || not (Health.healthy health))
+    && !iters < 200_000
+  do
+    incr iters;
+    Cpu.charge loadgen Cpu.User (Time.us 1.);
+    tick ();
+    poll_sweep r
+  done;
+  let delivered = phy1.Netdev.stats.Netdev.tx_packets - tx0 in
+  let drops =
+    phy0.Netdev.stats.Netdev.rx_dropped - rxd0
+    + ((Dpif.counters dp).Dp_core.dropped - dp0)
+    + (xsk_drops () - xsk0)
+    + ((match r.r_vdev with
+       | Some d -> d.Netdev.stats.Netdev.rx_dropped
+       | None -> 0)
+      - vdev_rxd0)
+  in
+  let infl = in_flight r in
+  let wall_b = Float.max (Cpu.wall machine) 1. in
+  let faulted_pps = float_of_int delivered /. wall_b *. 1e9 in
+  let restarts =
+    match r.r_rt with
+    | Some rt -> List.fold_left (fun a p -> a + Pmd.restarts p) 0 (Pmd.pmds rt)
+    | None -> 0
+  in
+  let health_text = Health.render health ~now:(Cpu.wall machine) in
+  let fired = Faults.fire_counts () in
+  Faults.disarm ();
+
+  (* phase C: post-recovery, unfaulted again *)
+  let _, post_pps = measure_phase r cfg.measure in
+  {
+    c_plan = plan.Faults.p_name;
+    c_baseline_mpps = baseline_pps /. 1e6;
+    c_faulted_mpps = faulted_pps /. 1e6;
+    c_post_mpps = post_pps /. 1e6;
+    c_offered = !offered;
+    c_delivered = delivered;
+    c_drops = drops;
+    c_pressure_rejects = !pressure;
+    c_in_flight = infl;
+    c_conserved = !offered = delivered + drops && infl = 0;
+    c_recovery_ns = Health.last_recovery health;
+    c_restarts = restarts;
+    c_repairs = Health.repairs health;
+    c_fired = fired;
+    c_health = health_text;
   }

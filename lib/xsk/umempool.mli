@@ -2,7 +2,24 @@
     Sec 3.2). Every operation synchronizes because any PMD thread may
     return a frame to any pool; the lock strategy is exactly what
     optimizations O2 (mutex to spinlock) and O3 (per-frame to per-batch)
-    change. Statistics feed the cost model. *)
+    change. Statistics feed the cost model.
+
+    Partial-failure contract for batched allocation: {!get_batch} (and
+    its alias {!alloc_batch}) returns a possibly-short batch in which
+    {e every} returned frame is valid and owned by the caller; the
+    shortfall is charged to [stats.exhausted]. There is no rollback —
+    the returned list's length is the single source of truth for how
+    many frames the caller got. Drop accounting: [stats.exhausted] (and
+    the ["umempool_exhausted"] coverage counter) counts allocation
+    {e failures}, not packets — packet drops caused by an empty pool are
+    counted where the packet dies (the XSK rx path's
+    [rx_dropped_no_frame]).
+
+    The pool is also a fault-injection point ({!Ovs_faults.Faults}):
+    [Umem_exhaust] denies every allocation while its window is open, and
+    [Umem_leak] quietly diverts frames into a quarantine that
+    {!reclaim_leaked} (driven by the health monitor) returns to
+    circulation. *)
 
 type lock_strategy =
   | Mutex  (** pthread_mutex per operation (pre-O2) *)
@@ -21,6 +38,8 @@ type t = {
   mutable top : int;
   strategy : lock_strategy;
   stats : stats;
+  mutable leaked : int list;
+      (** frames diverted by a leak fault, awaiting {!reclaim_leaked} *)
 }
 
 val create : n_frames:int -> strategy:lock_strategy -> t
@@ -34,9 +53,21 @@ val put : t -> int -> unit
 
 val get_batch : t -> int -> int list
 (** Up to [n] frames; one lock acquisition under [Spinlock_batched], one
-    per frame otherwise. *)
+    per frame otherwise. On partial failure returns the partial batch —
+    all returned frames valid, shortfall added to [stats.exhausted]. *)
+
+val alloc_batch : t -> int -> int list
+(** Alias of {!get_batch} under its OVS name; identical partial-batch
+    semantics. *)
 
 val put_batch : t -> int list -> unit
+
+val leaked_count : t -> int
+(** Frames currently quarantined by a leak fault. *)
+
+val reclaim_leaked : t -> int
+(** Return every quarantined frame to the free stack; returns how many
+    came back. The health monitor's leak repair. *)
 
 val lock_cost : t -> Ovs_sim.Costs.t -> float
 (** Virtual-time cost of one acquisition under this pool's strategy. *)

@@ -3,6 +3,9 @@
     XDP program redirected to the socket; the user side is polled by a PMD
     thread (or, without O1, by the main OVS thread). *)
 
+let cov_rx_no_frame = Ovs_sim.Coverage.counter "xsk_rx_no_frame"
+let cov_rx_ring_full = Ovs_sim.Coverage.counter "xsk_rx_ring_full"
+
 type t = {
   umem : Umem.t;
   pool : Umempool.t;
@@ -40,14 +43,30 @@ let set_owner t ~pmd = t.owner_pmd <- pmd
 
 let owner t = t.owner_pmd
 
-(** Userspace: refill the kernel's fill ring with up to [n] empty frames
-    from the umempool. *)
+(* steady-state fill level the rx path tops the fill ring back up to *)
+let fill_target = 1024
+
+(** Userspace: refill the kernel's fill ring from the umempool. Requests
+    at least [n] frames (what the last burst consumed) but always enough
+    to top the ring back up to [fill_target] — after an allocation
+    failure (pool exhausted) the deficit persists across bursts and must
+    be repaid once frames are available again, or rx wedges with an
+    empty fill ring. Frames the ring refuses go straight back to the
+    pool; returns the number actually posted. *)
 let refill t n =
-  let frames = Umempool.get_batch t.pool n in
-  List.iter
-    (fun f -> ignore (Ring.push t.umem.Umem.fill { Ring.addr = f; len = 0 }))
-    frames;
-  List.length frames
+  let deficit = fill_target - Ring.available t.umem.Umem.fill in
+  let want = Int.max n deficit in
+  if want <= 0 then 0
+  else
+    let frames = Umempool.get_batch t.pool want in
+    List.fold_left
+      (fun posted f ->
+        if Ring.push t.umem.Umem.fill { Ring.addr = f; len = 0 } then posted + 1
+        else begin
+          Umempool.put t.pool f;
+          posted
+        end)
+      0 frames
 
 (** Kernel: deliver one received packet into the socket. Copies the wire
     bytes into a fill-ring frame (the DMA step) and posts an rx descriptor.
@@ -57,12 +76,14 @@ let refill t n =
 let kernel_rx t (wire : Bytes.t) ~len =
   if len > Umem.frame_capacity t.umem then begin
     t.rx_dropped_no_frame <- t.rx_dropped_no_frame + 1;
+    Ovs_sim.Coverage.incr cov_rx_no_frame;
     false
   end
   else
   match Ring.pop t.umem.Umem.fill with
   | None ->
       t.rx_dropped_no_frame <- t.rx_dropped_no_frame + 1;
+      Ovs_sim.Coverage.incr cov_rx_no_frame;
       false
   | Some { Ring.addr = frame; _ } ->
       Umem.dma_into_frame t.umem frame wire ~src_off:0 ~len;
@@ -74,6 +95,7 @@ let kernel_rx t (wire : Bytes.t) ~len =
         (* rx ring full: frame goes back to the fill ring, packet is lost *)
         ignore (Ring.push t.umem.Umem.fill { Ring.addr = frame; len = 0 });
         t.rx_dropped_ring_full <- t.rx_dropped_ring_full + 1;
+        Ovs_sim.Coverage.incr cov_rx_ring_full;
         false
       end
 

@@ -46,7 +46,7 @@ let forward_rule r =
        [ Printf.sprintf "table=0,priority=10,in_port=%d actions=output:%d" r.p0 r.p1 ])
 
 let push_and_poll ?(pkt = B.udp ()) r =
-  Netdev.enqueue_on r.phy0 ~queue:0 pkt;
+  ignore (Netdev.enqueue_on r.phy0 ~queue:0 pkt : bool);
   ignore (Dpif.poll r.dp ~softirq:r.softirq ~pmd:r.pmd ~port_no:r.p0 ~queue:0 ())
 
 let tx_count r = r.phy1.Netdev.stats.Netdev.tx_packets
@@ -221,7 +221,8 @@ let test_tunnel_push_then_pop_roundtrip () =
          "table=2,priority=1 actions=drop";
        ]);
   (* wire host A's egress into host B's ingress *)
-  Netdev.set_tx_sink a.phy1 (fun _ pkt -> Netdev.enqueue_on b.phy0 ~queue:0 pkt);
+  Netdev.set_tx_sink a.phy1 (fun _ pkt ->
+      ignore (Netdev.enqueue_on b.phy0 ~queue:0 pkt : bool));
   let original = B.udp ~src_port:4242 () in
   let payload = Ovs_packet.Buffer.contents original in
   Netdev.set_tx_sink b.phy1 (fun _ pkt ->

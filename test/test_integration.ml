@@ -90,8 +90,10 @@ let two_hosts () =
       ~local_vm_mac:vm_b_mac ~remote_vm_mac:vm_a_mac
   in
   (* the physical wire between the two hypervisors *)
-  Netdev.set_tx_sink a.uplink (fun _ pkt -> Netdev.enqueue_on b.uplink ~queue:0 pkt);
-  Netdev.set_tx_sink b.uplink (fun _ pkt -> Netdev.enqueue_on a.uplink ~queue:0 pkt);
+  Netdev.set_tx_sink a.uplink (fun _ pkt ->
+      ignore (Netdev.enqueue_on b.uplink ~queue:0 pkt : bool));
+  Netdev.set_tx_sink b.uplink (fun _ pkt ->
+      ignore (Netdev.enqueue_on a.uplink ~queue:0 pkt : bool));
   (a, b)
 
 let tcp_packet ~from_a ~flags =
@@ -116,14 +118,16 @@ let test_cross_host_vm_to_vm_through_firewall () =
       | None -> Alcotest.fail "inner parse"));
   Netdev.set_tx_sink a.vif (fun _ _ -> incr delivered_a);
   (* SYN from VM A (allowed: TCP dst 80) *)
-  Netdev.enqueue_on a.vif ~queue:0 (tcp_packet ~from_a:true ~flags:P.Tcp.Flags.syn);
+  ignore (Netdev.enqueue_on a.vif ~queue:0 (tcp_packet ~from_a:true ~flags:P.Tcp.Flags.syn) : bool);
   settle [ a; b ];
   check Alcotest.int "SYN delivered to VM B across the tunnel" 1 !delivered_b;
   (* SYN+ACK back: on host B this is a reply of an... unseen connection —
      host B committed its own conntrack entry when the SYN passed its
      firewall, so the reply is +est there and at host A *)
-  Netdev.enqueue_on b.vif ~queue:0
-    (tcp_packet ~from_a:false ~flags:(P.Tcp.Flags.syn lor P.Tcp.Flags.ack));
+  ignore
+    (Netdev.enqueue_on b.vif ~queue:0
+       (tcp_packet ~from_a:false ~flags:(P.Tcp.Flags.syn lor P.Tcp.Flags.ack))
+      : bool);
   settle [ a; b ];
   check Alcotest.int "SYN+ACK delivered back to VM A" 1 !delivered_a;
   (* each host saw multiple datapath passes per packet (Sec 5.1) *)
@@ -142,7 +146,7 @@ let test_firewall_blocks_disallowed_port () =
       ~src_ip:(P.Ipv4.addr_of_string vm_a_ip) ~dst_ip:(P.Ipv4.addr_of_string vm_b_ip)
       ~src_port:49152 ~dst_port:22 ~flags:P.Tcp.Flags.syn ()
   in
-  Netdev.enqueue_on a.vif ~queue:0 pkt;
+  ignore (Netdev.enqueue_on a.vif ~queue:0 pkt : bool);
   settle [ a; b ];
   check Alcotest.int "SSH blocked by the DFW" 0 !delivered;
   Alcotest.(check bool) "drop recorded" true ((Dpif.counters a.dp).Dp_core.dropped > 0)
@@ -151,12 +155,12 @@ let test_established_flow_uses_megaflows () =
   let a, b = two_hosts () in
   Netdev.set_tx_sink b.vif (fun _ _ -> ());
   (* open the connection *)
-  Netdev.enqueue_on a.vif ~queue:0 (tcp_packet ~from_a:true ~flags:P.Tcp.Flags.syn);
+  ignore (Netdev.enqueue_on a.vif ~queue:0 (tcp_packet ~from_a:true ~flags:P.Tcp.Flags.syn) : bool);
   settle [ a; b ];
   let upcalls_after_syn = (Dpif.counters a.dp).Dp_core.upcalls in
   (* pump established traffic: ack packets hit the +est megaflows *)
   for _ = 1 to 20 do
-    Netdev.enqueue_on a.vif ~queue:0 (tcp_packet ~from_a:true ~flags:P.Tcp.Flags.ack);
+    ignore (Netdev.enqueue_on a.vif ~queue:0 (tcp_packet ~from_a:true ~flags:P.Tcp.Flags.ack) : bool);
     settle [ a; b ]
   done;
   let upcalls_final = (Dpif.counters a.dp).Dp_core.upcalls in
@@ -197,7 +201,7 @@ let test_full_nsx_ruleset_end_to_end () =
       ~dst_ip:(P.Ipv4.addr_of_string (Ovs_nsx.Ruleset.vif_ip 1))
       ~dst_port:443 ~flags:P.Tcp.Flags.syn ()
   in
-  Netdev.enqueue_on dev ~queue:0 pkt;
+  ignore (Netdev.enqueue_on dev ~queue:0 pkt : bool);
   for _ = 1 to 4 do
     ignore (Dpif.poll dp ~softirq:ctx ~pmd:ctx ~port_no:port ~queue:0 ())
   done;
@@ -228,7 +232,7 @@ let test_xdp_lb_fast_path_with_datapath_fallback () =
   let machine = Cpu.create () in
   let sirq = Cpu.ctx machine "sirq" and pmd = Cpu.ctx machine "pmd" in
   (* no session: falls through the xskmap into the userspace datapath *)
-  Netdev.enqueue_on phy ~queue:0 (B.udp ());
+  ignore (Netdev.enqueue_on phy ~queue:0 (B.udp ()) : bool);
   ignore (Dpif.poll dp ~softirq:sirq ~pmd ~port_no:p0 ~queue:0 ());
   check Alcotest.int "miss handled by OVS" 1 (Dpif.counters dp).Dp_core.packets;
   check Alcotest.int "forwarded by the OpenFlow rule" 1 out.Netdev.stats.Netdev.tx_packets
@@ -239,7 +243,7 @@ let test_tools_work_on_afxdp_managed_uplink () =
   (match Ovs_tools.Tools.ip_link a.uplink with
   | Ovs_tools.Tools.Ok_output _ -> ()
   | Ovs_tools.Tools.Not_supported m -> Alcotest.failf "ip link failed: %s" m);
-  Netdev.enqueue_on a.uplink ~queue:0 (B.udp ());
+  ignore (Netdev.enqueue_on a.uplink ~queue:0 (B.udp ()) : bool);
   match Ovs_tools.Tools.tcpdump a.uplink ~count:1 with
   | Ovs_tools.Tools.Ok_output s -> Alcotest.(check bool) "capture non-empty" true (s <> "")
   | Ovs_tools.Tools.Not_supported m -> Alcotest.failf "tcpdump failed: %s" m

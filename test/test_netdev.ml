@@ -7,7 +7,7 @@ let check = Alcotest.check
 
 let test_enqueue_dequeue () =
   let d = Netdev.create ~name:"eth0" ~queues:2 () in
-  Netdev.enqueue_on d ~queue:1 (B.udp ());
+  ignore (Netdev.enqueue_on d ~queue:1 (B.udp ()) : bool);
   check Alcotest.int "pending" 1 (Netdev.pending d);
   let got = Netdev.dequeue d ~queue:1 ~max:8 in
   check Alcotest.int "dequeued" 1 (List.length got);
@@ -16,7 +16,7 @@ let test_enqueue_dequeue () =
 let test_queue_overflow_drops () =
   let d = Netdev.create ~name:"eth0" ~queue_capacity:2 () in
   for _ = 1 to 5 do
-    Netdev.enqueue_on d ~queue:0 (B.udp ())
+    ignore (Netdev.enqueue_on d ~queue:0 (B.udp ()) : bool)
   done;
   check Alcotest.int "capacity respected" 2 (Netdev.pending d);
   check Alcotest.int "drops counted" 3 d.Netdev.stats.Netdev.rx_dropped
@@ -25,7 +25,7 @@ let test_rss_spreads_flows () =
   let d = Netdev.create ~name:"eth0" ~queues:8 () in
   for i = 0 to 255 do
     let pkt = B.udp ~src_port:(1000 + i) () in
-    Netdev.rss_enqueue d pkt
+    ignore (Netdev.rss_enqueue d pkt : bool)
   done;
   let nonempty =
     Array.fold_left
@@ -37,7 +37,7 @@ let test_rss_spreads_flows () =
 let test_rss_same_flow_same_queue () =
   let d = Netdev.create ~name:"eth0" ~queues:8 () in
   for _ = 1 to 16 do
-    Netdev.rss_enqueue d (B.udp ~src_port:7777 ())
+    ignore (Netdev.rss_enqueue d (B.udp ~src_port:7777 ()) : bool)
   done;
   let nonempty =
     Array.fold_left
@@ -96,7 +96,7 @@ let test_xdp_attachment_models () =
 
 let test_stats_accumulate () =
   let d = Netdev.create ~name:"eth" () in
-  Netdev.enqueue_on d ~queue:0 (B.udp ~frame_len:100 ());
+  ignore (Netdev.enqueue_on d ~queue:0 (B.udp ~frame_len:100 ()) : bool);
   Netdev.transmit d (B.udp ~frame_len:64 ());
   check Alcotest.int "rx bytes" 100 d.Netdev.stats.Netdev.rx_bytes;
   check Alcotest.int "tx bytes" 64 d.Netdev.stats.Netdev.tx_bytes

@@ -68,7 +68,7 @@ let drive ?(flows = 64) rt (r : rig) ~n =
   let injected = ref 0 in
   while !injected < n do
     for _ = 1 to 32 do
-      Netdev.rss_enqueue r.phy0 (B.udp ~src_port:(1000 + (!injected mod flows)) ());
+      ignore (Netdev.rss_enqueue r.phy0 (B.udp ~src_port:(1000 + (!injected mod flows)) ()) : bool);
       incr injected
     done;
     ignore (Pmd.poll_all rt)
@@ -107,7 +107,7 @@ let test_upcall_overflow_counts_lost () =
   let rt = make_rt ~upcall_capacity:2 ~n_pmds:1 r in
   Dpif.flush_caches r.dp;
   for i = 0 to 31 do
-    Netdev.enqueue_on r.phy0 ~queue:0 (B.udp ~src_port:(2000 + i) ())
+    ignore (Netdev.enqueue_on r.phy0 ~queue:0 (B.udp ~src_port:(2000 + i) ()) : bool)
   done;
   ignore (Pmd.poll_all rt);
   let lost = List.fold_left (fun acc p -> acc + (Pmd.stats_of p).Pmd.lost) 0 (Pmd.pmds rt) in
@@ -118,7 +118,7 @@ let test_upcall_overflow_counts_lost () =
      the megaflow, so the next burst forwards without loss *)
   let tx0 = r.phy1.Netdev.stats.Netdev.tx_packets in
   for i = 0 to 31 do
-    Netdev.enqueue_on r.phy0 ~queue:0 (B.udp ~src_port:(2000 + i) ())
+    ignore (Netdev.enqueue_on r.phy0 ~queue:0 (B.udp ~src_port:(2000 + i) ()) : bool)
   done;
   ignore (Pmd.poll_all rt);
   check Alcotest.int "no deadlock, burst forwarded" 32

@@ -132,7 +132,7 @@ let test_arping () =
 
 let test_tcpdump_renders_queued_packets () =
   let d = Netdev.create ~name:"eno1" () in
-  Netdev.enqueue_on d ~queue:0 (Ovs_packet.Build.udp ~src_port:1234 ());
+  ignore (Netdev.enqueue_on d ~queue:0 (Ovs_packet.Build.udp ~src_port:1234 ()) : bool);
   match Tools.tcpdump d ~count:4 with
   | Tools.Ok_output s ->
       Alcotest.(check bool) "shows flow" true (contains s "udp")
@@ -140,7 +140,7 @@ let test_tcpdump_renders_queued_packets () =
 
 let test_nstat_counts () =
   let d = Netdev.create ~name:"eno1" () in
-  Netdev.enqueue_on d ~queue:0 (Ovs_packet.Build.udp ());
+  ignore (Netdev.enqueue_on d ~queue:0 (Ovs_packet.Build.udp ()) : bool);
   match Tools.nstat d with
   | Tools.Ok_output s ->
       Alcotest.(check bool) "rx counted" true (contains s "rx_packets 1")
@@ -163,8 +163,8 @@ let test_pcap_roundtrip () =
 
 let test_tcpdump_pcap_capture () =
   let d = Netdev.create ~name:"cap0" () in
-  Netdev.enqueue_on d ~queue:0 (Ovs_packet.Build.udp ());
-  Netdev.enqueue_on d ~queue:0 (Ovs_packet.Build.udp ());
+  ignore (Netdev.enqueue_on d ~queue:0 (Ovs_packet.Build.udp ()) : bool);
+  ignore (Netdev.enqueue_on d ~queue:0 (Ovs_packet.Build.udp ()) : bool);
   (match Tools.tcpdump_pcap d ~now:0. ~count:8 with
   | Tools.Ok_output s ->
       let records = Ovs_tools.Pcap.read (Bytes.of_string s) in
