@@ -1,5 +1,5 @@
 # Tier-1 verification in one command.
-.PHONY: all check build test smoke bench chaos clean
+.PHONY: all check build test smoke bench chaos ccache clean
 
 all: build
 
@@ -20,7 +20,14 @@ smoke:
 chaos:
 	dune exec bench/main.exe -- chaos --json
 
-check: build test smoke chaos
+# The computational-cache bench: learned classifier tier vs dpcls-only
+# over the NSX ruleset sweep; exits nonzero on any ccache/dpcls decision
+# mismatch or if the 103k-rule point falls under 2x. Writes
+# BENCH_ccache.json.
+ccache:
+	dune exec bench/main.exe -- ccache --json
+
+check: build test smoke chaos ccache
 
 bench:
 	dune exec bench/main.exe

@@ -392,7 +392,7 @@ let stages_exp () =
 
 module Chaos = Ovs_trafficgen.Chaos
 
-let chaos_json = ref false
+let json_out = ref false
 
 (* every fault plan from the catalog against the legs it applies to; a
    failed verdict (conservation leak or unrecovered throughput) fails
@@ -414,7 +414,7 @@ let chaos_exp () =
             r.Chaos.row_res.Scenario.c_health
       | None -> ())
   | None -> ());
-  if !chaos_json then begin
+  if !json_out then begin
     let out = open_out "BENCH_chaos.json" in
     output_string out (Chaos.to_json rows);
     close_out out;
@@ -422,6 +422,293 @@ let chaos_exp () =
   end;
   if not (Chaos.all_pass rows) then begin
     Fmt.epr "chaos bench FAILED: conservation leak or unrecovered plan@.";
+    exit 1
+  end
+
+(* ---------------------------------------------- computational cache *)
+
+module Ruleset = Ovs_nsx.Ruleset
+module Agent = Ovs_nsx.Agent
+
+type ccache_row = {
+  cr_rules : int;  (** OpenFlow rules installed *)
+  cr_megaflows : int;
+  cr_subtables : int;
+  cr_mean_probes : float;  (** dpcls subtables probed per lookup, leg A *)
+  cr_baseline : float;  (** virtual cycles per classifier lookup, dpcls only *)
+  cr_ccache : float;  (** same metric with the learned tier in front *)
+  cr_coverage : float;  (** share of classifier lookups the tier answered *)
+  cr_mismatches : int;  (** ccache/dpcls disagreements (must be 0) *)
+}
+
+let cr_speedup r = if r.cr_ccache > 0. then r.cr_baseline /. r.cr_ccache else 0.
+
+(* Distributed-firewall rules a VIF's own traffic can actually reach: the
+   reg1-variant shape (the VIF's logical switch must be one of ours) with
+   only match tokens a stock ipv4 packet satisfies. Aiming a flow at such
+   a rule makes the pipeline walk *stop* at that rule's table, so the
+   megaflow's unwildcarded mask depends on where the flow terminated —
+   which is precisely what spreads the megaflows over many dpcls
+   subtables, the regime the computational cache attacks. *)
+let satisfiable_extra ~reg1 tok =
+  List.mem tok
+    [ "dl_type=0x0800"; "nw_ttl=64"; "nw_tos=32"; "tcp_flags=2"; "reg3=0";
+      "reg4=0"; "reg5=0"; "reg6=0"; "reg7=0"; "nw_frag=0"; "vlan_tci=0";
+      "ipv6_src_hi=0"; "ipv6_dst_hi=0"; "ipv6_src_lo=0"; "tp_src=1024" ]
+  (* the conntrack zone is the logical switch id mod 64, so ct_zone=1 is
+     reachable exactly from the VIF whose switch is ls 1 *)
+  || (tok = "ct_zone=1" && reg1 = 1)
+
+type dfw_target = {
+  dt_table : int;  (** the firewall section the flow terminates in *)
+  dt_vif : int;  (** source VIF whose logical switch the rule names *)
+  dt_udp : bool;
+  dt_syn : bool;  (** section shape matches tcp_flags=2 *)
+  dt_tos : bool;  (** section shape matches nw_tos=32 *)
+  dt_dst_net : int;  (** the rule's /24, host part free *)
+  dt_port : int;
+  dt_drop : bool;  (** no ct(commit): the flow stays +new forever *)
+}
+
+let parse_dfw_target ~vifs line : dfw_target option =
+  match
+    Scanf.sscanf line
+      "table=%d,priority=%d,reg1=%d,%s@,nw_dst=%d.%d.%d.0/24,tp_dst=%d%s@ actions=%s"
+      (fun t _p reg1 proto a b c port extra action ->
+        (t, reg1, proto, a, b, c, port, extra, action))
+  with
+  | exception _ -> None
+  | t, reg1, proto, a, b, c, port, extra, action ->
+      let toks =
+        String.split_on_char ',' extra |> List.filter (fun s -> s <> "")
+      in
+      if
+        reg1 >= 1 && reg1 <= vifs
+        && (proto = "tcp" || proto = "udp")
+        && List.for_all (satisfiable_extra ~reg1) toks
+      then
+        Some
+          {
+            dt_table = t;
+            dt_vif = reg1 - 1;
+            dt_udp = proto = "udp";
+            dt_syn = List.mem "tcp_flags=2" toks;
+            dt_tos = List.mem "nw_tos=32" toks;
+            dt_dst_net = (a lsl 24) lor (b lsl 16) lor (c lsl 8);
+            dt_port = port;
+            dt_drop = String.length action >= 4 && String.sub action 0 4 = "drop";
+          }
+      else None
+
+(* even spread across sections: a flow's megaflow mask is determined by
+   the section its walk terminates in, so per-section balance is what
+   balances the dpcls subtable hit distribution *)
+let spread_targets ~per_section targets =
+  let by_table = Hashtbl.create 24 in
+  List.iter
+    (fun t ->
+      let l = try Hashtbl.find by_table t.dt_table with Not_found -> [] in
+      Hashtbl.replace by_table t.dt_table (t :: l))
+    targets;
+  Hashtbl.fold
+    (fun _ l acc ->
+      let rec take acc n = function
+        | x :: rest when n > 0 -> take (x :: acc) (n - 1) rest
+        | _ -> acc
+      in
+      take acc per_section (List.rev l))
+    by_table []
+
+(* One sweep point: the NSX pipeline at [target_rules], a deterministic
+   flow population aimed at reachable DFW rules, and the same replay
+   measured twice — dpcls alone, then with the trained tier in front.
+   EMC and SMC are off on both legs so the metric isolates the
+   megaflow-miss classification cost the paper's computational cache
+   attacks. *)
+let ccache_point ~target_rules : ccache_row =
+  let spec = { Ruleset.table3_spec with Ruleset.target_rules } in
+  let agent = Agent.create ~spec () in
+  ignore (Agent.install_policy agent : Ruleset.stats);
+  let dp =
+    Dpif.create ~kind:Dpif.Dpdk ~pipeline:agent.Agent.integration.Agent.pipeline ()
+  in
+  let vifs = Ruleset.n_vifs spec in
+  for p = 0 to vifs do
+    ignore (Dpif.add_port dp (Ovs_netdev.Netdev.create ~name:(Printf.sprintf "p%d" p) ()))
+  done;
+  Dpif.set_emc_enabled dp false;
+  Dpif.set_smc_enabled dp false;
+  let charge _ _ = () in
+  let targets =
+    List.filter_map (parse_dfw_target ~vifs) (Ruleset.generate spec)
+  in
+  (* prefer drop rules: a dropped flow never commits, so every replayed
+     packet stays +new and keeps hitting its diverse-mask DFW megaflow
+     instead of migrating to the shared established-state path *)
+  let drops = List.filter (fun t -> t.dt_drop) targets in
+  let targets =
+    if List.length drops >= 64 then spread_targets ~per_section:32 drops
+    else spread_targets ~per_section:32 targets
+  in
+  let targets = Array.of_list targets in
+  let n_targets = Array.length targets in
+  (* scan-style filler flows (match nothing, share the widest mask) keep
+     the population meaningful at sweep points too small for real targets *)
+  let n_flows = Int.max n_targets 64 in
+  let flow j =
+    if j < n_targets then begin
+      let t = targets.(j) in
+      let i = t.dt_vif in
+      let src_ip = Ovs_packet.Ipv4.addr_of_string (Ruleset.vif_ip i) in
+      let src_mac = Ruleset.vif_mac i in
+      let dst_mac = Ruleset.vif_mac ((i + 7) mod vifs) in
+      let dst_ip = t.dt_dst_net lor 1 in
+      let pkt =
+        if t.dt_udp then
+          Ovs_packet.Build.udp ~src_mac ~dst_mac ~src_ip ~dst_ip
+            ~src_port:1024 ~dst_port:t.dt_port ()
+        else
+          Ovs_packet.Build.tcp ~src_mac ~dst_mac ~src_ip ~dst_ip
+            ~src_port:1024 ~dst_port:t.dt_port
+            ~flags:(if t.dt_syn then Ovs_packet.Tcp.Flags.syn
+                    else Ovs_packet.Tcp.Flags.ack)
+            ()
+      in
+      if t.dt_tos then Ovs_packet.Ipv4.set_tos pkt 32;
+      pkt.Ovs_packet.Buffer.in_port <- Ruleset.vif_port spec i;
+      pkt
+    end
+    else begin
+      let i = j mod vifs in
+      let pkt =
+        Ovs_packet.Build.udp
+          ~src_mac:(Ruleset.vif_mac i)
+          ~dst_mac:(Ruleset.vif_mac ((i + 7) mod vifs))
+          ~src_ip:(Ovs_packet.Ipv4.addr_of_string (Ruleset.vif_ip i))
+          ~dst_ip:((10 lsl 24) lor (j mod 250 lsl 16) lor (j / 250 mod 250 lsl 8) lor 9)
+          ~src_port:1024
+          ~dst_port:(1 + (j mod 16_000))
+          ()
+      in
+      pkt.Ovs_packet.Buffer.in_port <- Ruleset.vif_port spec i;
+      pkt
+    end
+  in
+  (* warmup: two passes per flow, so conntracked flows settle into their
+     established-state megaflows before anything is measured *)
+  for _ = 1 to 2 do
+    for j = 0 to n_flows - 1 do
+      Dpif.process dp charge (flow j)
+    done
+  done;
+  (* replay weighted per *section*, not per flow: each terminating section
+     is one megaflow mask, so uniform section weight is what gives the
+     subtable hit distribution a production classifier sees (no single
+     dominant mask); within a section flows are picked uniformly *)
+  let by_section = Hashtbl.create 24 in
+  Array.iteri
+    (fun idx t ->
+      let l = try Hashtbl.find by_section t.dt_table with Not_found -> [] in
+      Hashtbl.replace by_section t.dt_table (idx :: l))
+    targets;
+  let sections =
+    Hashtbl.fold (fun _ l acc -> Array.of_list l :: acc) by_section []
+    |> Array.of_list
+  in
+  let replay () =
+    let prng = Ovs_sim.Prng.of_int 0xCCBE in
+    for _ = 1 to 30_000 do
+      let j =
+        if Array.length sections = 0 then Ovs_sim.Prng.int prng n_flows
+        else begin
+          let s = sections.(Ovs_sim.Prng.int prng (Array.length sections)) in
+          s.(Ovs_sim.Prng.int prng (Array.length s))
+        end
+      in
+      Dpif.process dp charge (flow j)
+    done
+  in
+  (* settle the subtable hit ranking so both legs see the same ordering *)
+  replay ();
+  let c = Dpif.counters dp in
+  (* leg A: dpcls only *)
+  Dpif.reset_measurement dp;
+  replay ();
+  let baseline =
+    c.Ovs_datapath.Dp_core.dpcls_cycles
+    /. float_of_int (Int.max 1 c.Ovs_datapath.Dp_core.dpcls_hits)
+  in
+  let subtables, megaflows, mean_probes = Dpif.dpcls_stats dp in
+  (* leg B: train the tier, replay the identical sequence *)
+  Dpif.set_ccache_enabled dp true;
+  ignore (Dpif.ccache_train dp charge : Ovs_nmu.Ccache.train_stats option);
+  Dpif.reset_measurement dp;
+  replay ();
+  let tier_hits = c.Ovs_datapath.Dp_core.ccache_hits
+  and cls_hits = c.Ovs_datapath.Dp_core.dpcls_hits in
+  let with_ccache =
+    (c.Ovs_datapath.Dp_core.ccache_cycles +. c.Ovs_datapath.Dp_core.dpcls_cycles)
+    /. float_of_int (Int.max 1 (tier_hits + cls_hits))
+  in
+  let keys = List.init n_flows (fun j -> Ovs_packet.Flow_key.extract (flow j)) in
+  let mismatches = Dpif.ccache_selfcheck dp keys in
+  {
+    cr_rules = target_rules;
+    cr_megaflows = megaflows;
+    cr_subtables = subtables;
+    cr_mean_probes = mean_probes;
+    cr_baseline = baseline;
+    cr_ccache = with_ccache;
+    cr_coverage =
+      float_of_int tier_hits /. float_of_int (Int.max 1 (tier_hits + cls_hits));
+    cr_mismatches = mismatches;
+  }
+
+let ccache_rows_to_json rows =
+  let row_json r =
+    Printf.sprintf
+      "  {\"rules\": %d, \"megaflows\": %d, \"subtables\": %d, \
+       \"mean_probes\": %.3f, \"baseline_cycles_per_lookup\": %.2f, \
+       \"ccache_cycles_per_lookup\": %.2f, \"speedup\": %.3f, \
+       \"coverage\": %.4f, \"mismatches\": %d}"
+      r.cr_rules r.cr_megaflows r.cr_subtables r.cr_mean_probes r.cr_baseline
+      r.cr_ccache (cr_speedup r) r.cr_coverage r.cr_mismatches
+  in
+  "[\n" ^ String.concat ",\n" (List.map row_json rows) ^ "\n]\n"
+
+let ccache_exp () =
+  section
+    "Computational cache: learned tier vs dpcls-only, NSX ruleset sweep";
+  row "%-9s %10s %10s %12s %14s %14s %9s %9s@." "rules" "megaflows"
+    "subtables" "mean probes" "dpcls cyc/hit" "ccache cyc/hit" "speedup"
+    "coverage";
+  let rows =
+    List.map
+      (fun target_rules -> ccache_point ~target_rules)
+      [ 1_000; 10_000; 103_302 ]
+  in
+  List.iter
+    (fun r ->
+      row "%-9d %10d %10d %12.2f %14.1f %14.1f %8.2fx %8.1f%%@." r.cr_rules
+        r.cr_megaflows r.cr_subtables r.cr_mean_probes r.cr_baseline r.cr_ccache
+        (cr_speedup r) (100. *. r.cr_coverage))
+    rows;
+  if !json_out then begin
+    let out = open_out "BENCH_ccache.json" in
+    output_string out (ccache_rows_to_json rows);
+    close_out out;
+    row "wrote BENCH_ccache.json@."
+  end;
+  let bad_mismatch = List.exists (fun r -> r.cr_mismatches > 0) rows in
+  let at_scale = List.nth rows (List.length rows - 1) in
+  if bad_mismatch then begin
+    Fmt.epr "ccache bench FAILED: ccache/dpcls disagreement@.";
+    exit 1
+  end;
+  if cr_speedup at_scale < 2.0 then begin
+    Fmt.epr
+      "ccache bench FAILED: %.2fx at %d rules, need >= 2x over dpcls-only@."
+      (cr_speedup at_scale) at_scale.cr_rules;
     exit 1
   end
 
@@ -489,14 +776,14 @@ let all = [
   ("table3", table3); ("fig8", fig8); ("fig9", fig9); ("table4", table4);
   ("fig10", fig10); ("fig11", fig11); ("table5", table5); ("fig12", fig12);
   ("pmd", pmd_exp); ("stages", stages_exp); ("ablations", ablations);
-  ("chaos", chaos_exp);
+  ("chaos", chaos_exp); ("ccache", ccache_exp);
 ]
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl |> List.filter (fun a -> a <> "--") in
   let args =
     List.filter
-      (fun a -> if a = "--json" then (chaos_json := true; false) else true)
+      (fun a -> if a = "--json" then (json_out := true; false) else true)
       args
   in
   match args with

@@ -30,14 +30,22 @@ type counters = {
   mutable upcalls : int;
   mutable emc_hits : int;
   mutable smc_hits : int;
+  mutable ccache_hits : int;  (** computational-cache (learned tier) hits *)
   mutable dpcls_hits : int;
   mutable dropped : int;
   mutable sent : int;
+  (* virtual ns spent on the *hits* of each lookup tier — the raw material
+     of dpif/cache-hierarchy-show's mean-cycles-per-hit column *)
+  mutable emc_cycles : float;
+  mutable smc_cycles : float;
+  mutable ccache_cycles : float;
+  mutable dpcls_cycles : float;
 }
 
 (* process-global coverage counters, COVERAGE_INC-style *)
 let cov_emc_hit = Coverage.counter "dpif_emc_hit"
 let cov_smc_hit = Coverage.counter "dpif_smc_hit"
+let cov_ccache_hit = Coverage.counter "dpif_ccache_hit"
 let cov_masked_hit = Coverage.counter "dpif_masked_hit"
 let cov_upcall = Coverage.counter "dpif_upcall"
 let cov_upcall_lost = Coverage.counter "dpif_upcall_lost"
@@ -68,6 +76,14 @@ type t = {
                                    in-kernel EMC, userspace keeps it *)
   smc : Action.odp list Ovs_flow.Smc.t option;
   mutable smc_enabled : bool;  (** the optional signature-match cache *)
+  mutable ccache : Action.odp list Ovs_nmu.Ccache.t option;
+      (** the computational cache (learned classifier tier, lib/nmu);
+          [None] until first enabled so the disarmed datapath is
+          byte-identical to one built before the tier existed *)
+  mutable ccache_enabled : bool;
+  mutable cc_inserts : int;  (** megaflow installs since the last (re)train *)
+  mutable cc_autoretrain : int option;
+      (** retrain after this many installs while enabled (churn coupling) *)
   dpcls : Action.odp list Ovs_flow.Dpcls.t;
   conntrack : Ovs_conntrack.Conntrack.t;
   mutable output : charge_fn -> int -> Ovs_packet.Buffer.t -> unit;
@@ -95,9 +111,14 @@ let fresh_counters () =
     upcalls = 0;
     emc_hits = 0;
     smc_hits = 0;
+    ccache_hits = 0;
     dpcls_hits = 0;
     dropped = 0;
     sent = 0;
+    emc_cycles = 0.;
+    smc_cycles = 0.;
+    ccache_cycles = 0.;
+    dpcls_cycles = 0.;
   }
 
 let create ~flavor ~costs ~pipeline () =
@@ -110,6 +131,10 @@ let create ~flavor ~costs ~pipeline () =
     emc_enabled = true;
     smc = (if userspace then Some (Ovs_flow.Smc.create ()) else None);
     smc_enabled = false;  (* upstream default: other_config:smc-enable=false *)
+    ccache = None;
+    ccache_enabled = false;
+    cc_inserts = 0;
+    cc_autoretrain = None;
     dpcls = Ovs_flow.Dpcls.create ();
     conntrack = Ovs_conntrack.Conntrack.create ();
     output = (fun _ _ _ -> ());
@@ -130,6 +155,27 @@ let csum_offload t = t.csum_offload
 let set_csum_offload t v = t.csum_offload <- v
 let set_emc_enabled t v = t.emc_enabled <- v
 let set_smc_enabled t v = t.smc_enabled <- v
+
+let set_ccache_enabled t v =
+  t.ccache_enabled <- v;
+  if v then
+    match t.ccache with
+    | None -> t.ccache <- Some (Ovs_nmu.Ccache.create ())
+    | Some _ -> ()
+
+let ccache_enabled t = t.ccache_enabled
+let set_ccache_autoretrain t thr = t.cc_autoretrain <- thr
+
+let ccache_last_train t =
+  match t.ccache with None -> None | Some cc -> Ovs_nmu.Ccache.last_train cc
+
+let ccache_render t =
+  match t.ccache with None -> None | Some cc -> Some (Ovs_nmu.Ccache.render cc)
+
+let dpcls_stats t =
+  ( Ovs_flow.Dpcls.subtable_count t.dpcls,
+    Ovs_flow.Dpcls.flow_count t.dpcls,
+    Ovs_flow.Dpcls.mean_probes t.dpcls )
 let set_output t f = t.output <- f
 let set_controller t f = t.controller <- Some f
 let set_now t now = t.now <- now
@@ -177,9 +223,14 @@ let reset_counters t =
   c.upcalls <- 0;
   c.emc_hits <- 0;
   c.smc_hits <- 0;
+  c.ccache_hits <- 0;
   c.dpcls_hits <- 0;
   c.dropped <- 0;
-  c.sent <- 0
+  c.sent <- 0;
+  c.emc_cycles <- 0.;
+  c.smc_cycles <- 0.;
+  c.ccache_cycles <- 0.;
+  c.dpcls_cycles <- 0.
 
 (** Configure a token-bucket meter (the [meter:N] action's target). *)
 let set_meter t ~id ~rate_pps ~burst =
@@ -250,8 +301,10 @@ let lookup_cached t (charge : charge_fn) (key : FK.t) : Action.odp list option =
         trace_stage t Trace.St_emc;
         match Ovs_flow.Emc.lookup emc key with
         | Some actions ->
-            charge cat (c.Ovs_sim.Costs.emc_hit +. cold_penalty t);
+            let cost = c.Ovs_sim.Costs.emc_hit +. cold_penalty t in
+            charge cat cost;
             t.counters.emc_hits <- t.counters.emc_hits + 1;
+            t.counters.emc_cycles <- t.counters.emc_cycles +. cost;
             Coverage.incr cov_emc_hit;
             trace_note t Trace.St_emc (fun () -> "hit: exact-match cache");
             Some actions
@@ -271,10 +324,13 @@ let lookup_cached t (charge : charge_fn) (key : FK.t) : Action.odp list option =
             match Ovs_flow.Smc.lookup smc key with
             | Some actions ->
                 (* signature probe + one masked comparison *)
-                charge cat
-                  (c.Ovs_sim.Costs.emc_hit +. c.Ovs_sim.Costs.emc_miss_probe
-                  +. cold_penalty t);
+                let cost =
+                  c.Ovs_sim.Costs.emc_hit +. c.Ovs_sim.Costs.emc_miss_probe
+                  +. cold_penalty t
+                in
+                charge cat cost;
                 t.counters.smc_hits <- t.counters.smc_hits + 1;
+                t.counters.smc_cycles <- t.counters.smc_cycles +. cost;
                 Coverage.incr cov_smc_hit;
                 trace_note t Trace.St_smc (fun () -> "hit: signature-match cache");
                 Some actions
@@ -285,9 +341,54 @@ let lookup_cached t (charge : charge_fn) (key : FK.t) : Action.odp list option =
         | Some _ | None -> None
       end
   in
-  match (emc_result, smc_result) with
-  | Some actions, _ | None, Some actions -> Some actions
-  | None, None -> begin
+  let ccache_result =
+    match (emc_result, smc_result) with
+    | Some _, _ | _, Some _ -> None
+    | None, None -> begin
+        match t.ccache with
+        | Some cc when t.ccache_enabled && Ovs_nmu.Ccache.trained cc -> begin
+            trace_stage t Trace.St_ccache;
+            let hit = Ovs_nmu.Ccache.lookup cc key in
+            let models, steps, valids = Ovs_nmu.Ccache.last_work cc in
+            let work =
+              (float_of_int models *. c.Ovs_sim.Costs.ccache_model_eval)
+              +. (float_of_int steps *. c.Ovs_sim.Costs.ccache_search_step)
+              +. (float_of_int valids *. c.Ovs_sim.Costs.ccache_validate)
+            in
+            match hit with
+            | Some (e, mf_mask) ->
+                let cost = work +. cold_penalty t in
+                charge cat cost;
+                e.Ovs_flow.Dpcls.cycles <- e.Ovs_flow.Dpcls.cycles +. cost;
+                t.counters.ccache_hits <- t.counters.ccache_hits + 1;
+                t.counters.ccache_cycles <- t.counters.ccache_cycles +. cost;
+                Coverage.incr cov_ccache_hit;
+                trace_note t Trace.St_ccache (fun () ->
+                    Printf.sprintf
+                      "hit: computational cache on %s (%d model evals, %d search steps, %d validation%s)"
+                      (masked_fields mf_mask) models steps valids
+                      (if valids = 1 then "" else "s"));
+                let actions = e.Ovs_flow.Dpcls.value in
+                (match t.emc with
+                | Some emc when t.emc_enabled -> Ovs_flow.Emc.insert emc key actions
+                | Some _ | None -> ());
+                (match t.smc with
+                | Some smc when t.smc_enabled ->
+                    Ovs_flow.Smc.insert smc key ~mask:mf_mask actions
+                | Some _ | None -> ());
+                Some actions
+            | None ->
+                (* indexed nowhere (or validation failed): the model work
+                   is still paid, and the lookup falls to the classifier *)
+                charge cat work;
+                None
+          end
+        | Some _ | None -> None
+      end
+  in
+  match (emc_result, smc_result, ccache_result) with
+  | Some actions, _, _ | _, Some actions, _ | _, _, Some actions -> Some actions
+  | None, None, None -> begin
       let per_probe =
         (match t.flavor with
         | Flavor_userspace -> c.Ovs_sim.Costs.dpcls_subtable
@@ -304,6 +405,7 @@ let lookup_cached t (charge : charge_fn) (key : FK.t) : Action.odp list option =
           charge cat cost;
           e.Ovs_flow.Dpcls.cycles <- e.Ovs_flow.Dpcls.cycles +. cost;
           t.counters.dpcls_hits <- t.counters.dpcls_hits + 1;
+          t.counters.dpcls_cycles <- t.counters.dpcls_cycles +. cost;
           Coverage.incr cov_masked_hit;
           trace_note t Trace.St_dpcls (fun () ->
               Printf.sprintf "hit: megaflow on %s (%d subtable probe%s)"
@@ -322,6 +424,42 @@ let lookup_cached t (charge : charge_fn) (key : FK.t) : Action.odp list option =
           charge cat (float_of_int probes *. per_probe);
           None
     end
+
+(** (Re)train the computational cache over the currently installed
+    megaflows, charging the amortized per-rule training cost as [User]
+    time (training runs at install/churn time, never per packet).
+    [None] when the cache was never enabled. *)
+let ccache_train t (charge : charge_fn) : Ovs_nmu.Ccache.train_stats option =
+  match t.ccache with
+  | None -> None
+  | Some cc ->
+      let st = Ovs_nmu.Ccache.train cc t.dpcls in
+      t.cc_inserts <- 0;
+      charge Ovs_sim.Cpu.User
+        (t.costs.Ovs_sim.Costs.ccache_train_per_rule
+        *. float_of_int st.Ovs_nmu.Ccache.ts_megaflows);
+      Some st
+
+(** Cross-check the computational cache against the classifier on live
+    state: a ccache hit must name the very megaflow dpcls would return
+    (a ccache miss is never wrong — it falls through to dpcls). Returns
+    the number of disagreements; anything nonzero is a bug. *)
+let ccache_selfcheck t (keys : FK.t list) : int =
+  match t.ccache with
+  | None -> 0
+  | Some cc ->
+      List.fold_left
+        (fun bad key ->
+          match Ovs_nmu.Ccache.peek cc key with
+          | None -> bad
+          | Some (e, cmask) -> begin
+              match Ovs_flow.Dpcls.peek t.dpcls key with
+              | Some (dv, dmask)
+                when FK.equal cmask dmask && e.Ovs_flow.Dpcls.value == dv ->
+                  bad
+              | Some _ | None -> bad + 1
+            end)
+        0 keys
 
 (** The slow path: upcall into ovs-vswitchd / ofproto translation, and
     install the resulting megaflow (plus microflow-cache entries). *)
@@ -372,6 +510,16 @@ let slowpath t (charge : charge_fn) (key : FK.t) : Action.odp list =
   Ovs_flow.Dpcls.insert t.dpcls
     ~mask:result.Ovs_ofproto.Pipeline.megaflow_mask ~key actions;
   charge cat c.Ovs_sim.Costs.megaflow_insert;
+  (* a fresh megaflow is safe for a trained ccache (an unindexed flow just
+     misses through to dpcls), but count it toward the retrain trigger *)
+  (match t.ccache with
+  | Some _ when t.ccache_enabled -> begin
+      t.cc_inserts <- t.cc_inserts + 1;
+      match t.cc_autoretrain with
+      | Some thr when t.cc_inserts >= thr -> ignore (ccache_train t charge)
+      | Some _ | None -> ()
+    end
+  | Some _ | None -> ());
   (match t.emc with
   | Some emc when t.emc_enabled -> Ovs_flow.Emc.insert emc key actions
   | Some _ | None -> ());
@@ -590,6 +738,7 @@ let handle_upcall t (charge : charge_fn) (pkt : Ovs_packet.Buffer.t) (key : FK.t
           charge cat cost;
           e.Ovs_flow.Dpcls.cycles <- e.Ovs_flow.Dpcls.cycles +. cost;
           t.counters.dpcls_hits <- t.counters.dpcls_hits + 1;
+          t.counters.dpcls_cycles <- t.counters.dpcls_cycles +. cost;
           Coverage.incr cov_masked_hit;
           let actions = e.Ovs_flow.Dpcls.value in
           (match t.emc with
@@ -615,8 +764,11 @@ let handle_upcall t (charge : charge_fn) (pkt : Ovs_packet.Buffer.t) (key : FK.t
           charge cat ns);
       Trace.packet_end r
 
-(** Drop all cached flows (OpenFlow rule changes invalidate megaflows). *)
+(** Drop all cached flows (OpenFlow rule changes invalidate megaflows).
+    The computational cache is invalidated first: its models reference the
+    entries about to be dropped. *)
 let flush_caches t =
+  (match t.ccache with Some cc -> Ovs_nmu.Ccache.invalidate cc | None -> ());
   (match t.emc with Some emc -> Ovs_flow.Emc.flush emc | None -> ());
   Ovs_flow.Dpcls.flush t.dpcls
 
@@ -658,6 +810,10 @@ let revalidate t =
         fresh.Ovs_ofproto.Pipeline.odp_actions <> actions
         || not (FK.equal fresh.Ovs_ofproto.Pipeline.megaflow_mask mask)
       then stale := (FK.copy mask, FK.copy key) :: !stale);
+  (* the staleness rule: the computational cache must be invalidated
+     BEFORE any megaflow is removed — its models hold direct entry refs *)
+  if !stale <> [] then
+    (match t.ccache with Some cc -> Ovs_nmu.Ccache.invalidate cc | None -> ());
   List.iter (fun (mask, key) -> ignore (Ovs_flow.Dpcls.remove t.dpcls ~mask ~key)) !stale;
   if !stale <> [] then begin
     (match t.emc with Some emc -> Ovs_flow.Emc.flush emc | None -> ());

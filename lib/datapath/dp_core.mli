@@ -28,9 +28,16 @@ type counters = {
   mutable upcalls : int;
   mutable emc_hits : int;
   mutable smc_hits : int;
+  mutable ccache_hits : int;  (** computational-cache (learned tier) hits *)
   mutable dpcls_hits : int;
   mutable dropped : int;
   mutable sent : int;
+  (* virtual ns spent on the *hits* of each lookup tier — the raw material
+     of dpif/cache-hierarchy-show's mean-cycles-per-hit column *)
+  mutable emc_cycles : float;
+  mutable smc_cycles : float;
+  mutable ccache_cycles : float;
+  mutable dpcls_cycles : float;
 }
 
 type t
@@ -56,6 +63,37 @@ val set_csum_offload : t -> bool -> unit
 val set_emc_enabled : t -> bool -> unit
 
 val set_smc_enabled : t -> bool -> unit
+
+(** {1 The computational cache (learned classifier tier, lib/nmu)} *)
+
+(** Enable/ablate the computational cache between SMC and dpcls. The cache
+    is created lazily on first enable, so a datapath that never enables it
+    charges byte-identical costs to one built before the tier existed.
+    Enabling is not enough to serve lookups: the cache must also be
+    trained ({!ccache_train}). *)
+val set_ccache_enabled : t -> bool -> unit
+
+val ccache_enabled : t -> bool
+
+(** Retrain automatically after this many megaflow installs while enabled
+    ([None] disables the trigger). Couples retraining to rule churn. *)
+val set_ccache_autoretrain : t -> int option -> unit
+
+(** (Re)train over the currently installed megaflows, charging the
+    amortized per-rule cost as [User] time. [None] if never enabled. *)
+val ccache_train : t -> charge_fn -> Ovs_nmu.Ccache.train_stats option
+
+val ccache_last_train : t -> Ovs_nmu.Ccache.train_stats option
+
+(** The cache's stats rendering, if it exists. *)
+val ccache_render : t -> string option
+
+(** Cross-check the computational cache against the classifier on live
+    state for each key; returns the number of disagreements (must be 0). *)
+val ccache_selfcheck : t -> FK.t list -> int
+
+(** [(subtables, megaflows, mean probes per lookup)] of the classifier. *)
+val dpcls_stats : t -> int * int * float
 
 (** Bind where executed [output:N] actions deliver packets — set once by
     the enclosing datapath when ports exist. *)

@@ -512,6 +512,14 @@ let umem_pool t ~port_no =
 
 let set_emc_enabled t v = Dp_core.set_emc_enabled t.core v
 let set_smc_enabled t v = Dp_core.set_smc_enabled t.core v
+let set_ccache_enabled t v = Dp_core.set_ccache_enabled t.core v
+let ccache_enabled t = Dp_core.ccache_enabled t.core
+let set_ccache_autoretrain t thr = Dp_core.set_ccache_autoretrain t.core thr
+let ccache_train t charge = Dp_core.ccache_train t.core charge
+let ccache_last_train t = Dp_core.ccache_last_train t.core
+let ccache_render t = Dp_core.ccache_render t.core
+let ccache_selfcheck t keys = Dp_core.ccache_selfcheck t.core keys
+let dpcls_stats t = Dp_core.dpcls_stats t.core
 let flush_caches t = Dp_core.flush_caches t.core
 let revalidate t = Dp_core.revalidate t.core
 let dump_megaflows t = Dp_core.dump_megaflows t.core

@@ -125,6 +125,34 @@ val set_emc_enabled : t -> bool -> unit
 val set_smc_enabled : t -> bool -> unit
 (** Ablation switches for the microflow caches (Table 2 ladder). *)
 
+(** {1 The computational cache (learned classifier tier, lib/nmu)} *)
+
+val set_ccache_enabled : t -> bool -> unit
+(** Enable/ablate the computational cache between SMC and dpcls (created
+    lazily on first enable; must also be trained before it serves). *)
+
+val ccache_enabled : t -> bool
+
+val set_ccache_autoretrain : t -> int option -> unit
+(** Retrain automatically after this many megaflow installs while enabled
+    ([None] disables the trigger) — couples retraining to rule churn. *)
+
+val ccache_train : t -> Dp_core.charge_fn -> Ovs_nmu.Ccache.train_stats option
+(** (Re)train over the installed megaflows, charging the amortized
+    per-rule cost. [None] if the cache was never enabled. *)
+
+val ccache_last_train : t -> Ovs_nmu.Ccache.train_stats option
+
+val ccache_render : t -> string option
+(** The cache's stats rendering, if it exists. *)
+
+val ccache_selfcheck : t -> Ovs_packet.Flow_key.t list -> int
+(** Disagreements between the computational cache and the classifier over
+    the given keys (must be 0; a ccache miss never counts). *)
+
+val dpcls_stats : t -> int * int * float
+(** [(subtables, megaflows, mean probes per lookup)] of the classifier. *)
+
 val flush_caches : t -> unit
 (** Drop all cached flows (OpenFlow rule changes invalidate megaflows). *)
 

@@ -37,12 +37,34 @@ let apply (buf : Buffer.t) (key : FK.t) (field : FK.Field.t) (v : int) : bool =
   | FK.Field.Ct_mark ->
       buf.Buffer.ct_mark <- v;
       false
+  | FK.Field.Reg0 ->
+      buf.Buffer.regs.(0) <- v;
+      false
+  | FK.Field.Reg1 ->
+      buf.Buffer.regs.(1) <- v;
+      false
+  | FK.Field.Reg2 ->
+      buf.Buffer.regs.(2) <- v;
+      false
+  | FK.Field.Reg3 ->
+      buf.Buffer.regs.(3) <- v;
+      false
+  | FK.Field.Reg4 ->
+      buf.Buffer.regs.(4) <- v;
+      false
+  | FK.Field.Reg5 ->
+      buf.Buffer.regs.(5) <- v;
+      false
+  | FK.Field.Reg6 ->
+      buf.Buffer.regs.(6) <- v;
+      false
+  | FK.Field.Reg7 ->
+      buf.Buffer.regs.(7) <- v;
+      false
   | FK.Field.Vlan_tci | FK.Field.In_port | FK.Field.Recirc_id
   | FK.Field.Dl_type | FK.Field.Nw_proto | FK.Field.Nw_tos | FK.Field.Nw_frag
   | FK.Field.Tcp_flags | FK.Field.Tun_id | FK.Field.Tun_src | FK.Field.Tun_dst
   | FK.Field.Ct_state | FK.Field.Ct_zone | FK.Field.Ip6_src_hi
-  | FK.Field.Ip6_src_lo | FK.Field.Ip6_dst_hi | FK.Field.Ip6_dst_lo
-  | FK.Field.Reg0 | FK.Field.Reg1 | FK.Field.Reg2 | FK.Field.Reg3
-  | FK.Field.Reg4 | FK.Field.Reg5 | FK.Field.Reg6 | FK.Field.Reg7 ->
+  | FK.Field.Ip6_src_lo | FK.Field.Ip6_dst_hi | FK.Field.Ip6_dst_lo ->
       (* metadata-only or unsupported rewrites: key update is enough *)
       false

@@ -12,7 +12,10 @@ module FK = Ovs_packet.Flow_key
 
 type 'a entry = {
   key : FK.t;  (** pre-masked key *)
-  value : 'a;
+  mutable value : 'a;
+      (** mutable so a reinstall updates the record in place — outside
+          references (the computational cache's iSet members) must never
+          observe a stale value *)
   mutable hits : int;
   mutable cycles : float;
       (** virtual ns spent on lookups that hit this entry (credited by the
@@ -68,10 +71,10 @@ let insert t ~mask ~key value =
         Hashtbl.replace st.tbl h b;
         b
   in
-  (* replace an existing entry with the same masked key *)
+  (* replace an existing entry with the same masked key, in place *)
   let existing = List.exists (fun e -> FK.equal e.key masked) !bucket in
   if existing then
-    bucket := List.map (fun e -> if FK.equal e.key masked then { e with value } else e) !bucket
+    List.iter (fun e -> if FK.equal e.key masked then e.value <- value) !bucket
   else begin
     bucket := { key = masked; value; hits = 0; cycles = 0. } :: !bucket;
     st.st_count <- st.st_count + 1
@@ -88,7 +91,12 @@ let lookup_entry t (key : FK.t) : ('a entry * int * FK.t) option =
   if t.resort_counter >= 1024 then begin
     t.resort_counter <- 0;
     t.subtables <-
-      List.sort (fun a b -> compare b.st_hits a.st_hits) t.subtables
+      List.sort (fun a b -> compare b.st_hits a.st_hits) t.subtables;
+    (* decay the counts after ranking: each resort period then weighs
+       recent traffic against a halved history, so a workload shift
+       reorders within a few periods. Sorting by all-time hits never
+       reorders once an old hot subtable has banked a large lead. *)
+    List.iter (fun st -> st.st_hits <- st.st_hits / 2) t.subtables
   end;
   let rec probe n = function
     | [] ->
@@ -126,6 +134,29 @@ let lookup t (key : FK.t) : ('a * int) option =
   match lookup_full t key with
   | Some (v, probes, _) -> Some (v, probes)
   | None -> None
+
+(** Look [key] up without mutating any statistic, hit count or the
+    subtable order — for cross-checking other tiers against the
+    classifier on live state. *)
+let peek t (key : FK.t) : ('a * FK.t) option =
+  let rec probe = function
+    | [] -> None
+    | st :: rest -> begin
+        let h = FK.hash_masked key st.mask in
+        let hit =
+          match Hashtbl.find_opt st.tbl h with
+          | None -> None
+          | Some bucket ->
+              List.find_opt
+                (fun e -> FK.equal e.key (FK.apply_mask key st.mask))
+                !bucket
+        in
+        match hit with
+        | Some e -> Some (e.value, st.mask)
+        | None -> probe rest
+      end
+  in
+  probe t.subtables
 
 (** Remove the megaflow matching [key] under [mask]; empty subtables are
     garbage collected. Returns whether an entry was removed. *)

@@ -9,7 +9,10 @@ module FK = Ovs_packet.Flow_key
 
 type 'a entry = {
   key : FK.t;  (** pre-masked key *)
-  value : 'a;
+  mutable value : 'a;
+      (** mutable so a reinstall updates the record in place — outside
+          references (the computational cache's iSet members) must never
+          observe a stale value *)
   mutable hits : int;
   mutable cycles : float;
       (** virtual ns spent on lookups that hit this entry (credited by the
@@ -43,6 +46,10 @@ val lookup_full : 'a t -> FK.t -> ('a * int * FK.t) option
 
 val lookup : 'a t -> FK.t -> ('a * int) option
 (** {!lookup_full} without the mask. *)
+
+val peek : 'a t -> FK.t -> ('a * FK.t) option
+(** Lookup without mutating any statistic, hit count or the subtable
+    order — for cross-checking other tiers on live state. *)
 
 val remove : 'a t -> mask:FK.t -> key:FK.t -> bool
 (** Remove one megaflow; empty subtables are garbage-collected. Returns

@@ -1,0 +1,128 @@
+(** iSet partitioning: split a set of megaflows into *independent sets* —
+    groups whose members map to pairwise-disjoint integer ranges on one
+    flow-key field — plus a remainder that stays classifier-only
+    (NuevoMatchUp's partitioner, specialized to megaflow masks).
+
+    A megaflow is range-encodable on field [f] when its mask for [f] is a
+    non-empty contiguous prefix (exact matches included): a match on
+    [v/m] then means the packet's field value lies in
+    [[v, v lor lnot m]]. Because installed megaflows are disjoint, a
+    full masked-key validation after the range probe makes membership
+    exact; disjointness *within* an iSet is what lets one range query
+    return at most one candidate.
+
+    Partitioning is greedy: repeatedly pick the field offering the
+    largest non-overlapping subset of the still-unassigned megaflows
+    (classic earliest-end activity selection), carve it into one iSet,
+    and stop when the next-best iSet would fall below [min_size] or
+    [max_isets] is reached. Leftovers are the remainder — they are never
+    dropped, only left to the tuple-space classifier. *)
+
+module FK = Ovs_packet.Flow_key
+
+type iset = {
+  is_field : FK.Field.t;
+  is_members : int array;  (** caller-side entry indices, sorted by [is_lo] *)
+  is_lo : int array;
+  is_hi : int array;
+}
+
+type t = {
+  isets : iset list;  (** largest first *)
+  remainder : int list;  (** entry indices left to the classifier *)
+  considered : int;
+}
+
+(** The range [(lo, hi)] the megaflow [mask]/[key] covers on field [f],
+    when the mask is a non-empty contiguous prefix of the field. *)
+let prefix_range ~(mask : FK.t) ~(key : FK.t) (f : FK.Field.t) :
+    (int * int) option =
+  let full = FK.Field.full_mask f in
+  let m = FK.get mask f land full in
+  if m = 0 then None
+  else
+    let inv = full lxor m in
+    (* a prefix mask's complement is 2^z - 1 *)
+    if inv land (inv + 1) <> 0 then None
+    else
+      let v = FK.get key f land m in
+      Some (v, v lor inv)
+
+(* fields worth anchoring a range query on, tried in this order when
+   scores tie: port numbers and addresses spread; metadata rarely does *)
+let default_fields =
+  [|
+    FK.Field.Tp_dst; FK.Field.Nw_dst; FK.Field.Nw_src; FK.Field.In_port;
+    FK.Field.Tp_src; FK.Field.Tun_id; FK.Field.Dl_dst; FK.Field.Dl_src;
+    FK.Field.Ct_mark; FK.Field.Tun_src; FK.Field.Tun_dst;
+  |]
+
+(* earliest-end-first activity selection over (idx, lo, hi), candidates
+   sorted by (hi, lo): the maximum pairwise-disjoint subset *)
+let select_layer (cands : (int * int * int) list) : (int * int * int) list =
+  let sorted =
+    List.sort
+      (fun (_, l1, h1) (_, l2, h2) -> compare (h1, l1) (h2, l2))
+      cands
+  in
+  let last_hi = ref min_int in
+  List.filter
+    (fun (_, lo, hi) ->
+      if !last_hi = min_int || lo > !last_hi then begin
+        last_hi := hi;
+        true
+      end
+      else false)
+    sorted
+
+let partition ?(fields = default_fields) ?(max_isets = 6) ?(min_size = 2)
+    ~(masks : FK.t array) ~(keys : FK.t array) () : t =
+  let n = Array.length masks in
+  if Array.length keys <> n then invalid_arg "Iset.partition: arity";
+  let assigned = Array.make n false in
+  let isets = ref [] in
+  let carved = ref 0 in
+  let stop = ref false in
+  while (not !stop) && !carved < max_isets do
+    (* best (field, disjoint layer) over the unassigned megaflows *)
+    let best = ref None in
+    Array.iter
+      (fun f ->
+        let cands = ref [] in
+        for i = 0 to n - 1 do
+          if not assigned.(i) then
+            match prefix_range ~mask:masks.(i) ~key:keys.(i) f with
+            | Some (lo, hi) -> cands := (i, lo, hi) :: !cands
+            | None -> ()
+        done;
+        if List.length !cands >= min_size then begin
+          let layer = select_layer !cands in
+          let size = List.length layer in
+          match !best with
+          | Some (_, _, best_size) when best_size >= size -> ()
+          | _ -> if size >= min_size then best := Some (f, layer, size)
+        end)
+      fields;
+    match !best with
+    | None -> stop := true
+    | Some (f, layer, _) ->
+        let by_lo =
+          List.sort (fun (_, l1, _) (_, l2, _) -> compare l1 l2) layer
+        in
+        let members = Array.of_list (List.map (fun (i, _, _) -> i) by_lo) in
+        let lo = Array.of_list (List.map (fun (_, l, _) -> l) by_lo) in
+        let hi = Array.of_list (List.map (fun (_, _, h) -> h) by_lo) in
+        Array.iter (fun i -> assigned.(i) <- true) members;
+        isets := { is_field = f; is_members = members; is_lo = lo; is_hi = hi } :: !isets;
+        incr carved
+  done;
+  let remainder = ref [] in
+  for i = n - 1 downto 0 do
+    if not assigned.(i) then remainder := i :: !remainder
+  done;
+  let by_size =
+    List.sort
+      (fun a b -> compare (Array.length b.is_members) (Array.length a.is_members))
+      !isets
+  in
+  { isets = by_size; remainder = !remainder; considered = n }

@@ -1,0 +1,32 @@
+(** iSet partitioning: split megaflows into groups with pairwise-disjoint
+    ranges on one field, plus a remainder. See [iset.ml]. *)
+
+module FK = Ovs_packet.Flow_key
+
+type iset = {
+  is_field : FK.Field.t;
+  is_members : int array;  (** caller-side entry indices, sorted by [is_lo] *)
+  is_lo : int array;
+  is_hi : int array;
+}
+
+type t = {
+  isets : iset list;  (** largest first *)
+  remainder : int list;  (** entry indices left to the classifier *)
+  considered : int;
+}
+
+(** The range the megaflow covers on a field, when its mask there is a
+    non-empty contiguous prefix. *)
+val prefix_range : mask:FK.t -> key:FK.t -> FK.Field.t -> (int * int) option
+
+val default_fields : FK.Field.t array
+
+val partition :
+  ?fields:FK.Field.t array ->
+  ?max_isets:int ->
+  ?min_size:int ->
+  masks:FK.t array ->
+  keys:FK.t array ->
+  unit ->
+  t

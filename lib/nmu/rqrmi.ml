@@ -1,0 +1,189 @@
+(** RQ-RMI: a two-stage learned index over disjoint integer ranges
+    (Rashelbach et al., "Scaling Open vSwitch with a Computational Cache",
+    NSDI 2022). Stage 0 selects one of [k] linear submodels by the key's
+    position in the domain; the selected submodel predicts the index of
+    the range containing the key. Training computes, per submodel, a
+    *guaranteed* error bound on that prediction, so lookup only has to
+    binary-search the window [pred - err, pred + err] — the "bounded
+    secondary search" that makes the model exact rather than approximate.
+
+    The bound is exact by construction, not sampled: the true index is a
+    step function of the key whose breakpoints are the range starts, and
+    the prediction pipeline (float conversion, multiply-add, rounding,
+    clamping) is monotone in the key. Over every maximal key interval
+    where the true index is constant and one submodel is selected, the
+    absolute error is therefore extremized at the interval endpoints —
+    and training evaluates the model at every such endpoint (range
+    starts, range-start predecessors, and submodel-selection boundaries
+    located by binary search over the real selector, never by float
+    inversion). Float rounding on 62-bit keys can only inflate the
+    measured bound, never invalidate it, because training and lookup run
+    the identical prediction code. *)
+
+type t = {
+  lo : int array;  (** range starts, strictly increasing *)
+  hi : int array;  (** range ends; [lo.(i) <= hi.(i) < lo.(i+1)] *)
+  x0 : int;  (** domain start, [lo.(0)] *)
+  x1 : int;  (** domain end, [hi.(n-1)] *)
+  scale : float;  (** stage-0 selector slope: submodels per key unit *)
+  k : int;  (** number of stage-1 submodels *)
+  a : float array;  (** per-submodel slope (over [x - x0]) *)
+  b : float array;  (** per-submodel intercept *)
+  err : int array;  (** per-submodel guaranteed index-error bound *)
+  max_err : int;
+}
+
+(** Per-lookup work counters, filled by {!lookup} for cost accounting:
+    [models] = stage evaluations performed, [steps] = secondary-search
+    comparisons. *)
+type stats = { mutable models : int; mutable steps : int }
+
+let mk_stats () = { models = 0; steps = 0 }
+
+let n_ranges t = Array.length t.lo
+let max_err t = t.max_err
+
+let clampi v lo hi = if v < lo then lo else if v > hi then hi else v
+
+(* the stage-0 selector: monotone in x by construction *)
+let bucket t x =
+  let f = float_of_int (x - t.x0) *. t.scale in
+  clampi (int_of_float f) 0 (t.k - 1)
+
+(* the stage-1 prediction, shared verbatim by training and lookup *)
+let predict t j x =
+  let n = Array.length t.lo in
+  clampi
+    (int_of_float (Float.round ((t.a.(j) *. float_of_int (x - t.x0)) +. t.b.(j))))
+    0 (n - 1)
+
+(** Train over [ranges], which must be sorted by start and pairwise
+    disjoint (raises [Invalid_argument] otherwise — the iSet partitioner
+    guarantees this). When [submodels] is not forced, training starts at
+    roughly one submodel per 8 ranges and doubles the stage-1 width until
+    the guaranteed error bound reaches [error_target] (or the width cap) —
+    the same error-driven retraining loop the NSDI'22 trainer runs, since
+    submodel tables are a few words each while every extra unit of error
+    is a secondary-search step paid on every lookup. *)
+let train ?(submodels = 0) ?(error_target = 2)
+    ~(ranges : (int * int) array) () : t =
+  let n = Array.length ranges in
+  if n = 0 then invalid_arg "Rqrmi.train: empty range set";
+  let lo = Array.map fst ranges and hi = Array.map snd ranges in
+  for i = 0 to n - 1 do
+    if hi.(i) < lo.(i) then invalid_arg "Rqrmi.train: inverted range";
+    if i > 0 && lo.(i) <= hi.(i - 1) then
+      invalid_arg "Rqrmi.train: ranges overlap or are unsorted"
+  done;
+  let x0 = lo.(0) and x1 = hi.(n - 1) in
+  let cap = clampi n 1 1024 in
+  let forced = submodels > 0 in
+  let rec attempt k =
+  let scale = float_of_int k /. (float_of_int (x1 - x0) +. 1.) in
+  let a = Array.make k 0. and b = Array.make k 0. in
+  let err = Array.make k 0 in
+  let t = { lo; hi; x0; x1; scale; k; a; b; err; max_err = 0 } in
+  (* least-squares fit of (lo_i - x0, i) per stage-0 bucket; empty buckets
+     fall back to the constant index in force at that point of the domain *)
+  let sx = Array.make k 0. and sy = Array.make k 0. in
+  let sxx = Array.make k 0. and sxy = Array.make k 0. in
+  let cnt = Array.make k 0 in
+  for i = 0 to n - 1 do
+    let j = bucket t lo.(i) in
+    let x = float_of_int (lo.(i) - x0) and y = float_of_int i in
+    sx.(j) <- sx.(j) +. x;
+    sy.(j) <- sy.(j) +. y;
+    sxx.(j) <- sxx.(j) +. (x *. x);
+    sxy.(j) <- sxy.(j) +. (x *. y);
+    cnt.(j) <- cnt.(j) + 1
+  done;
+  let last_index_before = ref 0 in
+  for j = 0 to k - 1 do
+    if cnt.(j) >= 2 then begin
+      let nf = float_of_int cnt.(j) in
+      let var = sxx.(j) -. (sx.(j) *. sx.(j) /. nf) in
+      if var > 0. then begin
+        a.(j) <- (sxy.(j) -. (sx.(j) *. sy.(j) /. nf)) /. var;
+        b.(j) <- (sy.(j) -. (a.(j) *. sx.(j))) /. nf
+      end
+      else b.(j) <- sy.(j) /. nf
+    end
+    else if cnt.(j) = 1 then b.(j) <- sy.(j)
+    else
+      (* no range starts here: the index of the last earlier-starting
+         range is in force across the whole bucket *)
+      b.(j) <- float_of_int (Int.max 0 (!last_index_before - 1));
+    if cnt.(j) > 0 then
+      last_index_before := !last_index_before + cnt.(j)
+  done;
+  (* exact error bound: evaluate |predict - true| at every endpoint of
+     every maximal (constant-true, single-submodel) key interval *)
+  let consider x true_i =
+    if x >= x0 && x <= x1 then begin
+      let j = bucket t x in
+      let e = abs (predict t j x - true_i) in
+      if e > err.(j) then err.(j) <- e
+    end
+  in
+  (* smallest x in (fro, upto] whose bucket is >= j (bucket is monotone) *)
+  let boundary_of j fro upto =
+    let l = ref fro and h = ref upto in
+    while !l < !h do
+      let m = !l + ((!h - !l) / 2) in
+      if bucket t m >= j then h := m else l := m + 1
+    done;
+    !l
+  in
+  for i = 0 to n - 1 do
+    let seg_lo = lo.(i) in
+    let seg_hi = if i = n - 1 then x1 else lo.(i + 1) - 1 in
+    consider seg_lo i;
+    consider seg_hi i;
+    let j_lo = bucket t seg_lo and j_hi = bucket t seg_hi in
+    if j_hi > j_lo then
+      for j = j_lo + 1 to j_hi do
+        let xb = boundary_of j seg_lo seg_hi in
+        consider xb i;
+        consider (xb - 1) i
+      done
+  done;
+  let max_err = Array.fold_left Int.max 0 err in
+  let model = { t with max_err } in
+  if (not forced) && max_err > error_target && k < cap then begin
+    (* bound too loose: double the stage-1 width and retrain. A wider
+       stage 1 is not monotonically better (sparser buckets fit less
+       data each), so keep whichever attempt bounds the error tighter. *)
+    let next = attempt (Int.min cap (2 * k)) in
+    if next.max_err < model.max_err then next else model
+  end
+  else model
+  in
+  attempt (if forced then submodels else clampi ((n + 7) / 8) 1 cap)
+
+(** Index of the range containing [x], if any. [s] accumulates the work
+    performed: two model evaluations when the key is in the domain, plus
+    one comparison per secondary-search step. The returned index is exact
+    — if [x] lies in some trained range, that range is found. *)
+let lookup t (x : int) (s : stats) : int option =
+  if x < t.x0 || x > t.x1 then begin
+    s.steps <- s.steps + 1;  (* the domain guard: one compare pair *)
+    None
+  end
+  else begin
+    s.models <- s.models + 2;
+    let j = bucket t x in
+    let p = predict t j x in
+    let e = t.err.(j) in
+    let n = Array.length t.lo in
+    let l = ref (Int.max 0 (p - e)) and h = ref (Int.min (n - 1) (p + e)) in
+    (* largest i in the window with lo.(i) <= x; the window provably
+       contains it (see the error-bound argument above) *)
+    while !l < !h do
+      s.steps <- s.steps + 1;
+      let m = (!l + !h + 1) / 2 in
+      if t.lo.(m) <= x then l := m else h := m - 1
+    done;
+    s.steps <- s.steps + 1;  (* the containment check *)
+    let i = !l in
+    if t.lo.(i) <= x && x <= t.hi.(i) then Some i else None
+  end

@@ -1,0 +1,27 @@
+(** RQ-RMI: a two-stage learned index over disjoint integer ranges with a
+    guaranteed secondary-search error bound (NuevoMatchUp, NSDI 2022).
+    See [rqrmi.ml] for the exactness argument. *)
+
+type t
+
+(** Per-lookup work counters for cost accounting. *)
+type stats = { mutable models : int; mutable steps : int }
+
+val mk_stats : unit -> stats
+
+(** Train over ranges sorted by start and pairwise disjoint (raises
+    [Invalid_argument] otherwise). By default the stage-1 width starts at
+    ~one submodel per 8 ranges and doubles until the guaranteed error
+    bound is at most [error_target] (default 2) or the width cap is hit;
+    passing [submodels] forces an exact width instead. *)
+val train :
+  ?submodels:int -> ?error_target:int -> ranges:(int * int) array -> unit -> t
+
+(** Index of the range containing the key, if any; exact. Accumulates
+    model evaluations and search steps into [stats]. *)
+val lookup : t -> int -> stats -> int option
+
+val n_ranges : t -> int
+
+(** The worst per-submodel guaranteed error bound (window half-width). *)
+val max_err : t -> int

@@ -77,3 +77,70 @@ let burden_model ~years ~feature_loc_per_year =
 let predicted () =
   let features = Array.of_list (List.map (fun e -> e.new_features_loc) figure1) in
   burden_model ~years:(List.length figure1) ~feature_loc_per_year:features
+
+(** {1 Rule churn}
+
+    The operational counterpart of the maintenance burden: an NSX manager
+    continuously revises the distributed firewall, and every revision
+    ripples into the datapath — stale megaflows must be revalidated away
+    and any learned structures over them retrained. [churn] drives that
+    loop deterministically: each round installs a batch of DFW-shaped
+    rules, retires the previous round's batch, runs the caller's
+    revalidation and then its retrain hook (where a computational cache
+    rebuilds its models). *)
+
+module Match_ = Ovs_ofproto.Match_
+module Pipeline = Ovs_ofproto.Pipeline
+module OFK = Ovs_packet.Flow_key
+
+type churn_stats = {
+  ch_rounds : int;
+  ch_added : int;  (** rules installed across all rounds *)
+  ch_deleted : int;  (** rules retired *)
+  ch_evicted : int;  (** stale megaflows revalidation removed *)
+  ch_retrains : int;  (** retrain-hook invocations *)
+}
+
+(* each round's rules share a distinct per-round /24 on nw_src, so the
+   round can be retired with one non-strict del-flows spec *)
+let round_subnet r = (172 lsl 24) lor (31 lsl 16) lor (r mod 250) lsl 8
+
+let churn ?(table = 20) ?(seed = 7) ~(pipeline : Pipeline.t) ~rounds
+    ~rules_per_round ~(revalidate : unit -> int) ~(retrain : unit -> unit) () :
+    churn_stats =
+  let prng = Ovs_sim.Prng.of_int seed in
+  let round_spec r =
+    Match_.with_prefix (Match_.catchall ()) OFK.Field.Nw_src (round_subnet r) 24
+  in
+  let added = ref 0 and deleted = ref 0 and evicted = ref 0 in
+  let retrains = ref 0 in
+  for r = 0 to rounds - 1 do
+    for k = 0 to rules_per_round - 1 do
+      let m =
+        Match_.with_field
+          (Match_.with_prefix (Match_.catchall ()) OFK.Field.Nw_src
+             (round_subnet r) 24)
+          OFK.Field.Tp_dst
+          (1 + Ovs_sim.Prng.int prng 16000)
+      in
+      let actions =
+        if k mod 5 = 0 then []  (* a DFW drop rule *)
+        else [ Ovs_ofproto.Action.Output 1 ]
+      in
+      Pipeline.add_flow pipeline ~table ~priority:(1000 + k) m actions;
+      incr added
+    done;
+    if r > 0 then
+      deleted :=
+        !deleted + Pipeline.del_flows ~table pipeline (round_spec (r - 1));
+    evicted := !evicted + revalidate ();
+    retrain ();
+    incr retrains
+  done;
+  {
+    ch_rounds = rounds;
+    ch_added = !added;
+    ch_deleted = !deleted;
+    ch_evicted = !evicted;
+    ch_retrains = !retrains;
+  }

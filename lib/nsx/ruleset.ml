@@ -136,8 +136,13 @@ let generate (spec : spec) : string list =
   add "table=36,priority=100,arp actions=controller";
   add "table=38,priority=0 actions=drop";
   (* distributed firewall: fill the remaining budget across tables 10..33.
-     Rule shapes rotate through field combinations so the whole set spans
-     the field diversity Table 3 reports. *)
+     Each table is one firewall section, and a section's rules share one
+     match shape (real NSX sections are homogeneous — a section is written
+     against one template); the shapes rotate across sections so the whole
+     set still spans the field diversity Table 3 reports.  Homogeneous
+     sections matter downstream: the megaflow masks a walk produces depend
+     on which sections it crossed, so terminating in different sections
+     yields distinct dpcls subtables instead of one saturated union. *)
   let sections = 24 in
   let dfw_budget = spec.target_rules - !count - sections in
   let protos = [| "tcp"; "udp" |] in
@@ -149,8 +154,8 @@ let generate (spec : spec) : string list =
     let src_prefix = Printf.sprintf "10.%d.%d.0/24" (k mod 250) (k / 250 mod 250) in
     let dst_port = 1 + (k mod 16_000) in
     let extra =
-      (* rotate rarely-used fields in so the set exercises them all *)
-      match k mod 23 with
+      (* one rarely-used field per section so the set exercises them all *)
+      match k mod sections with
       | 0 -> ",nw_tos=32"
       | 1 -> ",nw_ttl=64"
       | 2 -> ",tcp_flags=2" (* SYN *)

@@ -32,6 +32,10 @@ type t = {
   mutable ct_zone : int;
   mutable ct_mark : int;
   mutable tunnel : tunnel_md option;
+  regs : int array;
+      (** pipeline metadata registers reg0..reg7 — like OVS's frozen
+          translation state, they survive recirculation, which register-
+          driven pipelines (NSX) depend on *)
   offload : offload_flags;
 }
 
@@ -53,6 +57,7 @@ let create ?(headroom = default_headroom) ~size () =
     ct_zone = 0;
     ct_mark = 0;
     tunnel = None;
+    regs = Array.make 8 0;
     offload = fresh_offload ();
   }
 
@@ -79,6 +84,7 @@ let reset_metadata t =
   t.ct_zone <- 0;
   t.ct_mark <- 0;
   t.tunnel <- None;
+  Array.fill t.regs 0 8 0;
   t.offload.csum_good <- false;
   t.offload.csum_tx_offload <- false;
   t.offload.tso_segsz <- 0
@@ -130,6 +136,7 @@ let clone t =
   {
     t with
     data = Bytes.copy t.data;
+    regs = Array.copy t.regs;
     offload =
       {
         csum_good = t.offload.csum_good;

@@ -226,6 +226,14 @@ let extract (buf : Buffer.t) : t =
   set k Ct_state buf.Buffer.ct_state;
   set k Ct_zone buf.Buffer.ct_zone;
   set k Ct_mark buf.Buffer.ct_mark;
+  set k Reg0 buf.Buffer.regs.(0);
+  set k Reg1 buf.Buffer.regs.(1);
+  set k Reg2 buf.Buffer.regs.(2);
+  set k Reg3 buf.Buffer.regs.(3);
+  set k Reg4 buf.Buffer.regs.(4);
+  set k Reg5 buf.Buffer.regs.(5);
+  set k Reg6 buf.Buffer.regs.(6);
+  set k Reg7 buf.Buffer.regs.(7);
   (match buf.Buffer.tunnel with
   | Some tmd ->
       set k Tun_id tmd.Buffer.tun_id;

@@ -111,6 +111,7 @@ let update_csum (buf : Buffer.t) =
   let c = Checksum.compute buf.Buffer.data ~off:(Buffer.abs buf ofs) ~len:ihl in
   Buffer.set_u16 buf (ofs + 10) c
 
+let set_tos (buf : Buffer.t) tos = Buffer.set_u8 buf (buf.Buffer.l3_ofs + 1) tos
 let set_ttl (buf : Buffer.t) ttl = Buffer.set_u8 buf (buf.Buffer.l3_ofs + 8) ttl
 let set_src (buf : Buffer.t) a = Buffer.set_u32 buf (buf.Buffer.l3_ofs + 12) a
 let set_dst (buf : Buffer.t) a = Buffer.set_u32 buf (buf.Buffer.l3_ofs + 16) a

@@ -48,6 +48,19 @@ type t = {
   emc_miss_probe : float;  (** probing the EMC and missing *)
   dpcls_subtable : float;  (** one tuple-space subtable hash+compare *)
   megaflow_insert : float;  (** installing a new megaflow after upcall *)
+  (* -- computational cache (NuevoMatchUp-style learned tier, lib/nmu) --
+     Anchored against the NSDI'22 numbers: an RQ-RMI submodel evaluation is
+     two fused multiply-adds plus a rounding clamp on data that fits in L1
+     (a few ns), each bounded-secondary-search step is one comparison over
+     an in-cache index array, and validating the single candidate is one
+     masked-key compare — cheaper than a dpcls subtable probe because the
+     range array is contiguous where the subtable walk hops hash buckets. *)
+  ccache_model_eval : float;  (** one RQ-RMI (sub)model evaluation *)
+  ccache_search_step : float;  (** one bounded secondary-search step *)
+  ccache_validate : float;  (** masked-key validation of one candidate *)
+  ccache_train_per_rule : float;
+      (** amortized training cost per indexed megaflow (charged at
+          install/churn time, not per packet) *)
   upcall : float;  (** full slow-path translation through ofproto tables *)
   ofproto_table_lookup : float;  (** one OpenFlow table lookup during upcall *)
   action_exec : float;  (** executing one simple datapath action *)
@@ -132,6 +145,10 @@ let default =
     emc_miss_probe = 14.;
     dpcls_subtable = 30.;
     megaflow_insert = 450.;
+    ccache_model_eval = 12.;
+    ccache_search_step = 6.;
+    ccache_validate = 14.;
+    ccache_train_per_rule = 150.;
     upcall = 25_000.;
     ofproto_table_lookup = 500.;
     action_exec = 10.;

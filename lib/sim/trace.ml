@@ -31,6 +31,7 @@ type stage =
   | St_extract  (** flow-key extraction (miniflow / kmod / eBPF parse) *)
   | St_emc  (** exact-match cache probe *)
   | St_smc  (** signature-match cache probe *)
+  | St_ccache  (** computational cache (learned classifier) probe *)
   | St_dpcls  (** megaflow classifier (tuple-space search) *)
   | St_upcall  (** slow-path upcall + ofproto table-by-table translation *)
   | St_install  (** megaflow (and microflow) installation *)
@@ -42,8 +43,8 @@ type stage =
 
 let all_stages =
   [|
-    St_rx; St_extract; St_emc; St_smc; St_dpcls; St_upcall; St_install;
-    St_action; St_conntrack; St_encap; St_decap; St_tx;
+    St_rx; St_extract; St_emc; St_smc; St_ccache; St_dpcls; St_upcall;
+    St_install; St_action; St_conntrack; St_encap; St_decap; St_tx;
   |]
 
 let n_stages = Array.length all_stages
@@ -53,20 +54,22 @@ let stage_index = function
   | St_extract -> 1
   | St_emc -> 2
   | St_smc -> 3
-  | St_dpcls -> 4
-  | St_upcall -> 5
-  | St_install -> 6
-  | St_action -> 7
-  | St_conntrack -> 8
-  | St_encap -> 9
-  | St_decap -> 10
-  | St_tx -> 11
+  | St_ccache -> 4
+  | St_dpcls -> 5
+  | St_upcall -> 6
+  | St_install -> 7
+  | St_action -> 8
+  | St_conntrack -> 9
+  | St_encap -> 10
+  | St_decap -> 11
+  | St_tx -> 12
 
 let stage_name = function
   | St_rx -> "rx"
   | St_extract -> "extract"
   | St_emc -> "emc"
   | St_smc -> "smc"
+  | St_ccache -> "ccache"
   | St_dpcls -> "dpcls"
   | St_upcall -> "upcall"
   | St_install -> "install"

@@ -457,6 +457,39 @@ let show_stage_cycles (dp : Dpif.t) =
 let dpctl_dump_flows (dp : Dpif.t) =
   Ok_output (String.concat "\n" (Dpif.dump_megaflows dp))
 
+module Dp_core = Ovs_datapath.Dp_core
+
+(** [ovs-appctl dpif/cache-hierarchy-show]: one table over the whole
+    lookup hierarchy — EMC, SMC, the computational cache and dpcls —
+    with each tier's hits, its share of datapath passes, and the mean
+    virtual cycles one of its hits cost. *)
+let cache_hierarchy_show (dp : Dpif.t) =
+  let c : Dp_core.counters = Dpif.counters dp in
+  let passes = Float.max 1. (float_of_int c.Dp_core.passes) in
+  let lines = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> lines := s :: !lines) fmt in
+  add "cache hierarchy: %d packets, %d datapath passes" c.Dp_core.packets
+    c.Dp_core.passes;
+  add "  %-8s %12s %8s %14s" "tier" "hits" "hit%" "cycles/hit";
+  let row name hits cycles =
+    add "  %-8s %12d %7.1f%% %14.1f" name hits
+      (100. *. float_of_int hits /. passes)
+      (if hits > 0 then cycles /. float_of_int hits else 0.)
+  in
+  row "emc" c.Dp_core.emc_hits c.Dp_core.emc_cycles;
+  row "smc" c.Dp_core.smc_hits c.Dp_core.smc_cycles;
+  row "ccache" c.Dp_core.ccache_hits c.Dp_core.ccache_cycles;
+  row "dpcls" c.Dp_core.dpcls_hits c.Dp_core.dpcls_cycles;
+  add "  %-8s %12d %7.1f%%" "upcall" c.Dp_core.upcalls
+    (100. *. float_of_int c.Dp_core.upcalls /. passes);
+  let subtables, megaflows, mean_probes = Dpif.dpcls_stats dp in
+  add "  dpcls: %d subtables, %d megaflows, %.2f mean probes/lookup"
+    subtables megaflows mean_probes;
+  (match Dpif.ccache_render dp with
+  | Some s -> add "  %s" s
+  | None -> add "  ccache: absent (never enabled)");
+  Ok_output (String.concat "\n" (List.rev !lines))
+
 module Health = Ovs_datapath.Health
 module Faults = Ovs_faults.Faults
 
@@ -495,6 +528,7 @@ let appctl ?(pmds : Pmd.report list = []) ?(dp : Dpif.t option)
   | "dpif-netdev/pmd-rxq-show" -> Ok_output (pmd_rxq_show pmds)
   | "coverage/show" -> Ok_output (coverage_show ())
   | "dpif/show-stage-cycles" -> with_dp show_stage_cycles
+  | "dpif/cache-hierarchy-show" -> with_dp cache_hierarchy_show
   | "dpctl/dump-flows" -> with_dp dpctl_dump_flows
   | "fault/list" -> Ok_output (Faults.render ())
   | "fault/clear" ->

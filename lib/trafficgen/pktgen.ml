@@ -1,12 +1,31 @@
 (** TRex-style workload generation: pre-built packet templates for 1-flow
     and N-flow UDP streams (Sec 5.2: with 1,000 flows each packet gets a
-    random source and destination IP out of 1,000 possibilities). *)
+    random source and destination IP out of 1,000 possibilities).
+
+    Flow choice is either uniform or Zipf-skewed ([Zipf s] with exponent
+    [s] over a seeded random rank permutation of the templates) — real
+    traffic concentrates on a few elephant flows, and cache-tier
+    experiments need that skew to be reproducible. Everything is
+    deterministic under a fixed seed: the same seed yields the same
+    templates, the same rank permutation and the same per-packet
+    choices. *)
 
 open Ovs_packet
+
+type mix = Uniform | Zipf of float  (** Zipf exponent s > 0 *)
 
 type t = {
   templates : Buffer.t array;
   seed : int;
+  mix : mix;
+  rank_of : int array;
+      (** Zipf only: rank [r] (0 = most popular) -> template index, a
+          seeded random permutation so popularity is not correlated with
+          template build order *)
+  cdf : float array;  (** Zipf only: cumulative probability over ranks *)
+  init_draws : int;
+      (** PRNG draws consumed building the state, for {!reset} replay
+          ([Ovs_sim.Prng] primitives consume exactly one step each) *)
   mutable prng : Ovs_sim.Prng.t;
   mutable sent : int;
 }
@@ -17,7 +36,8 @@ let base_dst = Ipv4.addr_of_string "10.2.0.0"
 (** Build [n_flows] distinct UDP flow templates of [frame_len] bytes.
     Checksums are valid; the RSS hash is precomputed (as NIC hardware
     does on receive). *)
-let create ?(seed = 42) ?(dst_mac = Mac.of_index 2) ~n_flows ~frame_len () =
+let create ?(seed = 42) ?(dst_mac = Mac.of_index 2) ?(mix = Uniform) ~n_flows
+    ~frame_len () =
   let prng = Ovs_sim.Prng.of_int seed in
   let templates =
     Array.init n_flows (fun i ->
@@ -33,28 +53,67 @@ let create ?(seed = 42) ?(dst_mac = Mac.of_index 2) ~n_flows ~frame_len () =
         pkt.Buffer.rss_hash <- Flow_key.rss_hash key;
         pkt)
   in
-  { templates; seed; prng; sent = 0 }
+  let init_draws = ref (2 * n_flows) in
+  let rank_of, cdf =
+    match mix with
+    | Uniform -> ([||], [||])
+    | Zipf s ->
+        (* seeded Fisher–Yates permutation: which template is popular *)
+        let perm = Array.init n_flows (fun i -> i) in
+        for r = n_flows - 1 downto 1 do
+          let j = Ovs_sim.Prng.int prng (r + 1) in
+          incr init_draws;
+          let tmp = perm.(r) in
+          perm.(r) <- perm.(j);
+          perm.(j) <- tmp
+        done;
+        (* cdf over ranks: weight of rank r is 1/(r+1)^s *)
+        let cdf = Array.make n_flows 0. in
+        let acc = ref 0. in
+        for r = 0 to n_flows - 1 do
+          acc := !acc +. (1. /. Float.pow (float_of_int (r + 1)) s);
+          cdf.(r) <- !acc
+        done;
+        let total = !acc in
+        for r = 0 to n_flows - 1 do
+          cdf.(r) <- cdf.(r) /. total
+        done;
+        (perm, cdf)
+  in
+  { templates; seed; mix; rank_of; cdf; init_draws = !init_draws; prng; sent = 0 }
 
 (** Rewind the flow-choice stream to the template set's seed state, so a
     measurement phase can replay the exact packet sequence of an earlier
-    one (the chaos bench compares phases of identical traffic). The
-    template build consumed PRNG draws; replay them to land on the same
-    state [create] left behind. *)
+    one (the chaos bench compares phases of identical traffic). Building
+    the state consumed [init_draws] PRNG steps — each primitive consumes
+    exactly one — so replaying that many lands on the state [create]
+    left behind. *)
 let reset t =
   let prng = Ovs_sim.Prng.of_int t.seed in
-  Array.iter
-    (fun _ ->
-      ignore (Ovs_sim.Prng.int prng 1000);
-      ignore (Ovs_sim.Prng.int prng 1000))
-    t.templates;
+  for _ = 1 to t.init_draws do
+    ignore (Ovs_sim.Prng.int prng 2)
+  done;
   t.prng <- prng;
   t.sent <- 0
 
-(** Next packet: an independent clone of a uniformly chosen template. *)
+(* binary search: smallest rank with cdf.(rank) >= u *)
+let zipf_rank t u =
+  let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+(** Next packet: an independent clone of a template chosen by the flow
+    mix (uniform, or Zipf-skewed over the rank permutation). *)
 let next t =
   let i =
     if Array.length t.templates = 1 then 0
-    else Ovs_sim.Prng.int t.prng (Array.length t.templates)
+    else
+      match t.mix with
+      | Uniform -> Ovs_sim.Prng.int t.prng (Array.length t.templates)
+      | Zipf _ -> t.rank_of.(zipf_rank t (Ovs_sim.Prng.float t.prng))
   in
   t.sent <- t.sent + 1;
   Ovs_packet.Buffer.clone t.templates.(i)

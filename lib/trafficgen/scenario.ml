@@ -71,6 +71,10 @@ type config = {
   warmup : int;
   measure : int;
   cache : cache_mode;
+  ccache : bool;
+      (** enable (and train after warmup) the computational cache — the
+          learned classifier tier between SMC and dpcls *)
+  mix : Pktgen.mix;  (** flow-choice distribution over the template set *)
   n_pmds : int;
       (** >= 1 drives the run through the {!Ovs_datapath.Pmd} runtime with
           that many PMD cores; 0 (the default) keeps the legacy
@@ -99,6 +103,8 @@ let default_config =
     warmup = 4_000;
     measure = 40_000;
     cache = Cache_default;
+    ccache = false;
+    mix = Pktgen.Uniform;
     n_pmds = 0;
     n_rxqs = 0;
     trace = false;
@@ -113,13 +119,15 @@ let config ?(kind = default_config.kind) ?(topology = default_config.topology)
     ?(n_flows = default_config.n_flows) ?(frame_len = default_config.frame_len)
     ?(queues = default_config.queues) ?(gbps = default_config.gbps)
     ?(warmup = default_config.warmup) ?(measure = default_config.measure)
-    ?(cache = default_config.cache) ?(n_pmds = default_config.n_pmds)
+    ?(cache = default_config.cache) ?(ccache = default_config.ccache)
+    ?(mix = default_config.mix) ?(n_pmds = default_config.n_pmds)
     ?(n_rxqs = default_config.n_rxqs) ?(trace = default_config.trace)
     ?(faults = default_config.faults) ?(rx_policy = default_config.rx_policy)
     ?(strict_match = default_config.strict_match)
     ?(ct_zone = default_config.ct_zone) () =
   { kind; topology; n_flows; frame_len; queues; gbps; warmup; measure; cache;
-    n_pmds; n_rxqs; trace; faults; rx_policy; strict_match; ct_zone }
+    ccache; mix; n_pmds; n_rxqs; trace; faults; rx_policy; strict_match;
+    ct_zone }
 
 let is_userspace = function
   | Dpif.Dpdk | Dpif.Afxdp _ -> true
@@ -172,6 +180,7 @@ let setup (cfg : config) : rig =
       Dpif.set_emc_enabled dp false;
       Dpif.set_smc_enabled dp true
   | Cache_emc_smc -> Dpif.set_smc_enabled dp true);
+  if cfg.ccache then Dpif.set_ccache_enabled dp true;
   let p0 = Dpif.add_port dp phy0 in
   let p1 = Dpif.add_port dp phy1 in
   if cfg.trace then
@@ -304,7 +313,9 @@ let setup (cfg : config) : rig =
   (* sink for measured egress: phy1 counts transmissions via its stats *)
   Netdev.set_tx_sink phy1 (fun _ _ -> ());
 
-  let gen = Pktgen.create ~n_flows:cfg.n_flows ~frame_len:cfg.frame_len () in
+  let gen =
+    Pktgen.create ~mix:cfg.mix ~n_flows:cfg.n_flows ~frame_len:cfg.frame_len ()
+  in
   let active = Pktgen.queues_hit gen ~n_queues:queues in
   Dpif.set_active_queues dp active;
   ignore vhost_kthread;
@@ -407,6 +418,12 @@ let run (cfg : config) : result =
   let machine = r.r_machine and dp = r.r_dp and rt = r.r_rt in
   (* warm up caches and megaflows, then measure from a clean slate *)
   drive r cfg.warmup;
+  (* train the computational cache over the warmed-up megaflows; the
+     training charge lands in warmup time, which the resets below zero *)
+  if cfg.ccache then
+    ignore
+      (Dpif.ccache_train dp (fun cat ns -> Cpu.charge r.r_sirq.(0) cat ns)
+        : Ovs_nmu.Ccache.train_stats option);
   List.iter Cpu.reset machine.Cpu.ctxs;
   Dpif.reset_measurement dp;
   (match rt with Some rt -> Pmd.reset_stats rt | None -> ());
@@ -494,6 +511,10 @@ let run_chaos (cfg : config) (plan : Faults.plan) : chaos_result =
   let loadgen = Cpu.ctx machine "loadgen" in
   let pkt_ns = 1e9 /. Netdev.line_rate_pps phy0 ~frame_len:cfg.frame_len in
   drive r cfg.warmup;
+  if cfg.ccache then
+    ignore
+      (Dpif.ccache_train dp (fun cat ns -> Cpu.charge r.r_sirq.(0) cat ns)
+        : Ovs_nmu.Ccache.train_stats option);
 
   (* phase A: unfaulted baseline on the warm rig *)
   let _, baseline_pps = measure_phase r cfg.measure in

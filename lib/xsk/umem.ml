@@ -58,5 +58,6 @@ let buffer_of_frame t idx ~len : Ovs_packet.Buffer.t =
     ct_zone = 0;
     ct_mark = 0;
     tunnel = None;
+    regs = Array.make 8 0;
     offload = Buffer.fresh_offload ();
   }

@@ -1,7 +1,10 @@
 (* Differential testing: the same seeded randomized traffic pushed through
-   the kernel, AF_XDP and PMD-style deferred-upcall datapaths, built from
-   the same ruleset, must make identical per-packet forwarding decisions
-   and end up with identical megaflow populations after revalidation. *)
+   the kernel, AF_XDP, PMD-style deferred-upcall and computational-cache
+   datapaths, built from the same ruleset, must make identical per-packet
+   forwarding decisions and end up with identical megaflow populations
+   after revalidation. The ccache leg additionally retrains continually
+   (autoretrain every 32 installs) and must keep exact per-tier hit
+   accounting: every datapath pass lands in exactly one tier counter. *)
 
 module FK = Ovs_packet.Flow_key
 module Dpif = Ovs_datapath.Dpif
@@ -101,10 +104,19 @@ let ruleset_tunnel =
 
 (* Each processed packet yields the list of (output port, frame digest)
    transmissions it caused, in order; a dropped packet yields []. *)
-let run_leg ~kind ~deferred_upcalls rules specs =
+let run_leg ~kind ~deferred_upcalls ?(ccache = false) ?(ccache_serves = true)
+    rules specs =
   let pipeline = Ovs_ofproto.Pipeline.create ~n_tables:4 () in
   ignore (Ovs_ofproto.Parser.install_flows pipeline rules);
   let dp = Dpif.create ~kind ~pipeline () in
+  if ccache then begin
+    Dpif.set_ccache_enabled dp true;
+    (* retrain continually as the replay installs megaflows, so the tier
+       actually serves lookups mid-script rather than only at the end
+       (these rulesets compile to a few dozen megaflows, so keep the
+       threshold small enough that training really happens) *)
+    Dpif.set_ccache_autoretrain dp (Some 4)
+  end;
   let devs = Array.init 4 (fun i -> Netdev.create ~name:(Printf.sprintf "p%d" i) ()) in
   Array.iter (fun d -> ignore (Dpif.add_port dp d)) devs;
   let current = ref [] in
@@ -133,6 +145,31 @@ let run_leg ~kind ~deferred_upcalls rules specs =
         List.rev !current)
       specs
   in
+  (* exact per-tier accounting: on a leg without deferred upcalls, every
+     datapath pass ends in exactly one tier counter (or the slow path) *)
+  if not deferred_upcalls then begin
+    let c = (Dpif.counters dp : Ovs_datapath.Dp_core.counters) in
+    let tiers =
+      Ovs_datapath.Dp_core.(
+        c.emc_hits + c.smc_hits + c.ccache_hits + c.dpcls_hits + c.upcalls)
+    in
+    Alcotest.(check int)
+      "per-tier accounting: passes = emc + smc + ccache + dpcls + upcalls"
+      c.Ovs_datapath.Dp_core.passes tiers;
+    (* rulesets whose megaflows carry no range-indexable fields (e.g. pure
+       ct_state/proto matches) put everything in the remainder, which stays
+       in dpcls — zero ccache hits is the correct answer there *)
+    if ccache && ccache_serves then
+      Alcotest.(check bool)
+        "computational cache served lookups" true
+        (c.Ovs_datapath.Dp_core.ccache_hits > 0)
+  end;
+  (* the ccache must agree with dpcls on every key of the script *)
+  if ccache then begin
+    let keys = List.map (fun s -> FK.extract (build_packet s)) specs in
+    Alcotest.(check int) "ccache/dpcls selfcheck disagreements" 0
+      (Dpif.ccache_selfcheck dp keys)
+  end;
   ignore (Dpif.revalidate dp);
   (* strip the per-megaflow stats before comparing populations: the kernel
      flavor has no EMC, so hit and cycle counters legitimately differ *)
@@ -149,17 +186,18 @@ let run_leg ~kind ~deferred_upcalls rules specs =
 
 let legs =
   [
-    ("kernel", Dpif.Kernel, false);
-    ("afxdp", Dpif.Afxdp Dpif.afxdp_default, false);
-    ("pmd-dpdk", Dpif.Dpdk, true);
+    ("kernel", Dpif.Kernel, false, false);
+    ("afxdp", Dpif.Afxdp Dpif.afxdp_default, false, false);
+    ("pmd-dpdk", Dpif.Dpdk, true, false);
+    ("afxdp-ccache", Dpif.Afxdp Dpif.afxdp_default, false, true);
   ]
 
-let differential name rules () =
+let differential ?(ccache_serves = true) name rules () =
   let prng = Prng.of_int 0xD1FF in
   let specs = List.init n_packets (fun _ -> gen_spec prng) in
   let results =
-    List.map (fun (leg, kind, deferred_upcalls) ->
-        (leg, run_leg ~kind ~deferred_upcalls rules specs))
+    List.map (fun (leg, kind, deferred_upcalls, ccache) ->
+        (leg, run_leg ~kind ~deferred_upcalls ~ccache ~ccache_serves rules specs))
       legs
   in
   match results with
@@ -194,7 +232,7 @@ let () =
           Alcotest.test_case "plain L3/L4 ruleset" `Quick
             (differential "plain" ruleset_plain);
           Alcotest.test_case "conntrack ruleset" `Quick
-            (differential "conntrack" ruleset_conntrack);
+            (differential ~ccache_serves:false "conntrack" ruleset_conntrack);
           Alcotest.test_case "tunnel ruleset" `Quick
             (differential "tunnel" ruleset_tunnel);
         ] );

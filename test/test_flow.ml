@@ -150,6 +150,35 @@ let test_dpcls_resort_keeps_semantics () =
   | Some (v, _) -> check Alcotest.string "still matches" "by-port" v
   | None -> Alcotest.fail "lost after resort"
 
+(* Regression for subtable re-ranking staleness: hit counts are halved at
+   every resort, so a workload shift must reorder the probe order within a
+   few resort periods. Without the decay, months of accumulated hits on
+   the old subtable would keep it ranked first ~forever. *)
+let test_dpcls_resort_decay_converges () =
+  let cls = Dpcls.create () in
+  let key_a = FK.create () in
+  FK.set key_a FK.Field.In_port 7;
+  Dpcls.insert cls ~mask:(mask_of [ FK.Field.In_port ]) ~key:key_a "old";
+  let key_b = FK.create () in
+  FK.set key_b FK.Field.In_port 9;
+  FK.set key_b FK.Field.Nw_src 42;
+  Dpcls.insert cls ~mask:(mask_of [ FK.Field.Nw_src ]) ~key:key_b "new";
+  (* phase 1: a long-lived workload hammers the first subtable *)
+  for _ = 1 to 20_000 do
+    ignore (Dpcls.lookup cls key_a)
+  done;
+  (match Dpcls.lookup cls key_b with
+  | Some ("new", probes) -> check Alcotest.int "shifted flow probes second" 2 probes
+  | _ -> Alcotest.fail "shifted flow must match");
+  (* phase 2: the workload shifts entirely; convergence must take only a
+     few 1024-lookup resort periods, not 20k lookups of catch-up *)
+  for _ = 1 to 4 * 1024 do
+    ignore (Dpcls.lookup cls key_b)
+  done;
+  match Dpcls.lookup cls key_b with
+  | Some ("new", probes) -> check Alcotest.int "reordered to front" 1 probes
+  | _ -> Alcotest.fail "shifted flow must still match"
+
 (* Property: dpcls lookup agrees with a linear-scan oracle. Megaflows are
    disjoint in OVS; we generate disjoint entries by construction (distinct
    masked values under a shared mask per subtable). *)
@@ -361,6 +390,8 @@ let () =
           Alcotest.test_case "remove" `Quick test_dpcls_remove;
           Alcotest.test_case "flush" `Quick test_dpcls_flush;
           Alcotest.test_case "resort keeps semantics" `Quick test_dpcls_resort_keeps_semantics;
+          Alcotest.test_case "resort decay converges after shift" `Quick
+            test_dpcls_resort_decay_converges;
         ]
         @ qcheck [ prop_dpcls_vs_oracle ] );
       ( "hierarchy",

@@ -1,0 +1,397 @@
+(* Tests for the computational cache (lib/nmu): the RQ-RMI learned index,
+   the iSet partitioner, the exactness of the assembled tier against the
+   dpcls ground truth (the acceptance property: 100k randomized lookups,
+   zero disagreements), churn-driven retraining, and the disarmed
+   invariant — with the tier disabled, charged virtual time is
+   byte-identical to a datapath that never heard of it. *)
+
+module FK = Ovs_packet.Flow_key
+module Dpcls = Ovs_flow.Dpcls
+module Rqrmi = Ovs_nmu.Rqrmi
+module Iset = Ovs_nmu.Iset
+module Ccache = Ovs_nmu.Ccache
+module Prng = Ovs_sim.Prng
+module Dpif = Ovs_datapath.Dpif
+module Netdev = Ovs_netdev.Netdev
+module Maintenance = Ovs_nsx.Maintenance
+
+let check = Alcotest.check
+
+(* -- RQ-RMI -- *)
+
+(* random sorted pairwise-disjoint ranges *)
+let gen_ranges prng n =
+  let cur = ref (Prng.int prng 1000) in
+  Array.init n (fun _ ->
+      let lo = !cur + 1 + Prng.int prng 500 in
+      let hi = lo + Prng.int prng 300 in
+      cur := hi;
+      (lo, hi))
+
+(* ceil(log2 window) + slack, the steps budget of one bounded search *)
+let steps_budget max_err =
+  let rec bits n = if n <= 1 then 0 else 1 + bits ((n + 1) / 2) in
+  bits ((2 * max_err) + 1) + 2
+
+let prop_rqrmi_exact =
+  QCheck.Test.make ~count:50 ~name:"rqrmi lookup is exact with bounded search"
+    QCheck.(pair small_int (int_range 1 400))
+    (fun (seed, n) ->
+      let prng = Prng.of_int (seed + 1) in
+      let ranges = gen_ranges prng n in
+      let t = Rqrmi.train ~ranges () in
+      let lo0 = fst ranges.(0) and hi1 = snd ranges.(n - 1) in
+      let budget = steps_budget (Rqrmi.max_err t) in
+      let ok = ref true in
+      for _ = 1 to 400 do
+        let x = lo0 - 50 + Prng.int prng (hi1 - lo0 + 100) in
+        let oracle = ref None in
+        Array.iteri
+          (fun i (lo, hi) -> if x >= lo && x <= hi then oracle := Some i)
+          ranges;
+        let s = Rqrmi.mk_stats () in
+        if Rqrmi.lookup t x s <> !oracle then ok := false;
+        if s.Rqrmi.steps > budget then ok := false
+      done;
+      !ok)
+
+let test_rqrmi_rejects_overlap () =
+  Alcotest.check_raises "overlap"
+    (Invalid_argument "Rqrmi.train: ranges overlap or are unsorted") (fun () ->
+      ignore (Rqrmi.train ~ranges:[| (0, 10); (5, 20) |] ()))
+
+let test_rqrmi_single_range () =
+  let t = Rqrmi.train ~ranges:[| (100, 200) |] () in
+  let s = Rqrmi.mk_stats () in
+  check Alcotest.int "ranges" 1 (Rqrmi.n_ranges t);
+  Alcotest.(check (option int)) "inside" (Some 0) (Rqrmi.lookup t 150 s);
+  Alcotest.(check (option int)) "below" None (Rqrmi.lookup t 99 s);
+  Alcotest.(check (option int)) "above" None (Rqrmi.lookup t 201 s)
+
+(* -- iSet partitioning -- *)
+
+let mask_of fields =
+  let m = FK.create () in
+  List.iter (fun (f, v) -> FK.set m f v) fields;
+  m
+
+let full f = FK.Field.full_mask f
+
+let test_prefix_range () =
+  let mask = mask_of [ (FK.Field.Nw_dst, 0xFFFFFF00) ] in
+  let key = FK.create () in
+  FK.set key FK.Field.Nw_dst 0x0A010200;
+  (match Iset.prefix_range ~mask ~key FK.Field.Nw_dst with
+  | Some (lo, hi) ->
+      check Alcotest.int "lo" 0x0A010200 lo;
+      check Alcotest.int "hi" 0x0A0102FF hi
+  | None -> Alcotest.fail "/24 is a prefix");
+  (* exact match: a degenerate one-point range *)
+  let emask = mask_of [ (FK.Field.Tp_dst, full FK.Field.Tp_dst) ] in
+  let ekey = FK.create () in
+  FK.set ekey FK.Field.Tp_dst 443;
+  (match Iset.prefix_range ~mask:emask ~key:ekey FK.Field.Tp_dst with
+  | Some (lo, hi) ->
+      check Alcotest.int "point lo" 443 lo;
+      check Alcotest.int "point hi" 443 hi
+  | None -> Alcotest.fail "exact is a prefix");
+  (* a non-contiguous mask is not range-encodable *)
+  let bad = mask_of [ (FK.Field.Nw_dst, 0xFFFF00FF) ] in
+  Alcotest.(check bool) "holey mask rejected" true
+    (Iset.prefix_range ~mask:bad ~key FK.Field.Nw_dst = None);
+  Alcotest.(check bool) "zero mask rejected" true
+    (Iset.prefix_range ~mask:(FK.create ()) ~key FK.Field.Nw_dst = None)
+
+let test_iset_partition_invariants () =
+  (* 20 /24-disjoint megaflows plus 6 that are not range-encodable *)
+  let n = 26 in
+  let masks =
+    Array.init n (fun i ->
+        if i < 20 then mask_of [ (FK.Field.Nw_dst, 0xFFFFFF00) ]
+        else mask_of [ (FK.Field.Nw_dst, 0xFFFF00FF) ])
+  in
+  let keys =
+    Array.init n (fun i ->
+        let k = FK.create () in
+        FK.set k FK.Field.Nw_dst
+          (if i < 20 then (10 lsl 24) lor (i lsl 8) else (172 lsl 24) lor i);
+        k)
+  in
+  let p = Iset.partition ~masks ~keys () in
+  check Alcotest.int "considered" n p.Iset.considered;
+  (* every index lands exactly once across iSets + remainder *)
+  let seen = Array.make n 0 in
+  List.iter
+    (fun is ->
+      Array.iter (fun i -> seen.(i) <- seen.(i) + 1) is.Iset.is_members;
+      (* within an iSet: sorted by lo, pairwise disjoint *)
+      let m = Array.length is.Iset.is_lo in
+      for j = 0 to m - 1 do
+        Alcotest.(check bool) "lo <= hi" true (is.Iset.is_lo.(j) <= is.Iset.is_hi.(j));
+        if j > 0 then
+          Alcotest.(check bool) "disjoint and sorted" true
+            (is.Iset.is_lo.(j) > is.Iset.is_hi.(j - 1))
+      done)
+    p.Iset.isets;
+  List.iter (fun i -> seen.(i) <- seen.(i) + 1) p.Iset.remainder;
+  Array.iteri
+    (fun i c -> if c <> 1 then Alcotest.failf "index %d covered %d times" i c)
+    seen;
+  (* the holey-mask megaflows cannot be indexed *)
+  List.iter
+    (fun i ->
+      if i < 20 then Alcotest.failf "encodable megaflow %d left to remainder" i)
+    (List.filter (fun i -> i >= 20) p.Iset.remainder |> fun r ->
+     check Alcotest.int "remainder is the holey group" 6 (List.length r);
+     p.Iset.remainder)
+
+(* -- the assembled tier vs dpcls: the 100k-lookup acceptance property -- *)
+
+(* Disjoint megaflow population with three shapes:
+   - 60 on {nw_dst/24}, subnets 10.1.c.0
+   - 40 on {nw_dst/24, tp_dst}, subnets 10.2.c.0 x ports {80,443}
+   - 5 on a non-contiguous nw_dst mask (not range-encodable, values >= 1000) *)
+let build_classifier () =
+  let cls = Dpcls.create () in
+  let m24 = mask_of [ (FK.Field.Nw_dst, 0xFFFFFF00) ] in
+  for c = 0 to 59 do
+    let k = FK.create () in
+    FK.set k FK.Field.Nw_dst ((10 lsl 24) lor (1 lsl 16) lor (c lsl 8));
+    Dpcls.insert cls ~mask:m24 ~key:k c
+  done;
+  let m24p =
+    mask_of [ (FK.Field.Nw_dst, 0xFFFFFF00); (FK.Field.Tp_dst, full FK.Field.Tp_dst) ]
+  in
+  List.iteri
+    (fun pi port ->
+      for c = 0 to 19 do
+        let k = FK.create () in
+        FK.set k FK.Field.Nw_dst ((10 lsl 24) lor (2 lsl 16) lor (c lsl 8));
+        FK.set k FK.Field.Tp_dst port;
+        Dpcls.insert cls ~mask:m24p ~key:k (100 + (pi * 20) + c)
+      done)
+    [ 80; 443 ];
+  let holey = mask_of [ (FK.Field.Nw_dst, 0xFFFF00FF) ] in
+  for i = 0 to 4 do
+    let k = FK.create () in
+    FK.set k FK.Field.Nw_dst ((172 lsl 24) lor (16 lsl 16) lor i);
+    Dpcls.insert cls ~mask:holey ~key:k (1000 + i)
+  done;
+  cls
+
+let random_probe prng =
+  let k = FK.create () in
+  let second = [| 1; 2; 3 |].(Prng.int prng 3) in
+  let dst =
+    if Prng.int prng 8 = 0 then
+      (* the holey-mask space: 172.16.x.y, y small *)
+      (172 lsl 24) lor (16 lsl 16) lor (Prng.int prng 200 lsl 8) lor Prng.int prng 8
+    else (10 lsl 24) lor (second lsl 16) lor (Prng.int prng 70 lsl 8) lor Prng.int prng 256
+  in
+  FK.set k FK.Field.Nw_dst dst;
+  FK.set k FK.Field.Nw_src (Prng.int prng 1000);
+  FK.set k FK.Field.Tp_dst [| 80; 443; 8080; 22 |].(Prng.int prng 4);
+  FK.set k FK.Field.Tp_src (1024 + Prng.int prng 100);
+  k
+
+let test_ccache_100k_agreement () =
+  let cls = build_classifier () in
+  let cc = Ccache.create () in
+  let stats = Ccache.train cc cls in
+  Alcotest.(check bool) "trained" true (Ccache.trained cc);
+  check Alcotest.int "snapshot covers the classifier" (Dpcls.flow_count cls)
+    stats.Ccache.ts_megaflows;
+  Alcotest.(check bool) "range-encodable megaflows indexed" true
+    (stats.Ccache.ts_indexed >= 100);
+  check Alcotest.int "indexed + remainder = megaflows" stats.Ccache.ts_megaflows
+    (stats.Ccache.ts_indexed + stats.Ccache.ts_remainder);
+  let prng = Prng.of_int 0xCCAE in
+  let mismatches = ref 0 and ccache_hits = ref 0 and dpcls_hits = ref 0 in
+  for _ = 1 to 100_000 do
+    let k = random_probe prng in
+    let truth = Dpcls.peek cls k in
+    (match truth with Some _ -> incr dpcls_hits | None -> ());
+    match (Ccache.lookup cc k, truth) with
+    | None, None -> ()
+    | None, Some (v, _) ->
+        (* only a non-indexed (remainder) megaflow may be invisible here *)
+        if v < 1000 then incr mismatches
+    | Some _, None -> incr mismatches
+    | Some (e, cmask), Some (v, dmask) ->
+        incr ccache_hits;
+        if e.Dpcls.value <> v || not (FK.equal cmask dmask) then incr mismatches
+  done;
+  check Alcotest.int "zero disagreements over 100k lookups" 0 !mismatches;
+  Alcotest.(check bool) "the tier actually answered" true (!ccache_hits > 1000);
+  Alcotest.(check bool) "the probes actually hit" true (!dpcls_hits > 10_000);
+  check Alcotest.int "tier hit counter" !ccache_hits (Ccache.hits cc)
+
+let test_ccache_reinstall_updates_value () =
+  (* a reinstall mutates the dpcls entry in place, so the trained tier
+     must observe the new value without retraining *)
+  let cls = Dpcls.create () in
+  let mask = mask_of [ (FK.Field.Nw_dst, 0xFFFFFF00) ] in
+  let k = FK.create () in
+  FK.set k FK.Field.Nw_dst 0x0A010100;
+  Dpcls.insert cls ~mask ~key:k 1;
+  let k2 = FK.create () in
+  FK.set k2 FK.Field.Nw_dst 0x0A010200;
+  Dpcls.insert cls ~mask ~key:k2 2;
+  let cc = Ccache.create () in
+  ignore (Ccache.train cc cls);
+  Dpcls.insert cls ~mask ~key:k 99;
+  match Ccache.peek cc k with
+  | Some (e, _) -> check Alcotest.int "sees the reinstalled value" 99 e.Dpcls.value
+  | None -> Alcotest.fail "indexed megaflow must be found"
+
+let test_ccache_invalidate_and_retrain () =
+  let cls = build_classifier () in
+  let cc = Ccache.create () in
+  ignore (Ccache.train cc cls);
+  check Alcotest.int "generation" 1 (Ccache.generation cc);
+  Ccache.invalidate cc;
+  Alcotest.(check bool) "untrained after invalidate" false (Ccache.trained cc);
+  let prng = Prng.of_int 3 in
+  Alcotest.(check bool) "no answers while invalid" true
+    (Ccache.peek cc (random_probe prng) = None);
+  ignore (Ccache.train cc cls);
+  check Alcotest.int "generation bumped" 2 (Ccache.generation cc);
+  Alcotest.(check bool) "answers again" true (Ccache.trained cc)
+
+let test_ccache_last_work () =
+  let cls = build_classifier () in
+  let cc = Ccache.create () in
+  ignore (Ccache.train cc cls);
+  let k = FK.create () in
+  FK.set k FK.Field.Nw_dst ((10 lsl 24) lor (1 lsl 16) lor (7 lsl 8) lor 9);
+  (match Ccache.lookup cc k with
+  | Some _ -> ()
+  | None -> Alcotest.fail "in-subnet key must hit");
+  let models, steps, valids = Ccache.last_work cc in
+  Alcotest.(check bool) "a hit evaluates models" true (models >= 2);
+  Alcotest.(check bool) "a hit searches" true (steps >= 1);
+  Alcotest.(check bool) "a hit validates" true (valids >= 1)
+
+(* -- churn-driven retraining (lib/nsx/maintenance.ml) -- *)
+
+let test_churn_retrains () =
+  let pipeline = Ovs_ofproto.Pipeline.create ~n_tables:24 () in
+  let dp = Dpif.create ~kind:Dpif.Dpdk ~pipeline () in
+  Dpif.set_ccache_enabled dp true;
+  let charge _ _ = () in
+  let rounds = 5 and rules_per_round = 20 in
+  let st =
+    Maintenance.churn ~pipeline ~rounds ~rules_per_round
+      ~revalidate:(fun () -> Dpif.revalidate dp)
+      ~retrain:(fun () -> ignore (Dpif.ccache_train dp charge : Ccache.train_stats option))
+      ()
+  in
+  check Alcotest.int "rounds" rounds st.Maintenance.ch_rounds;
+  check Alcotest.int "added" (rounds * rules_per_round) st.Maintenance.ch_added;
+  check Alcotest.int "previous rounds retired" ((rounds - 1) * rules_per_round)
+    st.Maintenance.ch_deleted;
+  check Alcotest.int "one retrain per round" rounds st.Maintenance.ch_retrains;
+  match Dpif.ccache_last_train dp with
+  | Some _ -> ()
+  | None -> Alcotest.fail "churn must have retrained the tier"
+
+(* -- the disarmed invariant -- *)
+
+(* Replay the same seeded stream through identically-built datapaths and
+   sum every charged virtual nanosecond. A datapath with the tier armed
+   but untrained, and one where the tier was trained and then disabled,
+   must both charge byte-identically to one that never enabled it (the
+   same discipline as the fault layer's armed-but-quiet pin). *)
+let replay_total ~arm ~train_then_disable () =
+  let pipeline = Ovs_ofproto.Pipeline.create ~n_tables:2 () in
+  ignore
+    (Ovs_ofproto.Parser.install_flows pipeline
+       [ "table=0,priority=10,udp actions=output:1" ]);
+  let dp = Dpif.create ~kind:Dpif.Dpdk ~pipeline () in
+  for i = 0 to 1 do
+    ignore (Dpif.add_port dp (Netdev.create ~name:(Printf.sprintf "p%d" i) ()))
+  done;
+  if arm then Dpif.set_ccache_enabled dp true;
+  let total = ref 0. in
+  let charge _cat ns = total := !total +. ns in
+  let base = Ovs_packet.Ipv4.addr_of_string "10.9.0.1" in
+  let send i =
+    let pkt =
+      Ovs_packet.Build.udp
+        ~src_ip:(base + (i mod 64))
+        ~src_port:(1000 + (i mod 32))
+        ()
+    in
+    pkt.Ovs_packet.Buffer.in_port <- 0;
+    Dpif.process dp charge pkt
+  in
+  for i = 0 to 499 do
+    send i
+  done;
+  if train_then_disable then begin
+    (* the training charge goes to a separate meter, as scenarios do *)
+    ignore (Dpif.ccache_train dp (fun _ _ -> ()) : Ccache.train_stats option);
+    Dpif.set_ccache_enabled dp false
+  end;
+  for i = 500 to 2999 do
+    send i
+  done;
+  !total
+
+let test_disarmed_byte_identical () =
+  let baseline = replay_total ~arm:false ~train_then_disable:false () in
+  let armed_untrained = replay_total ~arm:true ~train_then_disable:false () in
+  let trained_disabled = replay_total ~arm:true ~train_then_disable:true () in
+  Alcotest.(check (float 0.)) "armed-but-untrained charges identically" baseline
+    armed_untrained;
+  Alcotest.(check (float 0.)) "trained-then-disabled charges identically" baseline
+    trained_disabled;
+  Alcotest.(check bool) "the replay charged something" true (baseline > 0.)
+
+(* -- scenario integration: the tier under Zipf-skewed load -- *)
+
+let test_scenario_ccache_leg () =
+  let cfg =
+    Ovs_trafficgen.Scenario.config ~kind:Dpif.Dpdk ~n_flows:128 ~warmup:2_000
+      ~measure:8_000 ~ccache:true
+      ~mix:(Ovs_trafficgen.Pktgen.Zipf 1.1) ()
+  in
+  let r = Ovs_trafficgen.Scenario.run cfg in
+  Alcotest.(check bool) "forwarding under ccache" true
+    (r.Ovs_trafficgen.Scenario.rate_mpps > 0.)
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "ovs_nmu"
+    [
+      ( "rqrmi",
+        [
+          Alcotest.test_case "rejects overlap" `Quick test_rqrmi_rejects_overlap;
+          Alcotest.test_case "single range" `Quick test_rqrmi_single_range;
+        ]
+        @ qcheck [ prop_rqrmi_exact ] );
+      ( "iset",
+        [
+          Alcotest.test_case "prefix ranges" `Quick test_prefix_range;
+          Alcotest.test_case "partition invariants" `Quick
+            test_iset_partition_invariants;
+        ] );
+      ( "ccache",
+        [
+          Alcotest.test_case "100k lookups agree with dpcls" `Quick
+            test_ccache_100k_agreement;
+          Alcotest.test_case "reinstall updates in place" `Quick
+            test_ccache_reinstall_updates_value;
+          Alcotest.test_case "invalidate and retrain" `Quick
+            test_ccache_invalidate_and_retrain;
+          Alcotest.test_case "last-lookup work" `Quick test_ccache_last_work;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "churn retrains" `Quick test_churn_retrains;
+          Alcotest.test_case "disarmed is byte-identical" `Quick
+            test_disarmed_byte_identical;
+          Alcotest.test_case "scenario ccache leg" `Slow test_scenario_ccache_leg;
+        ] );
+    ]

@@ -56,6 +56,46 @@ let test_pktgen_queues_hit () =
   let many = Pktgen.create ~n_flows:512 ~frame_len:64 () in
   Alcotest.(check bool) "many flows spread" true (Pktgen.queues_hit many ~n_queues:16 >= 12)
 
+(* -- Zipf-skewed flow mix (seeded, deterministic) -- *)
+
+let hashes g n = List.init n (fun _ -> (Pktgen.next g).Ovs_packet.Buffer.rss_hash)
+
+let test_pktgen_zipf_deterministic () =
+  let mk () = Pktgen.create ~seed:11 ~mix:(Pktgen.Zipf 1.2) ~n_flows:256 ~frame_len:64 () in
+  Alcotest.(check (list int)) "same seed, same sequence" (hashes (mk ()) 400)
+    (hashes (mk ()) 400)
+
+let test_pktgen_zipf_reset_replays () =
+  let g = Pktgen.create ~seed:5 ~mix:(Pktgen.Zipf 0.9) ~n_flows:128 ~frame_len:64 () in
+  let first = hashes g 300 in
+  Pktgen.reset g;
+  Alcotest.(check (list int)) "reset replays the choices" first (hashes g 300)
+
+let test_pktgen_zipf_skew () =
+  let top_share mix =
+    let g = Pktgen.create ~seed:11 ~mix ~n_flows:256 ~frame_len:64 () in
+    let counts = Hashtbl.create 256 in
+    for _ = 1 to 5_000 do
+      let h = (Pktgen.next g).Ovs_packet.Buffer.rss_hash in
+      Hashtbl.replace counts h (1 + Option.value ~default:0 (Hashtbl.find_opt counts h))
+    done;
+    float_of_int (Hashtbl.fold (fun _ c m -> max c m) counts 0) /. 5_000.
+  in
+  let zipf = top_share (Pktgen.Zipf 1.2) and uniform = top_share Pktgen.Uniform in
+  Alcotest.(check bool) "elephant flow dominates" true (zipf > 0.15);
+  Alcotest.(check bool) "far above the uniform top flow" true (zipf > 5. *. uniform)
+
+(* Property: under any exponent and seed, the Zipf mix only ever emits the
+   template set, and two generators with equal seeds agree packet by
+   packet (determinism is what makes cache experiments reproducible). *)
+let prop_zipf_deterministic =
+  QCheck.Test.make ~count:30 ~name:"zipf mix deterministic for any seed/exponent"
+    QCheck.(pair small_int (int_range 1 30))
+    (fun (seed, s10) ->
+      let mix = Pktgen.Zipf (float_of_int s10 /. 10.) in
+      let mk () = Pktgen.create ~seed ~mix ~n_flows:64 ~frame_len:64 () in
+      hashes (mk ()) 100 = hashes (mk ()) 100)
+
 (* -- Scenario relationships (the evaluation's qualitative claims) -- *)
 
 let quick cfg = Scenario.run { cfg with Scenario.warmup = 2000; measure = 10_000 }
@@ -266,7 +306,11 @@ let () =
           Alcotest.test_case "frame length" `Quick test_pktgen_frame_len;
           Alcotest.test_case "valid packets" `Quick test_pktgen_valid_packets;
           Alcotest.test_case "queues hit" `Quick test_pktgen_queues_hit;
-        ] );
+          Alcotest.test_case "zipf deterministic" `Quick test_pktgen_zipf_deterministic;
+          Alcotest.test_case "zipf reset replays" `Quick test_pktgen_zipf_reset_replays;
+          Alcotest.test_case "zipf skew" `Quick test_pktgen_zipf_skew;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_zipf_deterministic ] );
       ( "scenario",
         [
           Alcotest.test_case "fig2 ordering" `Slow test_fig2_ordering;
