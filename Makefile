@@ -1,5 +1,5 @@
 # Tier-1 verification in one command.
-.PHONY: all check build test smoke bench chaos ccache clean
+.PHONY: all check build test smoke bench chaos ccache mc clean
 
 all: build
 
@@ -27,7 +27,14 @@ chaos:
 ccache:
 	dune exec bench/main.exe -- ccache --json
 
-check: build test smoke chaos ccache
+# The schedule explorer: exhaustive exploration of the concurrency
+# model's interleavings at the small bound plus 500 sampled schedules at
+# the large (crash/restart) bound; any invariant violation exits nonzero
+# and writes its shrunk replay artifact to MC_failure.txt.
+mc:
+	dune exec bench/main.exe -- mc
+
+check: build test smoke chaos ccache mc
 
 bench:
 	dune exec bench/main.exe

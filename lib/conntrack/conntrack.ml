@@ -334,26 +334,33 @@ let apply_nat (conn : conn) ~is_reply (buf : Ovs_packet.Buffer.t) (k : FK.t) =
       if !changed then Ovs_packet.Ipv4.update_csum buf;
       !changed
 
-(** Shrink [zone] to at most [limit] tracked connections by evicting
-    arbitrary entries — conntrack's early_drop behavior under table
-    pressure, and the window-open side effect of a [Ct_pressure] fault:
-    evicted connections must re-commit, and while the forced limit
-    holds, those commits fail into the invalid state. Returns the number
-    evicted. *)
+(** Shrink [zone] to at most [limit] tracked connections by evicting the
+    oldest entries first — conntrack's early_drop policy under table
+    pressure (the longest-lived connection is the cheapest to lose), and
+    the window-open side effect of a [Ct_pressure] fault: evicted
+    connections must re-commit, and while the forced limit holds, those
+    commits fail into the invalid state. Returns the number evicted. *)
 let evict_to_limit t ~zone ~limit =
   let excess = zone_count t ~zone - limit in
   if excess <= 0 then 0
   else begin
-    let victims = ref [] and left = ref excess in
-    (try
-       Hashtbl.iter
-         (fun tup conn ->
-           if !left > 0 && tup = conn.orig && tup.zone = zone then begin
-             victims := conn :: !victims;
-             decr left
-           end)
-         t.conns
-     with Exit -> ());
+    let candidates = ref [] in
+    Hashtbl.iter
+      (fun tup conn ->
+        if tup = conn.orig && tup.zone = zone then
+          candidates := conn :: !candidates)
+      t.conns;
+    (* oldest first; the tuple tie-break keeps same-instant commits (one
+       virtual-time batch) deterministic regardless of hash order *)
+    let victims =
+      List.sort
+        (fun a b ->
+          match compare a.created_at b.created_at with
+          | 0 -> compare a.orig b.orig
+          | c -> c)
+        !candidates
+      |> List.filteri (fun i _ -> i < excess)
+    in
     List.iter
       (fun conn ->
         Hashtbl.remove t.conns conn.orig;
@@ -361,8 +368,8 @@ let evict_to_limit t ~zone ~limit =
         match Hashtbl.find_opt t.zone_counts conn.orig.zone with
         | Some r -> decr r
         | None -> ())
-      !victims;
-    List.length !victims
+      victims;
+    List.length victims
   end
 
 (** Expire connections idle past their protocol timeout. Returns how many

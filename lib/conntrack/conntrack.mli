@@ -83,8 +83,9 @@ val sweep : t -> now:Ovs_sim.Time.ns -> int
     many. *)
 
 val evict_to_limit : t -> zone:int -> limit:int -> int
-(** Evict arbitrary connections until [zone] holds at most [limit]
-    (early_drop under table pressure; the [Ct_pressure] fault's
-    window-open side effect). Returns the number evicted. *)
+(** Evict the oldest connections (by [created_at], original direction)
+    until [zone] holds at most [limit] — early_drop under table
+    pressure; the [Ct_pressure] fault's window-open side effect.
+    Returns the number evicted. *)
 
 val timeout_of : proto_state -> Ovs_sim.Time.ns

@@ -19,6 +19,10 @@ type afxdp_opts = {
   csum_offload : bool;  (** O5: emulated checksum offload *)
   copy_mode : bool;  (** XDP_SKB universal fallback (extra copy) *)
   batch_size : int;
+  frames_per_queue : int;
+      (** umem frames allocated per rx queue (default 4096). The schedule
+          explorer shrinks this so rebuilding a model per explored
+          schedule stays cheap. *)
 }
 
 (** The fully optimized configuration (the merged upstream default). *)
@@ -30,6 +34,7 @@ let afxdp_default =
     csum_offload = true;
     copy_mode = false;
     batch_size = 32;
+    frames_per_queue = 4096;
   }
 
 (** The Table 2 ladder: cumulative optimization levels O0..O5. *)
@@ -113,7 +118,11 @@ let create ?(costs = Costs.default) ~kind ~pipeline () =
     serialized_tx = 0.;
     active_queues = 0;
     metadata_pool =
-      Ovs_xsk.Dp_packet_pool.create ~mode:opts.metadata ~size:4096;
+      (* sized with the umem: enough for any burst in flight, and cheap to
+         preallocate when a shrunken model (the schedule explorer) asks
+         for a small frame budget *)
+      Ovs_xsk.Dp_packet_pool.create ~mode:opts.metadata
+        ~size:(Int.min 4096 opts.frames_per_queue);
     vm = Ovs_ebpf.Vm.create ();
   }
 
@@ -233,22 +242,26 @@ let add_port ?(queues_override = None) t (dev : Ovs_netdev.Netdev.t) : int =
         At_phy_dpdk
     | Ovs_netdev.Netdev.Physical, Afxdp _ ->
         let n = dev.Ovs_netdev.Netdev.n_queues in
-        let umem =
-          Ovs_xsk.Umem.create ~n_frames:(4096 * n) ~ring_size:2048 ()
-        in
+        let fpq = (afxdp_opts t).frames_per_queue in
+        let umem = Ovs_xsk.Umem.create ~n_frames:(fpq * n) ~ring_size:2048 () in
         let pool =
-          Ovs_xsk.Umempool.create ~n_frames:(4096 * n)
+          Ovs_xsk.Umempool.create ~n_frames:(fpq * n)
             ~strategy:(afxdp_opts t).lock
         in
+        (* keep half of each queue's frame share in the fill ring so a
+           shrunken umem still leaves the pool headroom *)
+        let fill_target = Int.min 1024 (fpq / 2) in
         let xskmap =
           Ovs_ebpf.Maps.create ~name:(dev.Ovs_netdev.Netdev.name ^ "_xsk")
             ~kind:Ovs_ebpf.Maps.Xskmap ~max_entries:64
         in
         let xsks =
           Array.init n (fun q ->
-              let xsk = Ovs_xsk.Xsk.create ~umem ~pool ~queue_id:q () in
+              let xsk =
+                Ovs_xsk.Xsk.create ~fill_target ~umem ~pool ~queue_id:q ()
+              in
               ignore (Ovs_ebpf.Maps.update xskmap (Int64.of_int q) (Int64.of_int q));
-              ignore (Ovs_xsk.Xsk.refill xsk 1024);
+              ignore (Ovs_xsk.Xsk.refill xsk 0);
               xsk)
         in
         let prog =

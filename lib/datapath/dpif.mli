@@ -19,6 +19,10 @@ type afxdp_opts = {
   csum_offload : bool;  (** O5: emulated checksum offload *)
   copy_mode : bool;  (** XDP_SKB universal fallback (extra copy) *)
   batch_size : int;
+  frames_per_queue : int;
+      (** umem frames allocated per rx queue (default 4096). The schedule
+          explorer shrinks this so rebuilding a model per explored
+          schedule stays cheap. *)
 }
 
 val afxdp_default : afxdp_opts

@@ -44,6 +44,8 @@ let create ~dp ?rt ?(restart_delay = Time.us 150.) () =
     last_rx = [];
   }
 
+let restart_delay t = t.restart_delay
+
 let event t ~now what = t.events <- (now, what) :: t.events
 
 (* A PMD is stalled when it owns pending work but its rx counter has not

@@ -10,6 +10,11 @@ val create : dp:Dpif.t -> ?rt:Pmd.t -> ?restart_delay:Ovs_sim.Time.ns -> unit ->
 (** Monitor [dp] (and [rt]'s PMDs, when given). [restart_delay] (default
     150us) is the virtual time between a PMD crash and its respawn. *)
 
+val restart_delay : t -> Ovs_sim.Time.ns
+(** The configured respawn delay — lets a driver (the schedule explorer)
+    size its virtual-time quantum so a crashed PMD can actually respawn
+    within the explored horizon. *)
+
 val check : t -> now:Ovs_sim.Time.ns -> int
 (** One monitor sweep at virtual time [now]: restart crashed PMDs whose
     respawn delay has elapsed, reclaim leaked umem frames when a pool

@@ -206,6 +206,18 @@ let upcall_hook_for t pmd (pkt : Ovs_packet.Buffer.t) key =
     true
   end
 
+(* The retry backoff is PMD-side work outside any Dpif call, so the
+   datapath's charge wrapping never sees it; attribute it to the upcall
+   stage by hand or the per-stage sums drift from the charged totals
+   (the invariant the stage bench and the schedule explorer enforce). *)
+let charge_backoff t pmd ns =
+  (match Dpif.tracer t.dp with
+  | Some tr ->
+      Ovs_sim.Trace.set_stage tr Ovs_sim.Trace.St_upcall;
+      Ovs_sim.Trace.on_charge tr ns
+  | None -> ());
+  Cpu.charge pmd.ctx Cpu.User ns
+
 (* Bounded retry with backoff: each pass moves parked upcalls back into
    the main queue if it has room, charging a small per-attempt backoff to
    the PMD's core; an upcall out of attempts is lost for good (counted in
@@ -222,8 +234,7 @@ let process_retries t pmd =
       Coverage.incr cov_retry_lost
     end
     else begin
-      Cpu.charge pmd.ctx Cpu.User
-        (retry_backoff_ns *. float_of_int (attempts + 1));
+      charge_backoff t pmd (retry_backoff_ns *. float_of_int (attempts + 1));
       if
         Queue.length pmd.upcalls < t.upcall_capacity
         && not (Faults.upcall_storm ())
@@ -243,33 +254,32 @@ let drain_upcalls t pmd =
     Dpif.handle_upcall t.dp charge pkt key
   done
 
-(** Poll one of [pmd]'s rxqs: one burst through the datapath, then drain
-    the upcall queue. Returns packets dequeued. A dead or stalled PMD
-    does nothing; its rxqs back up. *)
-let poll_rxq t pmd (rxq : rxq) =
-  if (not pmd.alive) || Faults.pmd_stalled ~pmd:pmd.id then 0
-  else begin
+(* A dead or stalled PMD takes no steps; its rxqs back up. *)
+let runnable pmd = pmd.alive && not (Faults.pmd_stalled ~pmd:pmd.id)
+
+(* Bracket [f], folding the shared datapath counter deltas it causes into
+   [pmd]'s own stats. The simulation is single-threaded, so the deltas
+   around a call are exactly the work this PMD did; splitting one bracket
+   into consecutive brackets (the schedule explorer's per-step calls)
+   attributes identically because the deltas are additive. *)
+let attributed t pmd f =
   let agg = Dpif.counters t.dp in
   let emc0 = agg.Dp_core.emc_hits
   and smc0 = agg.Dp_core.smc_hits
   and dpcls0 = agg.Dp_core.dpcls_hits
   and upcalls0 = agg.Dp_core.upcalls in
-  let busy0 = Cpu.busy pmd.ctx in
-  Dpif.set_upcall_hook t.dp (Some (upcall_hook_for t pmd));
-  let n =
-    Dpif.poll t.dp
-      ~softirq:t.softirq.(rxq.rxq_queue)
-      ~pmd:pmd.ctx ~max:t.batch ~port_no:rxq.rxq_port ~queue:rxq.rxq_queue ()
-  in
-  process_retries t pmd;
-  drain_upcalls t pmd;
-  Dpif.set_upcall_hook t.dp None;
+  let r = f () in
   let s = pmd.pstats in
-  s.rx_packets <- s.rx_packets + n;
   s.emc_hits <- s.emc_hits + (agg.Dp_core.emc_hits - emc0);
   s.smc_hits <- s.smc_hits + (agg.Dp_core.smc_hits - smc0);
   s.megaflow_hits <- s.megaflow_hits + (agg.Dp_core.dpcls_hits - dpcls0);
   s.miss <- s.miss + (agg.Dp_core.upcalls - upcalls0);
+  r
+
+(* Per-poll burst bookkeeping shared by the fused loop and the step API. *)
+let count_poll pmd (rxq : rxq) ~busy0 n =
+  let s = pmd.pstats in
+  s.rx_packets <- s.rx_packets + n;
   s.polls <- s.polls + 1;
   Coverage.incr cov_poll;
   if n = 0 then begin
@@ -277,8 +287,74 @@ let poll_rxq t pmd (rxq : rxq) =
     Coverage.incr cov_idle_poll
   end;
   rxq.rxq_cycles <- rxq.rxq_cycles +. (Cpu.busy pmd.ctx -. busy0);
-  rxq.rxq_packets <- rxq.rxq_packets + n;
-  n
+  rxq.rxq_packets <- rxq.rxq_packets + n
+
+(** Poll one of [pmd]'s rxqs: one burst through the datapath, then a
+    retry pass and a drain of the upcall queue — the fused main-loop
+    iteration, equivalent to the {!step_poll}/{!step_retry}/{!step_drain}
+    sequence run back to back. Returns packets dequeued. A dead or
+    stalled PMD does nothing; its rxqs back up. *)
+let poll_rxq t pmd (rxq : rxq) =
+  if not (runnable pmd) then 0
+  else begin
+    let busy0 = Cpu.busy pmd.ctx in
+    Dpif.set_upcall_hook t.dp (Some (upcall_hook_for t pmd));
+    let n =
+      attributed t pmd (fun () ->
+          let n =
+            Dpif.poll t.dp
+              ~softirq:t.softirq.(rxq.rxq_queue)
+              ~pmd:pmd.ctx ~max:t.batch ~port_no:rxq.rxq_port
+              ~queue:rxq.rxq_queue ()
+          in
+          process_retries t pmd;
+          drain_upcalls t pmd;
+          n)
+    in
+    Dpif.set_upcall_hook t.dp None;
+    count_poll pmd rxq ~busy0 n;
+    n
+  end
+
+(** {1 Schedule-explorer steps}
+
+    The three phases of a PMD main-loop iteration as separately
+    schedulable actions for {!Ovs_mc}: each installs and removes the
+    upcall hook around itself and does its own counter attribution, so
+    any interleaving of steps across PMDs is a well-formed execution —
+    [step_poll; step_retry; step_drain] on one PMD reproduces
+    {!poll_rxq} exactly. *)
+
+(** One burst from one rxq through the datapath — no retry pass, no
+    drain; misses accumulate in the PMD's bounded queues. *)
+let step_poll t pmd (rxq : rxq) =
+  if not (runnable pmd) then 0
+  else begin
+    let busy0 = Cpu.busy pmd.ctx in
+    Dpif.set_upcall_hook t.dp (Some (upcall_hook_for t pmd));
+    let n =
+      attributed t pmd (fun () ->
+          Dpif.poll t.dp
+            ~softirq:t.softirq.(rxq.rxq_queue)
+            ~pmd:pmd.ctx ~max:t.batch ~port_no:rxq.rxq_port
+            ~queue:rxq.rxq_queue ())
+    in
+    Dpif.set_upcall_hook t.dp None;
+    count_poll pmd rxq ~busy0 n;
+    n
+  end
+
+(** One bounded-retry backoff pass over the PMD's parked upcalls. *)
+let step_retry t pmd = if runnable pmd then process_retries t pmd
+
+(** Drain the PMD's upcall queue into the shared slow path. The hook
+    stays installed while draining so a recirculated fresh miss
+    re-enqueues instead of being mis-counted. *)
+let step_drain t pmd =
+  if runnable pmd then begin
+    Dpif.set_upcall_hook t.dp (Some (upcall_hook_for t pmd));
+    attributed t pmd (fun () -> drain_upcalls t pmd);
+    Dpif.set_upcall_hook t.dp None
   end
 
 (* Crash transitions (fault injection): a PMD crash is a process crash —
@@ -321,6 +397,13 @@ let restarts pmd = pmd.restarts
 (** Upcalls waiting in this PMD (main queue + retry queue) — in-flight
     packets for conservation accounting. *)
 let queued pmd = Queue.length pmd.upcalls + Queue.length pmd.retries
+
+(* Bounded-queue introspection for the explorer's capacity oracle. *)
+let upcall_queue_len pmd = Queue.length pmd.upcalls
+let retry_queue_len pmd = Queue.length pmd.retries
+let upcall_capacity t = t.upcall_capacity
+let retry_capacity t = t.retry_capacity
+let rxqs_of pmd = pmd.rxqs
 
 (** One main-loop iteration for every PMD: each polls each of its rxqs
     once. Returns total packets dequeued across the runtime. *)

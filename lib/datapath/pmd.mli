@@ -58,12 +58,37 @@ val create :
 (** {1 Polling} *)
 
 val poll_rxq : t -> pmd -> rxq -> int
-(** One burst from one rxq through the datapath, then drain the PMD's
-    upcall queue. Returns packets dequeued. *)
+(** One burst from one rxq through the datapath, then a retry pass and a
+    drain of the PMD's upcall queue — the fused main-loop iteration.
+    Returns packets dequeued. *)
 
 val poll_all : t -> int
 (** One main-loop iteration for every PMD (each polls each of its rxqs
     once). Returns total packets dequeued. *)
+
+(** {1 Schedule-explorer steps}
+
+    The three phases of a PMD main-loop iteration as separately
+    schedulable actions for the [Ovs_mc] explorer. Each installs and
+    removes the upcall hook around itself and does its own counter
+    attribution, so any interleaving of steps across PMDs is a
+    well-formed execution; [step_poll; step_retry; step_drain] on one
+    PMD reproduces {!poll_rxq} exactly. *)
+
+val step_poll : t -> pmd -> rxq -> int
+(** One burst from one rxq through the datapath — no retry pass, no
+    drain; misses accumulate in the PMD's bounded queues. *)
+
+val step_retry : t -> pmd -> unit
+(** One bounded-retry backoff pass over the PMD's parked upcalls. *)
+
+val step_drain : t -> pmd -> unit
+(** Drain the PMD's upcall queue into the shared slow path. *)
+
+val handle_crashes : t -> unit
+(** Apply any pending crash fault: queued upcalls die with the thread
+    (counted lost and dropped) and the shared caches flush. Run by
+    {!poll_all} automatically; exposed as an explorer step. *)
 
 (** {1 Introspection} *)
 
@@ -81,6 +106,17 @@ val restarts : pmd -> int
 val queued : pmd -> int
 (** Upcalls waiting in this PMD (main + retry queues) — in-flight
     packets for conservation accounting. *)
+
+val upcall_queue_len : pmd -> int
+val retry_queue_len : pmd -> int
+
+val upcall_capacity : t -> int
+val retry_capacity : t -> int
+(** Configured bounds of the two queues, for the explorer's
+    bounded-queue oracle. *)
+
+val rxqs_of : pmd -> rxq list
+(** The rxqs currently assigned to this PMD. *)
 
 val restart : t -> pmd -> unit
 (** Restart a crashed PMD: reclaim XSK rings and revalidate the flow

@@ -65,6 +65,23 @@ let pop t =
 
 let peek_time t = if t.size = 0 then None else (fun (at, _, _) -> Some at) t.heap.(0)
 
+(** Pop and handle every event due at or before [now], in time order
+    (FIFO within a tie). Unlike {!run} this leaves future events queued —
+    the shape a polled clock wants: callers advance virtual time in
+    quanta and drain whatever fell due. Returns how many events ran. *)
+let run_due t ~now ~handler =
+  let ran = ref 0 in
+  let continue = ref true in
+  while !continue && not (is_empty t) do
+    match peek_time t with
+    | Some at when at <= now ->
+        let at, v = pop t in
+        incr ran;
+        handler ~at v
+    | _ -> continue := false
+  done;
+  !ran
+
 (** Run a handler loop until the queue drains or [until] is reached.
     The handler may push further events. Returns the final virtual time. *)
 let run ?(until = infinity) t ~handler =

@@ -502,11 +502,21 @@ let fault_inject spec =
       Ok_output (Fmt.str "armed: %a" Faults.pp_fault f)
   | Error e -> Not_supported e
 
+(** [ovs-appctl mc/replay ARTIFACT]: re-execute a schedule-explorer
+    replay artifact ([mc1 mode=... seed=... mut=... sched=...]) against a
+    fresh model and render the outcome — the deterministic reproduction
+    path for any violation the explorer ever reports. *)
+let mc_replay artifact =
+  match Ovs_mc.Mc.replay artifact with
+  | Ok s -> Ok_output s
+  | Error e -> Not_supported ("mc/replay: " ^ e)
+
 (** Dispatch an appctl command string. PMD commands render the supplied
     runtime reports (pass the current {!Pmd.reports}); datapath commands
     ([ofproto/trace], [dpif/show-stage-cycles], [dpctl/dump-flows]) need
     the [dp] argument; [dpif/health-show] needs [health]. The [fault/*]
-    commands drive the global injector directly. *)
+    commands drive the global injector directly, and [mc/replay] runs a
+    schedule-explorer artifact through a fresh model. *)
 let appctl ?(pmds : Pmd.report list = []) ?(dp : Dpif.t option)
     ?(health : Health.t option) cmd =
   let with_dp f =
@@ -523,6 +533,7 @@ let appctl ?(pmds : Pmd.report list = []) ?(dp : Dpif.t option)
   in
   let trace_prefix = "ofproto/trace " in
   let fault_prefix = "fault/inject " in
+  let mc_prefix = "mc/replay " in
   match cmd with
   | "dpif-netdev/pmd-stats-show" -> Ok_output (pmd_stats_show pmds)
   | "dpif-netdev/pmd-rxq-show" -> Ok_output (pmd_rxq_show pmds)
@@ -541,6 +552,9 @@ let appctl ?(pmds : Pmd.report list = []) ?(dp : Dpif.t option)
       | Some h -> Ok_output (Health.render h ~now:(Faults.now ()))
       | None -> Not_supported (cmd ^ ": no health monitor supplied"))
   | "ofproto/trace" -> Not_supported "usage: ofproto/trace FLOW"
+  | "mc/replay" ->
+      Not_supported "usage: mc/replay mc1 mode=MODE seed=N mut=NAME sched=HEX"
+  | _ when prefixed mc_prefix -> mc_replay (arg mc_prefix)
   | _ when prefixed fault_prefix -> fault_inject (arg fault_prefix)
   | _ when prefixed trace_prefix ->
       with_dp (fun dp -> ofproto_trace dp (arg trace_prefix))

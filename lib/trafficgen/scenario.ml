@@ -90,6 +90,10 @@ type config = {
   ct_zone : int option;
       (** P2P: send traffic through ct(commit) in this zone with an
           invalid-state drop rule (the conntrack-pressure target) *)
+  upcall_capacity : int;  (** per-PMD upcall queue bound *)
+  retry_capacity : int;
+      (** per-PMD retry queue bound — the schedule explorer shrinks both
+          so its bounded-queue oracle bites at tiny packet counts *)
 }
 
 let default_config =
@@ -112,6 +116,8 @@ let default_config =
     rx_policy = Netdev.Rx_drop;
     strict_match = false;
     ct_zone = None;
+    upcall_capacity = 512;
+    retry_capacity = 256;
   }
 
 (** Builder over {!default_config}, so call sites survive new fields. *)
@@ -124,10 +130,12 @@ let config ?(kind = default_config.kind) ?(topology = default_config.topology)
     ?(n_rxqs = default_config.n_rxqs) ?(trace = default_config.trace)
     ?(faults = default_config.faults) ?(rx_policy = default_config.rx_policy)
     ?(strict_match = default_config.strict_match)
-    ?(ct_zone = default_config.ct_zone) () =
+    ?(ct_zone = default_config.ct_zone)
+    ?(upcall_capacity = default_config.upcall_capacity)
+    ?(retry_capacity = default_config.retry_capacity) () =
   { kind; topology; n_flows; frame_len; queues; gbps; warmup; measure; cache;
     ccache; mix; n_pmds; n_rxqs; trace; faults; rx_policy; strict_match;
-    ct_zone }
+    ct_zone; upcall_capacity; retry_capacity }
 
 let is_userspace = function
   | Dpif.Dpdk | Dpif.Afxdp _ -> true
@@ -199,8 +207,9 @@ let setup (cfg : config) : rig =
   let rt =
     if use_pmd_rt then
       Some
-        (Pmd.create ~dp ~machine ~softirq:sirq ~port_no:p0 ~n_rxqs:queues
-           ~n_pmds:cfg.n_pmds ())
+        (Pmd.create ~upcall_capacity:cfg.upcall_capacity
+           ~retry_capacity:cfg.retry_capacity ~dp ~machine ~softirq:sirq
+           ~port_no:p0 ~n_rxqs:queues ~n_pmds:cfg.n_pmds ())
     else None
   in
   let guest = Cpu.ctx machine "guest" in

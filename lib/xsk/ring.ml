@@ -67,6 +67,13 @@ let pop_burst t ~max =
   in
   take 0 []
 
+(** Snapshot of the descriptors currently pending (oldest first) without
+    consuming them or counting a ring operation — introspection for
+    invariant checkers (the schedule explorer's frame-conservation
+    oracle), not a datapath primitive. *)
+let pending t =
+  List.init (available t) (fun i -> t.entries.((t.cons + i) land t.mask))
+
 (** Produce a batch; returns how many fit. *)
 let push_burst t ds =
   t.ops <- t.ops + 1;

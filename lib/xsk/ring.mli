@@ -37,3 +37,8 @@ val pop_burst : t -> max:int -> desc list
 
 val push_burst : t -> desc list -> int
 (** Produce a batch; returns how many fit. *)
+
+val pending : t -> desc list
+(** Snapshot of the descriptors currently pending (oldest first), without
+    consuming them and without counting a ring operation — for invariant
+    checkers such as the schedule explorer's frame-conservation oracle. *)

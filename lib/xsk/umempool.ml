@@ -150,6 +150,13 @@ let put_batch t frames =
 
 let leaked_count t = List.length t.leaked
 
+(** Snapshot of the free stack's frame indices (top of stack first) —
+    introspection for invariant checkers, no lock or stats accounting. *)
+let free_frames t = List.init t.top (fun i -> t.free.(t.top - 1 - i))
+
+(** Snapshot of the quarantined frames a leak fault diverted. *)
+let leaked_frames t = t.leaked
+
 (** Return every quarantined frame to the free stack (the health
     monitor's leak repair). Returns how many came back. *)
 let reclaim_leaked t =

@@ -65,6 +65,14 @@ val put_batch : t -> int list -> unit
 val leaked_count : t -> int
 (** Frames currently quarantined by a leak fault. *)
 
+val free_frames : t -> int list
+(** Snapshot of the free stack (top first), without lock or stats
+    accounting — for invariant checkers such as the schedule explorer's
+    frame-conservation oracle. *)
+
+val leaked_frames : t -> int list
+(** Snapshot of the quarantine, same introspection-only contract. *)
+
 val reclaim_leaked : t -> int
 (** Return every quarantined frame to the free stack; returns how many
     came back. The health monitor's leak repair. *)

@@ -21,9 +21,14 @@ type t = {
       (** id of the PMD thread that owns this socket's rings, or -1. AF_XDP
           rings are single-producer/single-consumer, so exactly one PMD may
           poll an XSK — the runtime claims ownership at assignment time. *)
+  fill_target : int;
+      (** steady-state fill level the rx path tops the fill ring up to *)
 }
 
-let create ?(ring_size = 2048) ~umem ~pool ~queue_id () =
+let default_fill_target = 1024
+
+let create ?(ring_size = 2048) ?(fill_target = default_fill_target) ~umem ~pool
+    ~queue_id () =
   {
     umem;
     pool;
@@ -36,6 +41,7 @@ let create ?(ring_size = 2048) ~umem ~pool ~queue_id () =
     tx_sent = 0;
     kicks = 0;
     owner_pmd = -1;
+    fill_target;
   }
 
 (** Claim (or release, with [-1]) this socket's rings for one PMD. *)
@@ -43,18 +49,15 @@ let set_owner t ~pmd = t.owner_pmd <- pmd
 
 let owner t = t.owner_pmd
 
-(* steady-state fill level the rx path tops the fill ring back up to *)
-let fill_target = 1024
-
 (** Userspace: refill the kernel's fill ring from the umempool. Requests
     at least [n] frames (what the last burst consumed) but always enough
-    to top the ring back up to [fill_target] — after an allocation
+    to top the ring back up to the socket's [fill_target] — after an allocation
     failure (pool exhausted) the deficit persists across bursts and must
     be repaid once frames are available again, or rx wedges with an
     empty fill ring. Frames the ring refuses go straight back to the
     pool; returns the number actually posted. *)
 let refill t n =
-  let deficit = fill_target - Ring.available t.umem.Umem.fill in
+  let deficit = t.fill_target - Ring.available t.umem.Umem.fill in
   let want = Int.max n deficit in
   if want <= 0 then 0
   else

@@ -202,6 +202,111 @@ let test_fin_teardown_states () =
   | { Ct.conn = None; _ } -> Alcotest.fail "conn lost");
   ()
 
+(* -- property tests: evict_to_limit and the ct_pressure fault -- *)
+
+(* Distinct UDP flows (one per source port) committed at strictly
+   increasing times, so "oldest" is unambiguous. *)
+let commit_flows ct ~zone n =
+  List.init n (fun i ->
+      let k = udp_key ~sport:(1000 + i) () in
+      (match Ct.commit ct ~now:(float_of_int i) ~zone k with
+      | Some _ -> ()
+      | None -> Alcotest.failf "seed commit %d rejected" i);
+      k)
+
+let tracked ct ~zone k =
+  (Ct.track ct ~now:100. ~zone k).Ct.conn <> None
+
+let prop_evict_count =
+  QCheck.Test.make ~count:100
+    ~name:"evict_to_limit: count <= limit, evicted = excess"
+    QCheck.(pair (int_range 0 40) (int_range 0 40))
+    (fun (n, limit) ->
+      let ct = Ct.create () in
+      ignore (commit_flows ct ~zone:3 n);
+      let evicted = Ct.evict_to_limit ct ~zone:3 ~limit in
+      Ct.zone_count ct ~zone:3 <= limit && evicted = Int.max 0 (n - limit))
+
+let prop_evict_oldest_first =
+  QCheck.Test.make ~count:100 ~name:"evict_to_limit: oldest evicted first"
+    QCheck.(pair (int_range 1 40) (int_range 0 40))
+    (fun (n, limit) ->
+      let ct = Ct.create () in
+      let keys = commit_flows ct ~zone:3 n in
+      ignore (Ct.evict_to_limit ct ~zone:3 ~limit);
+      (* survivors must be exactly the [limit] newest commits *)
+      List.for_all2
+        (fun i k -> tracked ct ~zone:3 k = (i >= n - limit))
+        (List.init n Fun.id) keys)
+
+let prop_evict_then_readd =
+  QCheck.Test.make ~count:100
+    ~name:"evict_to_limit: re-add succeeds after eviction"
+    QCheck.(int_range 1 32)
+    (fun limit ->
+      let ct = Ct.create () in
+      Ct.set_zone_limit ct ~zone:5 ~limit;
+      ignore (commit_flows ct ~zone:5 limit);
+      (* zone full: the next commit is rejected by the nf_conncount cap *)
+      let extra = udp_key ~sport:5000 () in
+      Ct.commit ct ~now:50. ~zone:5 extra = None
+      && Ct.evict_to_limit ct ~zone:5 ~limit:(limit - 1) = 1
+      && Ct.commit ct ~now:51. ~zone:5 extra <> None
+      && Ct.zone_count ct ~zone:5 = limit)
+
+module Faults = Ovs_faults.Faults
+
+(* The ct_pressure fault forces an effective zone limit while its window
+   is open (Conntrack.commit consults Faults.ct_limit), and the chaos
+   runner's window-open side effect evicts down to it — committed count
+   never exceeds the forced limit, and the zone recovers after the
+   window closes. *)
+let prop_ct_pressure_fault =
+  QCheck.Test.make ~count:50
+    ~name:"ct_pressure fault: forced limit enforced, recovery after close"
+    QCheck.(pair (int_range 1 16) (int_range 0 24))
+    (fun (limit, preload) ->
+      let ct = Ct.create () in
+      ignore (commit_flows ct ~zone:9 preload);
+      Faults.arm
+        (Faults.plan ~name:"ct-prop"
+           [
+             {
+               Faults.f_name = "pressure";
+               f_action = Faults.Ct_pressure { zone = 9; limit };
+               f_start = Ovs_sim.Time.us 10.;
+               f_stop = Ovs_sim.Time.us 20.;
+             };
+           ]);
+      Fun.protect ~finally:Faults.disarm (fun () ->
+          (* window opens: apply the runner's side effect, then push one
+             more commit against the forced cap *)
+          let opened = Faults.tick (Ovs_sim.Time.us 15.) in
+          List.iter
+            (fun (f : Faults.fault) ->
+              match f.Faults.f_action with
+              | Faults.Ct_pressure { zone; limit } ->
+                  ignore (Ct.evict_to_limit ct ~zone ~limit)
+              | _ -> ())
+            opened;
+          let evicted_down = Ct.zone_count ct ~zone:9 <= limit in
+          let had_room = Ct.zone_count ct ~zone:9 < limit in
+          let admitted =
+            Ct.commit ct ~now:60. ~zone:9 (udp_key ~sport:7000 ()) <> None
+          in
+          let in_window_ok =
+            evicted_down && admitted = had_room
+            && Ct.zone_count ct ~zone:9 <= limit
+          in
+          (* window closes: the cap is gone, commits succeed again *)
+          ignore (Faults.tick (Ovs_sim.Time.us 25.));
+          let recovered =
+            Ct.commit ct ~now:70. ~zone:9 (udp_key ~sport:7001 ()) <> None
+          in
+          in_window_ok && recovered))
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
 let () =
   Alcotest.run "ovs_conntrack"
     [
@@ -225,4 +330,12 @@ let () =
         [ Alcotest.test_case "related icmp errors" `Quick test_related_icmp ] );
       ( "nat",
         [ Alcotest.test_case "snat forward and reply" `Quick test_nat_rewrites_forward_and_reply ] );
+      ( "eviction-properties",
+        qcheck
+          [
+            prop_evict_count;
+            prop_evict_oldest_first;
+            prop_evict_then_readd;
+            prop_ct_pressure_fault;
+          ] );
     ]

@@ -1,8 +1,8 @@
 (* Differential testing: the same seeded randomized traffic pushed through
-   the kernel, AF_XDP, PMD-style deferred-upcall and computational-cache
-   datapaths, built from the same ruleset, must make identical per-packet
-   forwarding decisions and end up with identical megaflow populations
-   after revalidation. The ccache leg additionally retrains continually
+   the kernel, eBPF, AF_XDP, PMD-style deferred-upcall and
+   computational-cache datapaths, built from the same ruleset, must make
+   identical per-packet forwarding decisions and end up with identical
+   megaflow populations after revalidation. The ccache leg additionally retrains continually
    (autoretrain every 32 installs) and must keep exact per-tier hit
    accounting: every datapath pass lands in exactly one tier counter. *)
 
@@ -187,6 +187,7 @@ let run_leg ~kind ~deferred_upcalls ?(ccache = false) ?(ccache_serves = true)
 let legs =
   [
     ("kernel", Dpif.Kernel, false, false);
+    ("ebpf", Dpif.Kernel_ebpf, false, false);
     ("afxdp", Dpif.Afxdp Dpif.afxdp_default, false, false);
     ("pmd-dpdk", Dpif.Dpdk, true, false);
     ("afxdp-ccache", Dpif.Afxdp Dpif.afxdp_default, false, true);

@@ -1,0 +1,144 @@
+(* Golden tests for the appctl text surfaces: pmd-stats-show,
+   dpif/cache-hierarchy-show, dpif/health-show and fault/list rendered
+   from one small deterministic fixture and compared against the exact
+   expected text, so formatting drift is caught instead of silently
+   shipped. The simulator is deterministic (virtual clock, seeded PRNGs),
+   so these strings are stable across runs and machines; if you change a
+   renderer on purpose, update the goldens here to match. *)
+
+module Dpif = Ovs_datapath.Dpif
+module Pmd = Ovs_datapath.Pmd
+module Health = Ovs_datapath.Health
+module Faults = Ovs_faults.Faults
+module Scenario = Ovs_trafficgen.Scenario
+module Pktgen = Ovs_trafficgen.Pktgen
+module Netdev = Ovs_netdev.Netdev
+module Time = Ovs_sim.Time
+module Tools = Ovs_tools.Tools
+
+(* The mc explorer's small model: AF_XDP with a shrunken umem, 2 PMDs x
+   2 rxqs, 16 preloaded packets polled and drained once, one fault tick
+   inside the umem-leak window, one health sweep. *)
+let fixture () =
+  let opts = { Dpif.afxdp_default with Dpif.frames_per_queue = 128 } in
+  let cfg =
+    Scenario.config ~kind:(Dpif.Afxdp opts) ~n_flows:8 ~queues:2 ~n_pmds:2
+      ~n_rxqs:2 ~trace:true ()
+  in
+  let rig = Scenario.setup cfg in
+  let rt =
+    match rig.Scenario.r_rt with Some rt -> rt | None -> assert false
+  in
+  let health = Health.create ~dp:rig.Scenario.r_dp ~rt () in
+  Faults.arm
+    (Faults.plan ~name:"golden" ~seed:7
+       [
+         {
+           Faults.f_name = "leak";
+           f_action = Faults.Umem_leak { frames = 32 };
+           f_start = Time.us 50.;
+           f_stop = Time.us 150.;
+         };
+         {
+           Faults.f_name = "storm";
+           f_action = Faults.Upcall_storm;
+           f_start = Time.us 150.;
+           f_stop = Time.us 1000.;
+         };
+       ]);
+  for _ = 1 to 16 do
+    ignore
+      (Netdev.rss_enqueue rig.Scenario.r_phy0 (Pktgen.next rig.Scenario.r_gen))
+  done;
+  ignore (Faults.tick (Time.us 100.));
+  List.iter
+    (fun pmd ->
+      List.iter
+        (fun rxq -> ignore (Pmd.step_poll rt pmd rxq))
+        (Pmd.rxqs_of pmd);
+      Pmd.step_retry rt pmd;
+      Pmd.step_drain rt pmd)
+    (Pmd.pmds rt);
+  ignore (Health.check health ~now:(Time.us 100.));
+  (rig, rt, health)
+
+let golden name expected actual =
+  Alcotest.(check string) (name ^ " output matches golden") (String.trim expected)
+    (String.trim actual)
+
+let with_fixture f () =
+  let rig, rt, health = fixture () in
+  Fun.protect ~finally:Faults.disarm (fun () -> f rig rt health)
+
+let appctl_ok cmd = function
+  | Tools.Ok_output s -> s
+  | Tools.Not_supported e -> Alcotest.failf "%s unsupported: %s" cmd e
+
+let test_pmd_stats _rig rt _health =
+  golden "dpif-netdev/pmd-stats-show"
+    {|pmd thread numa_id 0 core_id 0:
+  packets received: 9
+  emc hits: 0
+  smc hits: 0
+  megaflow hits: 8
+  miss with success upcall: 1
+  miss with failed upcall: 0
+  avg cycles per packet: 3126 (28136/9)
+  idle cycles: 971864 (97.19%)
+  processing cycles: 28136 (2.81%)
+pmd thread numa_id 0 core_id 1:
+  packets received: 7
+  emc hits: 4
+  smc hits: 0
+  megaflow hits: 3
+  miss with success upcall: 0
+  miss with failed upcall: 0
+  avg cycles per packet: 207 (1449/7)
+  idle cycles: 998551 (99.86%)
+  processing cycles: 1449 (0.14%)|}
+    (Tools.pmd_stats_show (Pmd.reports ~wall:(Time.ms 1.) rt))
+
+let test_cache_hierarchy rig _rt _health =
+  golden "dpif/cache-hierarchy-show"
+    {|cache hierarchy: 16 packets, 16 datapath passes
+  tier             hits     hit%     cycles/hit
+  emc                 4    25.0%           27.0
+  smc                 0     0.0%            0.0
+  ccache              0     0.0%            0.0
+  dpcls              11    68.8%           30.0
+  upcall              1     6.2%
+  dpcls: 1 subtables, 1 megaflows, 0.52 mean probes/lookup
+  ccache: absent (never enabled)|}
+    (appctl_ok "dpif/cache-hierarchy-show"
+       (Tools.appctl ~dp:rig.Scenario.r_dp "dpif/cache-hierarchy-show"))
+
+let test_health_show _rig _rt health =
+  golden "dpif/health-show"
+    {|health: DEGRADED
+  pmd0: alive, 0 restarts, rx 9, lost 0, retried 0
+  pmd1: alive, 0 restarts, rx 7, lost 0, retried 0
+  port 0 (eth0): carrier up, pending 0, rx_dropped 0, umem 160 free / 32 leaked
+  port 1 (eth1): carrier up, pending 0, rx_dropped 0, umem 192 free / 0 leaked
+  recoveries: 0 (repairs 0)
+  unhealthy for 0.0 ns|}
+    (appctl_ok "dpif/health-show" (Tools.appctl ~health "dpif/health-show"))
+
+let test_fault_list _rig _rt _health =
+  golden "fault/list"
+    {|plan "golden" (seed 7) at 100.00 us:
+  leak: umem_leak frames=32 window [50.00 us, 150.00 us]  fired 32
+  storm: upcall_storm window [150.00 us, 1.00 ms]  fired 0|}
+    (appctl_ok "fault/list" (Tools.appctl "fault/list"))
+
+let () =
+  Alcotest.run "ovs_golden"
+    [
+      ( "appctl",
+        [
+          Alcotest.test_case "pmd-stats-show" `Quick (with_fixture test_pmd_stats);
+          Alcotest.test_case "cache-hierarchy-show" `Quick
+            (with_fixture test_cache_hierarchy);
+          Alcotest.test_case "health-show" `Quick (with_fixture test_health_show);
+          Alcotest.test_case "fault/list" `Quick (with_fixture test_fault_list);
+        ] );
+    ]
