@@ -1,5 +1,5 @@
 # Tier-1 verification in one command.
-.PHONY: all check build test smoke bench chaos ccache mc clean
+.PHONY: all check build test smoke bench chaos ccache mc multicore clean
 
 all: build
 
@@ -34,7 +34,15 @@ ccache:
 mc:
 	dune exec bench/main.exe -- mc
 
-check: build test smoke chaos ccache mc
+# True multicore: the Engine_domains rig at 1/2/4/8 PMD domains,
+# wall-clock Mpps next to the virtual-time curve, exact packet
+# conservation enforced. The 1->2 domain monotone-scaling gate arms only
+# on multi-core hosts (single-core runs are time-sliced and
+# informational). Writes BENCH_multicore.json.
+multicore:
+	dune exec bench/main.exe -- multicore --json
+
+check: build test smoke chaos ccache mc multicore
 
 bench:
 	dune exec bench/main.exe

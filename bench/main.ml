@@ -10,6 +10,7 @@
 
 module Costs = Ovs_sim.Costs
 module Dpif = Ovs_datapath.Dpif
+module Engine = Ovs_datapath.Engine
 module Scenario = Ovs_trafficgen.Scenario
 
 let section title = Fmt.pr "@.=== %s ===@." title
@@ -796,7 +797,7 @@ let micro () =
   Ovs_flow.Dpcls.insert dpcls ~mask ~key 1;
   Ovs_ebpf.Maps.reset_registry ();
   let hook = Ovs_ebpf.Xdp.load_exn ~name:"task_b" Ovs_ebpf.Progs.task_b in
-  let ring = Ovs_xsk.Ring.create ~size:2048 in
+  let ring = Ovs_xsk.Ring.create ~size:2048 () in
   let tests =
     [
       Test.make ~name:"flow_key_extract (Fig 2/9 fast path)"
@@ -839,6 +840,82 @@ let micro () =
       row "%-44s %10.1f ns/op@." (Test.Elt.name elt) median)
     tests
 
+(* ---------------------------------------------------------- Multicore *)
+
+(* Wall-clock Mpps on real OCaml domains (the Engine_domains rig) next to
+   the virtual-time Figure 12 curve at the same PMD counts. The scaling
+   gate (1 -> 2 domains monotone, 10% tolerance for scheduler noise) only
+   arms when the host actually has cores to scale onto. *)
+let multicore_target = 120_000
+
+let multicore_rows () =
+  List.map
+    (fun n ->
+      let cfg =
+        Scenario.config ~n_flows:256 ~measure:multicore_target
+          ~upcall_capacity:1024 ()
+      in
+      let stats, viols = Scenario.run_multicore cfg ~n_domains:n () in
+      List.iter
+        (fun v -> fail_check "multicore %d domains: oracle violation: %s" n v)
+        viols;
+      if stats.Engine.s_offered <> stats.Engine.s_delivered + stats.Engine.s_dropped
+      then
+        fail_check "multicore %d domains: conservation: %d offered <> %d + %d" n
+          stats.Engine.s_offered stats.Engine.s_delivered stats.Engine.s_dropped;
+      let vt =
+        Scenario.run
+          (Scenario.config ~n_pmds:n ~n_rxqs:(Int.max n 1) ~queues:(Int.max n 1)
+             ~n_flows:256 ~measure:multicore_target ())
+      in
+      (n, stats, vt.Scenario.rate_mpps))
+    [ 1; 2; 4; 8 ]
+
+let multicore_to_json ~cores rows =
+  let row_json (n, (s : Engine.stats), vt_mpps) =
+    Printf.sprintf
+      "  {\"domains\": %d, \"mpps_wall\": %.4f, \"mpps_vt\": %.4f, \
+       \"delivered\": %d, \"dropped\": %d, \"upcalls\": %d, \
+       \"wall_ns\": %.0f}"
+      n s.Engine.s_mpps vt_mpps s.Engine.s_delivered s.Engine.s_dropped
+      s.Engine.s_upcalls s.Engine.s_wall_ns
+  in
+  Printf.sprintf
+    "{\"cores\": %d, \"target\": %d, \"rows\": [\n%s\n]}\n" cores
+    multicore_target
+    (String.concat ",\n" (List.map row_json rows))
+
+let multicore_exp () =
+  section "Multicore: wall-clock Mpps on real domains vs virtual time";
+  let cores = Domain.recommended_domain_count () in
+  row "host offers %d core%s@." cores (if cores = 1 then "" else "s");
+  row "%-8s %14s %14s %10s %10s@." "domains" "wall-clock" "virtual-time"
+    "dropped" "upcalls";
+  let rows = multicore_rows () in
+  List.iter
+    (fun (n, (s : Engine.stats), vt) ->
+      row "%-8d %10.2f Mpps %10.2f Mpps %10d %10d@." n s.Engine.s_mpps vt
+        s.Engine.s_dropped s.Engine.s_upcalls)
+    rows;
+  (match (rows, cores >= 2) with
+  | (1, s1, _) :: (2, s2, _) :: _, true ->
+      (* monotone 1 -> 2 with 10% tolerance: real schedulers jitter, but
+         a parallel dataplane that gets slower with a second core is a
+         regression (lock convoy, false sharing, broken sharding) *)
+      if s2.Engine.s_mpps < 0.9 *. s1.Engine.s_mpps then
+        fail_check "multicore: 2 domains slower than 1 (%.2f < 0.9 * %.2f Mpps)"
+          s2.Engine.s_mpps s1.Engine.s_mpps
+  | _, false ->
+      row "(single-core host: 1 -> 2 scaling gate not armed, numbers are@.";
+      row " time-sliced and informational only)@."
+  | _ -> ());
+  if !json_out then begin
+    let out = open_out "BENCH_multicore.json" in
+    output_string out (multicore_to_json ~cores rows);
+    close_out out;
+    row "wrote BENCH_multicore.json@."
+  end
+
 (* ------------------------------------------------------------------ CLI *)
 
 let all = [
@@ -847,6 +924,7 @@ let all = [
   ("fig10", fig10); ("fig11", fig11); ("table5", table5); ("fig12", fig12);
   ("pmd", pmd_exp); ("stages", stages_exp); ("ablations", ablations);
   ("chaos", chaos_exp); ("ccache", ccache_exp); ("mc", mc_exp);
+  ("multicore", multicore_exp);
 ]
 
 let () =

@@ -246,7 +246,7 @@ let add_port ?(queues_override = None) t (dev : Ovs_netdev.Netdev.t) : int =
         let umem = Ovs_xsk.Umem.create ~n_frames:(fpq * n) ~ring_size:2048 () in
         let pool =
           Ovs_xsk.Umempool.create ~n_frames:(fpq * n)
-            ~strategy:(afxdp_opts t).lock
+            ~strategy:(afxdp_opts t).lock ()
         in
         (* keep half of each queue's frame share in the fill ring so a
            shrunken umem still leaves the pool headroom *)

@@ -175,7 +175,9 @@ type tracked_ring = {
 
 type model = {
   rig : Scenario.rig;
-  rt : Pmd.t;
+  rt : Pmd.t;  (** runtime introspection (pmds, rxqs, assignment) *)
+  eng : Ovs_datapath.Engine_vt.t;
+      (** the rig's engine — the explorer's step access goes through it *)
   health : Health.t;
   by_id : (int * Pmd.pmd) list;  (** pmd id -> runtime pmd *)
   ports : port_view array;  (** p0 first *)
@@ -274,8 +276,8 @@ let build ?mutation mode =
                 {
                   tr_label = p label;
                   tr_ring = r;
-                  tr_prod = r.Ring.prod;
-                  tr_cons = r.Ring.cons;
+                  tr_prod = Ring.prod_idx r;
+                  tr_cons = Ring.cons_idx r;
                 }
               in
               track "fill" pv.pv_umem.Umem.fill
@@ -294,6 +296,7 @@ let build ?mutation mode =
   {
     rig;
     rt;
+    eng = rig.Scenario.r_eng;
     health;
     by_id = List.map (fun p -> (Pmd.pmd_id p, p)) (Pmd.pmds rt);
     ports;
@@ -343,7 +346,7 @@ let apply_mutation m step =
           (* grant a frame that is still posted on the fill ring *)
           let fill = pv0.pv_umem.Umem.fill in
           if Ring.available fill > 0 then
-            let d = fill.Ring.entries.(fill.Ring.cons land fill.Ring.mask) in
+            let d = Ring.peek fill 0 in
             Umempool.put pv0.pv_pool d.Ring.addr
       | M_second_claim, S_health ->
           (* a second thread claims queue 0's SPSC rings *)
@@ -370,7 +373,7 @@ let apply_mutation m step =
           (* the rx consumer index moves backwards while the ring is
              otherwise quiet *)
           let rx = pv0.pv_xsks.(0).Xsk.rx in
-          if rx.Ring.cons > 0 then rx.Ring.cons <- rx.Ring.cons - 1
+          if Ring.cons_idx rx > 0 then Ring.corrupt_rewind_cons rx
       | M_untraced_charge, S_retry p ->
           (* PMD-side work the stage tracer never sees *)
           Cpu.charge (Pmd.pmd_ctx (pmd_of m p)) Cpu.User 500.
@@ -388,16 +391,16 @@ let exec_step m tid =
       (match step with
       | S_poll (p, q) ->
           let pmd = pmd_of m p in
-          ignore (Pmd.step_poll m.rt pmd (rxq_of pmd q) : int)
-      | S_retry p -> Pmd.step_retry m.rt (pmd_of m p)
-      | S_drain p -> Pmd.step_drain m.rt (pmd_of m p)
+          ignore (Ovs_datapath.Engine_vt.step_poll m.eng pmd (rxq_of pmd q) : int)
+      | S_retry p -> Ovs_datapath.Engine_vt.step_retry m.eng (pmd_of m p)
+      | S_drain p -> Ovs_datapath.Engine_vt.step_drain m.eng (pmd_of m p)
       | S_fault_tick -> fault_tick m
       | S_health -> ignore (Health.check m.health ~now:m.now : int)
       | S_reclaim ->
           Array.iter
             (fun pv -> ignore (Umempool.reclaim_leaked pv.pv_pool : int))
             m.ports
-      | S_crash_sweep -> Pmd.handle_crashes m.rt);
+      | S_crash_sweep -> Ovs_datapath.Engine_vt.handle_crashes m.eng);
       apply_mutation m step
     end
   end
@@ -413,20 +416,21 @@ let check_rings m =
   Array.iter
     (fun tr ->
       let r = tr.tr_ring in
-      if r.Ring.prod < tr.tr_prod then
+      let prod = Ring.prod_idx r and cons = Ring.cons_idx r in
+      if prod < tr.tr_prod then
         fail O_ring "%s producer rewound (%d -> %d)" tr.tr_label tr.tr_prod
-          r.Ring.prod;
-      if r.Ring.cons < tr.tr_cons then
+          prod;
+      if cons < tr.tr_cons then
         fail O_ring "%s consumer rewound (%d -> %d)" tr.tr_label tr.tr_cons
-          r.Ring.cons;
-      if r.Ring.cons > r.Ring.prod then
-        fail O_ring "%s consumer ahead of producer (%d > %d)" tr.tr_label
-          r.Ring.cons r.Ring.prod;
-      if r.Ring.prod - r.Ring.cons > r.Ring.size then
+          cons;
+      if cons > prod then
+        fail O_ring "%s consumer ahead of producer (%d > %d)" tr.tr_label cons
+          prod;
+      if prod - cons > Ring.size r then
         fail O_ring "%s holds %d descriptors in a %d-slot ring" tr.tr_label
-          (r.Ring.prod - r.Ring.cons) r.Ring.size;
-      tr.tr_prod <- r.Ring.prod;
-      tr.tr_cons <- r.Ring.cons)
+          (prod - cons) (Ring.size r);
+      tr.tr_prod <- prod;
+      tr.tr_cons <- cons)
     m.rings;
   List.iter
     (fun (_, q, pmd) ->
@@ -459,7 +463,7 @@ let check_frames m =
       in
       let visit_ring where (r : Ring.t) =
         for i = 0 to Ring.available r - 1 do
-          visit where r.Ring.entries.((r.Ring.cons + i) land r.Ring.mask).Ring.addr
+          visit where (Ring.peek r i).Ring.addr
         done
       in
       let pool = pv.pv_pool in

@@ -14,6 +14,9 @@ module Dpif = Ovs_datapath.Dpif
 module Pmd = Ovs_datapath.Pmd
 module Health = Ovs_datapath.Health
 module Faults = Ovs_faults.Faults
+module Engine = Ovs_datapath.Engine
+module Engine_vt = Ovs_datapath.Engine_vt
+module Engine_domains = Ovs_datapath.Engine_domains
 
 type virt = Vm_tap | Vm_vhost | Ct_veth | Ct_xdp | Ct_afpacket
 
@@ -94,6 +97,10 @@ type config = {
   retry_capacity : int;
       (** per-PMD retry queue bound — the schedule explorer shrinks both
           so its bounded-queue oracle bites at tiny packet counts *)
+  engine : Engine.mode;
+      (** which execution engine drives the PMD leg: [`Vt] (default) is
+          the deterministic virtual-time scheduler; [`Domains n] runs the
+          P2P rig on [n] real OCaml domains and measures wall-clock Mpps *)
 }
 
 let default_config =
@@ -118,6 +125,7 @@ let default_config =
     ct_zone = None;
     upcall_capacity = 512;
     retry_capacity = 256;
+    engine = `Vt;
   }
 
 (** Builder over {!default_config}, so call sites survive new fields. *)
@@ -132,10 +140,11 @@ let config ?(kind = default_config.kind) ?(topology = default_config.topology)
     ?(strict_match = default_config.strict_match)
     ?(ct_zone = default_config.ct_zone)
     ?(upcall_capacity = default_config.upcall_capacity)
-    ?(retry_capacity = default_config.retry_capacity) () =
+    ?(retry_capacity = default_config.retry_capacity)
+    ?(engine = default_config.engine) () =
   { kind; topology; n_flows; frame_len; queues; gbps; warmup; measure; cache;
     ccache; mix; n_pmds; n_rxqs; trace; faults; rx_policy; strict_match;
-    ct_zone; upcall_capacity; retry_capacity }
+    ct_zone; upcall_capacity; retry_capacity; engine }
 
 let is_userspace = function
   | Dpif.Dpdk | Dpif.Afxdp _ -> true
@@ -163,6 +172,9 @@ type rig = {
   r_vport : int;
   r_pmd_v : Cpu.ctx option;
   r_gen : Pktgen.t;
+  r_eng : Engine_vt.t;
+      (** the virtual-time engine wrapping the pmd leg; the schedule
+          explorer reaches its fine-grained steps through this *)
 }
 
 let setup (cfg : config) : rig =
@@ -347,21 +359,18 @@ let setup (cfg : config) : rig =
     r_vport = vport;
     r_pmd_v = pmd_v;
     r_gen = gen;
+    r_eng =
+      Engine_vt.create ~dp ~machine ~softirq:sirq ~legacy:pmds ~rt ~port_no:p0
+        ~queues ();
   }
 
 let batch = 32
 
-(* One poll sweep over the rig: every PMD (or legacy per-queue context)
-   once, plus the virtual endpoint's return port. *)
+(* One poll sweep over the rig: the engine advances the phy leg (every
+   PMD — or legacy per-queue context — polls once; byte-identical to the
+   pre-engine loop), plus the virtual endpoint's return port. *)
 let poll_sweep (r : rig) =
-  (match r.r_rt with
-  | Some rt -> ignore (Pmd.poll_all rt)
-  | None ->
-      for q = 0 to r.r_queues - 1 do
-        ignore
-          (Dpif.poll r.r_dp ~softirq:r.r_sirq.(q) ~pmd:r.r_pmds.(q)
-             ~port_no:r.r_p0 ~queue:q ())
-      done);
+  ignore (Engine_vt.step r.r_eng : int);
   match (r.r_vdev, r.r_pmd_v) with
   | Some _, Some pmd_vm ->
       ignore
@@ -376,6 +385,7 @@ let drive (r : rig) n =
       ignore (Netdev.rss_enqueue r.r_phy0 (Pktgen.next r.r_gen) : bool);
       incr injected
     done;
+    Engine_vt.note_offered r.r_eng batch;
     poll_sweep r
   done
 
@@ -422,7 +432,68 @@ let measure_phase (r : rig) n =
   in
   (delivered, float_of_int delivered /. wall *. 1e9)
 
+(* -- the real-parallelism leg: [`Domains n] -- *)
+
+(** Drive the P2P scenario through {!Ovs_datapath.Engine_domains}: the
+    generator's pre-built templates become the injector's wire frames,
+    [cfg.measure] packets are offered, and the readout is wall-clock
+    Mpps. Returns the engine stats and any oracle violations (empty with
+    [oracles:false], the default). Only P2P is meaningful here — the
+    virtual endpoints are virtual-time constructs. *)
+let run_multicore ?(oracles = false) ?lock ?frames_per_queue ?ring_size
+    (cfg : config) ~n_domains () : Engine.stats * string list =
+  if cfg.topology <> P2P then
+    invalid_arg "Scenario.run_multicore: only P2P runs on real domains";
+  let gen =
+    Pktgen.create ~mix:cfg.mix ~n_flows:cfg.n_flows ~frame_len:cfg.frame_len ()
+  in
+  let templates =
+    Array.map
+      (fun (b : Ovs_packet.Buffer.t) ->
+        Bytes.sub b.Ovs_packet.Buffer.data b.Ovs_packet.Buffer.start
+          b.Ovs_packet.Buffer.len)
+      gen.Pktgen.templates
+  in
+  let ecfg =
+    Engine_domains.config ~n_domains ~frame_len:cfg.frame_len
+      ~target:cfg.measure ~upcall_capacity:cfg.upcall_capacity ~oracles
+      ?lock ?frames_per_queue ?ring_size
+      ~translate:(fun _ -> true) (* P2P: one wildcard rule, port0 -> port1 *)
+      ~templates ()
+  in
+  let eng = Engine_domains.create ecfg in
+  Engine_domains.start eng;
+  let stats = Engine_domains.stop eng in
+  (stats, Engine_domains.violations eng)
+
+(* Adapt engine stats to the scenario result shape: wall-clock rate, no
+   virtual-time CPU breakdown (domains burn real cores; the Table 4
+   accounting belongs to the [`Vt] engine). *)
+let result_of_engine_stats (s : Engine.stats) : result =
+  let machine = Cpu.create () in
+  {
+    rate_mpps = s.Engine.s_mpps;
+    wall_ns = s.Engine.s_wall_ns;
+    cpu = Cpu.breakdown ~poll_floor:[] machine ~wall:1.;
+    packets = s.Engine.s_delivered;
+    line_limited = false;
+    pmds = [];
+    busy_ns =
+      List.fold_left
+        (fun a (u : Engine.unit_load) -> a +. u.Engine.ul_busy_ns)
+        0. s.Engine.s_units_detail;
+    stage_trace = None;
+  }
+
 let run (cfg : config) : result =
+  match cfg.engine with
+  | `Domains n ->
+      let stats, viols = run_multicore cfg ~n_domains:n () in
+      List.iter
+        (fun v -> Fmt.epr "[multicore] oracle violation: %s@." v)
+        viols;
+      result_of_engine_stats stats
+  | `Vt ->
   let r = setup cfg in
   let machine = r.r_machine and dp = r.r_dp and rt = r.r_rt in
   (* warm up caches and megaflows, then measure from a clean slate *)

@@ -1,0 +1,66 @@
+(** A bounded single-producer/single-consumer queue of boxed values — the
+    cross-domain sibling of {!Ring} for things that aren't frame
+    descriptors. The domains engine uses one per PMD for the upcall path
+    (PMD domain produces, revalidator domain consumes) and one per PMD for
+    the flow-install responses flowing back.
+
+    Same publication protocol as the atomic {!Ring}: the producer writes
+    the slot, then publishes the producer cursor with [Atomic.set]; the
+    consumer reads the producer cursor with [Atomic.get], then the slot.
+    OCaml atomics are sequentially consistent, so the slot write
+    happens-before the slot read. The consumer clears each slot to [None]
+    after taking it — both so the GC can reclaim the value and so slot
+    reuse by the producer never races the consumer (the cleared slot is
+    republished to the producer through the consumer-cursor store). *)
+
+type 'a t = {
+  capacity : int;  (** bound enforced on [try_push] *)
+  mask : int;
+  slots : 'a option array;  (** length = capacity rounded up to a power of 2 *)
+  prod : int Atomic.t;  (** written by the producer only *)
+  cons : int Atomic.t;  (** written by the consumer only *)
+}
+
+let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (k * 2)
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Spscq.create: capacity must be positive";
+  let n = pow2_at_least capacity 1 in
+  {
+    capacity;
+    mask = n - 1;
+    slots = Array.make n None;
+    prod = Atomic.make 0;
+    cons = Atomic.make 0;
+  }
+
+let capacity t = t.capacity
+
+(** Racy-but-conservative occupancy snapshot (exact from either owning
+    side for its own next operation). *)
+let length t = Atomic.get t.prod - Atomic.get t.cons
+
+let is_empty t = length t = 0
+
+(** Producer side. [false] when the queue already holds [capacity]
+    elements — the bounded-queue backpressure the upcall path relies on. *)
+let try_push t v =
+  let p = Atomic.get t.prod in
+  if p - Atomic.get t.cons >= t.capacity then false
+  else begin
+    t.slots.(p land t.mask) <- Some v;
+    Atomic.set t.prod (p + 1);
+    true
+  end
+
+(** Consumer side. *)
+let try_pop t =
+  let c = Atomic.get t.cons in
+  if Atomic.get t.prod - c = 0 then None
+  else begin
+    let i = c land t.mask in
+    let v = t.slots.(i) in
+    t.slots.(i) <- None;
+    Atomic.set t.cons (c + 1);
+    v
+  end

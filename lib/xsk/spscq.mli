@@ -1,0 +1,30 @@
+(** A bounded single-producer/single-consumer queue of boxed values — the
+    cross-domain sibling of {!Ring} for values that aren't frame
+    descriptors. The domains engine uses one per PMD for upcalls (PMD
+    produces, revalidator consumes) and one per PMD for the flow-install
+    responses flowing back. Follows the same Atomic publication protocol
+    as the atomic {!Ring}; see DESIGN.md for the memory-model argument.
+
+    Safe for exactly one producer domain and one consumer domain. The
+    capacity bound is exact: {!try_push} refuses once [capacity] elements
+    are pending, which is the backpressure the bounded upcall path is
+    built on. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument when [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Racy-but-conservative occupancy snapshot; exact from either owning
+    side for its own next operation. *)
+
+val is_empty : 'a t -> bool
+
+val try_push : 'a t -> 'a -> bool
+(** Producer side; [false] when full (bounded-queue backpressure). *)
+
+val try_pop : 'a t -> 'a option
+(** Consumer side. *)

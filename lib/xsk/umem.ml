@@ -22,8 +22,8 @@ let create ?(frame_size = default_frame_size)
     frame_headroom;
     n_frames;
     data = Bytes.make (frame_size * n_frames) '\000';
-    fill = Ring.create ~size:ring_size;
-    completion = Ring.create ~size:ring_size;
+    fill = Ring.create ~size:ring_size ();
+    completion = Ring.create ~size:ring_size ();
   }
 
 (** Byte offset of frame [idx]'s packet area (after headroom). *)

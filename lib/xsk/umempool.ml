@@ -46,18 +46,50 @@ type t = {
   stats : stats;
   mutable leaked : int list;
       (** frames a leak fault diverted out of circulation *)
+  lk : Mutex.t;
+      (** the real lock, taken only in [contended] mode (domains engine) *)
+  contended : bool;
 }
 
-let create ~n_frames ~strategy =
+(** [~contended:true] arms the real [Mutex.t] for cross-domain use: every
+    pool operation then runs inside an actual critical section, and the
+    non-batched strategies additionally pay one real acquisition per frame
+    (the pre-O3 behaviour) so O3's one-lock-per-batch advantage is
+    measurable in wall-clock time, not just in charged cycles. The
+    default (virtual-time single-thread mode) takes no lock at all and is
+    byte-identical to the pre-redesign pool. *)
+let create ?(contended = false) ~n_frames ~strategy () =
   {
     free = Array.init n_frames (fun i -> n_frames - 1 - i);
     top = n_frames;
     strategy;
     stats = { lock_acquisitions = 0; frame_ops = 0; batch_ops = 0; exhausted = 0 };
     leaked = [];
+    lk = Mutex.create ();
+    contended;
   }
 
+let is_contended t = t.contended
+
 let available t = t.top
+
+(* Run [f] as the operation's critical section. In contended mode the
+   data-structure work happens under one real acquisition, then [locks - 1]
+   further acquire/release pairs generate the per-frame lock traffic the
+   non-batched strategies (Mutex, Spinlock) are charged for — real
+   cache-line contention proportional to the modeled acquisition count. *)
+let with_lock t ~locks f =
+  if not t.contended then f ()
+  else begin
+    Mutex.lock t.lk;
+    let r = try f () with e -> Mutex.unlock t.lk; raise e in
+    Mutex.unlock t.lk;
+    for _ = 2 to locks do
+      Mutex.lock t.lk;
+      Mutex.unlock t.lk
+    done;
+    r
+  end
 
 let lock_once t = t.stats.lock_acquisitions <- t.stats.lock_acquisitions + 1
 
@@ -78,6 +110,7 @@ let apply_leak t =
 
 (** Take one frame, locking per the strategy. [None] when exhausted. *)
 let get t =
+  with_lock t ~locks:1 @@ fun () ->
   lock_once t;
   t.stats.frame_ops <- t.stats.frame_ops + 1;
   if Faults.umem_exhausted () then begin
@@ -97,6 +130,7 @@ let get t =
   end
 
 let put t frame =
+  with_lock t ~locks:1 @@ fun () ->
   lock_once t;
   t.stats.frame_ops <- t.stats.frame_ops + 1;
   t.free.(t.top) <- frame;
@@ -110,8 +144,9 @@ let put t frame =
     [stats.exhausted] grows by the shortfall. The returned length is the
     only truth about how many frames the caller now owns. *)
 let get_batch t n =
-  t.stats.batch_ops <- t.stats.batch_ops + 1;
   let locks = match t.strategy with Spinlock_batched -> 1 | Mutex | Spinlock -> n in
+  with_lock t ~locks @@ fun () ->
+  t.stats.batch_ops <- t.stats.batch_ops + 1;
   t.stats.lock_acquisitions <- t.stats.lock_acquisitions + locks;
   t.stats.frame_ops <- t.stats.frame_ops + n;
   if Faults.umem_exhausted () then begin
@@ -137,9 +172,10 @@ let get_batch t n =
 let alloc_batch = get_batch
 
 let put_batch t frames =
-  t.stats.batch_ops <- t.stats.batch_ops + 1;
   let n = List.length frames in
   let locks = match t.strategy with Spinlock_batched -> 1 | Mutex | Spinlock -> n in
+  with_lock t ~locks @@ fun () ->
+  t.stats.batch_ops <- t.stats.batch_ops + 1;
   t.stats.lock_acquisitions <- t.stats.lock_acquisitions + locks;
   t.stats.frame_ops <- t.stats.frame_ops + n;
   List.iter

@@ -40,9 +40,19 @@ type t = {
   stats : stats;
   mutable leaked : int list;
       (** frames diverted by a leak fault, awaiting {!reclaim_leaked} *)
+  lk : Mutex.t;
+      (** the real lock, taken only in [contended] mode (domains engine) *)
+  contended : bool;
 }
 
-val create : n_frames:int -> strategy:lock_strategy -> t
+val create : ?contended:bool -> n_frames:int -> strategy:lock_strategy -> unit -> t
+(** [~contended:true] (default [false]) arms the real [Mutex.t]: every
+    operation then runs in an actual critical section, and the non-batched
+    strategies pay one real acquisition per frame so O3's batching shows
+    up in wall-clock time under the domains engine. The default takes no
+    lock and is byte-identical to the virtual-time pool it replaces. *)
+
+val is_contended : t -> bool
 
 val available : t -> int
 

@@ -11,6 +11,14 @@ type t = {
   pool : Umempool.t;
   rx : Ring.t;
   tx : Ring.t;
+  fill : Ring.t;
+      (** the fill ring this socket posts to. By default the umem's shared
+          fill ring (the classic single-socket-per-umem layout); with
+          [~atomic:true] a private per-socket ring, as in XDP_SHARED_UMEM
+          mode where every socket sharing a umem registers its own
+          fill/completion rings — which is what keeps each ring SPSC when
+          sockets are polled by different domains. *)
+  comp : Ring.t;  (** completion ring; same sharing rule as [fill] *)
   queue_id : int;
   mutable rx_delivered : int;
   mutable rx_dropped_no_frame : int;  (** fill ring empty on arrival *)
@@ -27,13 +35,23 @@ type t = {
 
 let default_fill_target = 1024
 
-let create ?(ring_size = 2048) ?(fill_target = default_fill_target) ~umem ~pool
-    ~queue_id () =
+(** [~atomic:true] builds the socket for cross-domain use: rx/tx cursors
+    become [Atomic.t] SPSC cursors, and the socket gets {e private}
+    fill/completion rings over the shared umem (XDP_SHARED_UMEM style)
+    instead of using the umem's, so each ring still has exactly one
+    producer and one consumer when the kernel side and the PMD side run
+    on different domains. *)
+let create ?(ring_size = 2048) ?(fill_target = default_fill_target)
+    ?(atomic = false) ~umem ~pool ~queue_id () =
   {
     umem;
     pool;
-    rx = Ring.create ~size:ring_size;
-    tx = Ring.create ~size:ring_size;
+    rx = Ring.create ~atomic ~size:ring_size ();
+    tx = Ring.create ~atomic ~size:ring_size ();
+    fill = (if atomic then Ring.create ~atomic ~size:ring_size () else umem.Umem.fill);
+    comp =
+      (if atomic then Ring.create ~atomic ~size:ring_size ()
+       else umem.Umem.completion);
     queue_id;
     rx_delivered = 0;
     rx_dropped_no_frame = 0;
@@ -57,14 +75,14 @@ let owner t = t.owner_pmd
     empty fill ring. Frames the ring refuses go straight back to the
     pool; returns the number actually posted. *)
 let refill t n =
-  let deficit = t.fill_target - Ring.available t.umem.Umem.fill in
+  let deficit = t.fill_target - Ring.available t.fill in
   let want = Int.max n deficit in
   if want <= 0 then 0
   else
     let frames = Umempool.get_batch t.pool want in
     List.fold_left
       (fun posted f ->
-        if Ring.push t.umem.Umem.fill { Ring.addr = f; len = 0 } then posted + 1
+        if Ring.push t.fill { Ring.addr = f; len = 0 } then posted + 1
         else begin
           Umempool.put t.pool f;
           posted
@@ -83,7 +101,7 @@ let kernel_rx t (wire : Bytes.t) ~len =
     false
   end
   else
-  match Ring.pop t.umem.Umem.fill with
+  match Ring.pop t.fill with
   | None ->
       t.rx_dropped_no_frame <- t.rx_dropped_no_frame + 1;
       Ovs_sim.Coverage.incr cov_rx_no_frame;
@@ -96,7 +114,7 @@ let kernel_rx t (wire : Bytes.t) ~len =
       end
       else begin
         (* rx ring full: frame goes back to the fill ring, packet is lost *)
-        ignore (Ring.push t.umem.Umem.fill { Ring.addr = frame; len = 0 });
+        ignore (Ring.push t.fill { Ring.addr = frame; len = 0 });
         t.rx_dropped_ring_full <- t.rx_dropped_ring_full + 1;
         Ovs_sim.Coverage.incr cov_rx_ring_full;
         false
@@ -126,9 +144,9 @@ let flush_tx t =
       let frames = List.map (fun d -> d.Ring.addr) descs in
       (* completion-ring round trip, then frames return to the pool *)
       List.iter
-        (fun f -> ignore (Ring.push t.umem.Umem.completion { Ring.addr = f; len = 0 }))
+        (fun f -> ignore (Ring.push t.comp { Ring.addr = f; len = 0 }))
         frames;
-      let done_ = Ring.pop_burst t.umem.Umem.completion ~max:max_int in
+      let done_ = Ring.pop_burst t.comp ~max:max_int in
       Umempool.put_batch t.pool (List.map (fun d -> d.Ring.addr) done_);
       t.tx_sent <- t.tx_sent + List.length descs;
       List.length descs

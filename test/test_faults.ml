@@ -34,7 +34,7 @@ let window ?(name = "w") action ~at ~dur =
 (* -- umempool: partial batches, drain/refill, no double grant -- *)
 
 let test_partial_batch () =
-  let pool = Umempool.create ~n_frames:8 ~strategy:Umempool.Spinlock_batched in
+  let pool = Umempool.create ~n_frames:8 ~strategy:Umempool.Spinlock_batched () in
   let got = Umempool.alloc_batch pool 12 in
   Alcotest.(check int) "partial batch returns every free frame" 8
     (List.length got);
@@ -51,7 +51,7 @@ let prop_no_double_grant =
   QCheck.Test.make ~count:100 ~name:"drain/refill never double-grants a frame"
     QCheck.(list_of_size Gen.(int_range 1 60) (int_range 1 12))
     (fun requests ->
-      let pool = Umempool.create ~n_frames:32 ~strategy:Umempool.Spinlock in
+      let pool = Umempool.create ~n_frames:32 ~strategy:Umempool.Spinlock () in
       let held = Hashtbl.create 64 in
       let ok = ref true in
       List.iteri
@@ -76,7 +76,7 @@ let prop_no_double_grant =
       && Hashtbl.length held + Umempool.available pool = 32)
 
 let test_leak_and_reclaim () =
-  let pool = Umempool.create ~n_frames:64 ~strategy:Umempool.Spinlock in
+  let pool = Umempool.create ~n_frames:64 ~strategy:Umempool.Spinlock () in
   let plan =
     Faults.plan ~name:"leak"
       [ window (Faults.Umem_leak { frames = 16 }) ~at:0. ~dur:(Time.ms 1.) ]
@@ -94,7 +94,7 @@ let test_leak_and_reclaim () =
       Alcotest.(check int) "quarantine empty" 0 (Umempool.leaked_count pool))
 
 let test_exhaustion_window () =
-  let pool = Umempool.create ~n_frames:8 ~strategy:Umempool.Spinlock in
+  let pool = Umempool.create ~n_frames:8 ~strategy:Umempool.Spinlock () in
   let plan =
     Faults.plan ~name:"exhaust"
       [ window Faults.Umem_exhaust ~at:0. ~dur:(Time.us 10.) ]

@@ -7,7 +7,7 @@ let check = Alcotest.check
 (* -- Ring -- *)
 
 let test_ring_fifo () =
-  let r = Ring.create ~size:8 in
+  let r = Ring.create ~size:8 () in
   for i = 1 to 5 do
     Alcotest.(check bool) "push" true (Ring.push r { Ring.addr = i; len = i })
   done;
@@ -18,7 +18,7 @@ let test_ring_fifo () =
   done
 
 let test_ring_full_empty () =
-  let r = Ring.create ~size:4 in
+  let r = Ring.create ~size:4 () in
   Alcotest.(check bool) "empty" true (Ring.is_empty r);
   for i = 1 to 4 do
     Alcotest.(check bool) "fills" true (Ring.push r { Ring.addr = i; len = 0 })
@@ -29,7 +29,7 @@ let test_ring_full_empty () =
   check Alcotest.int "available" 4 (Ring.available r)
 
 let test_ring_wraparound () =
-  let r = Ring.create ~size:4 in
+  let r = Ring.create ~size:4 () in
   for round = 1 to 10 do
     Alcotest.(check bool) "push" true (Ring.push r { Ring.addr = round; len = 0 });
     match Ring.pop r with
@@ -38,7 +38,7 @@ let test_ring_wraparound () =
   done
 
 let test_ring_pop_burst () =
-  let r = Ring.create ~size:16 in
+  let r = Ring.create ~size:16 () in
   for i = 1 to 10 do
     ignore (Ring.push r { Ring.addr = i; len = 0 })
   done;
@@ -51,21 +51,21 @@ let test_ring_pop_burst () =
   check Alcotest.int "remaining" 6 (Ring.available r)
 
 let test_ring_push_burst_partial () =
-  let r = Ring.create ~size:4 in
+  let r = Ring.create ~size:4 () in
   let n = Ring.push_burst r (List.init 6 (fun i -> { Ring.addr = i; len = 0 })) in
   check Alcotest.int "only capacity accepted" 4 n
 
 let test_ring_rejects_bad_size () =
   Alcotest.check_raises "non power of two"
     (Invalid_argument "Ring.create: size must be a positive power of two")
-    (fun () -> ignore (Ring.create ~size:6))
+    (fun () -> ignore (Ring.create ~size:6 ()))
 
 let test_ring_op_counting () =
-  let r = Ring.create ~size:8 in
+  let r = Ring.create ~size:8 () in
   ignore (Ring.push r { Ring.addr = 0; len = 0 });
   ignore (Ring.pop r);
   ignore (Ring.pop_burst r ~max:4);
-  check Alcotest.int "ops counted" 3 r.Ring.ops
+  check Alcotest.int "ops counted" 3 (Ring.ops r)
 
 (* -- Umem -- *)
 
@@ -97,7 +97,7 @@ let test_umem_frame_overflow () =
 (* -- Umempool -- *)
 
 let test_umempool_get_put () =
-  let p = Umempool.create ~n_frames:4 ~strategy:Umempool.Spinlock in
+  let p = Umempool.create ~n_frames:4 ~strategy:Umempool.Spinlock () in
   check Alcotest.int "initially full" 4 (Umempool.available p);
   let f1 = Umempool.get p in
   Alcotest.(check bool) "got a frame" true (f1 <> None);
@@ -106,7 +106,7 @@ let test_umempool_get_put () =
   check Alcotest.int "returned" 4 (Umempool.available p)
 
 let test_umempool_exhaustion () =
-  let p = Umempool.create ~n_frames:2 ~strategy:Umempool.Spinlock in
+  let p = Umempool.create ~n_frames:2 ~strategy:Umempool.Spinlock () in
   ignore (Umempool.get p);
   ignore (Umempool.get p);
   Alcotest.(check bool) "exhausted" true (Umempool.get p = None);
@@ -114,8 +114,8 @@ let test_umempool_exhaustion () =
 
 let test_umempool_batch_locking () =
   (* O3's point: batched strategy takes one lock per batch, not per frame *)
-  let batched = Umempool.create ~n_frames:64 ~strategy:Umempool.Spinlock_batched in
-  let unbatched = Umempool.create ~n_frames:64 ~strategy:Umempool.Spinlock in
+  let batched = Umempool.create ~n_frames:64 ~strategy:Umempool.Spinlock_batched () in
+  let unbatched = Umempool.create ~n_frames:64 ~strategy:Umempool.Spinlock () in
   ignore (Umempool.get_batch batched 32);
   ignore (Umempool.get_batch unbatched 32);
   check Alcotest.int "batched: one acquisition" 1
@@ -124,7 +124,7 @@ let test_umempool_batch_locking () =
     unbatched.Umempool.stats.Umempool.lock_acquisitions
 
 let test_umempool_distinct_frames () =
-  let p = Umempool.create ~n_frames:16 ~strategy:Umempool.Mutex in
+  let p = Umempool.create ~n_frames:16 ~strategy:Umempool.Mutex () in
   let frames = Umempool.get_batch p 16 in
   check Alcotest.int "all frames" 16 (List.length frames);
   let unique = List.sort_uniq compare frames in
@@ -134,8 +134,8 @@ let test_umempool_distinct_frames () =
 
 let test_umempool_lock_costs () =
   let c = Ovs_sim.Costs.default in
-  let mutex = Umempool.create ~n_frames:4 ~strategy:Umempool.Mutex in
-  let spin = Umempool.create ~n_frames:4 ~strategy:Umempool.Spinlock in
+  let mutex = Umempool.create ~n_frames:4 ~strategy:Umempool.Mutex () in
+  let spin = Umempool.create ~n_frames:4 ~strategy:Umempool.Spinlock () in
   Alcotest.(check bool) "mutex dearer (the O2 story)" true
     (Umempool.lock_cost mutex c > Umempool.lock_cost spin c)
 
@@ -143,7 +143,7 @@ let test_umempool_lock_costs () =
 
 let make_xsk () =
   let umem = Umem.create ~n_frames:64 ~ring_size:64 () in
-  let pool = Umempool.create ~n_frames:64 ~strategy:Umempool.Spinlock_batched in
+  let pool = Umempool.create ~n_frames:64 ~strategy:Umempool.Spinlock_batched () in
   Xsk.create ~ring_size:64 ~umem ~pool ~queue_id:0 ()
 
 let test_xsk_rx_path () =
@@ -215,7 +215,7 @@ let prop_ring_sequence =
   QCheck.Test.make ~count:100 ~name:"ring preserves any push/pop interleaving"
     QCheck.(list_of_size Gen.(int_range 1 200) bool)
     (fun ops ->
-      let r = Ring.create ~size:16 in
+      let r = Ring.create ~size:16 () in
       let next = ref 0 and expect = ref 0 and ok = ref true in
       List.iter
         (fun push ->
