@@ -1,5 +1,5 @@
 # Tier-1 verification in one command.
-.PHONY: all check build test smoke bench chaos ccache mc multicore clean
+.PHONY: all check build test smoke bench chaos ccache mc multicore latency ndr clean
 
 all: build
 
@@ -42,7 +42,20 @@ mc:
 multicore:
 	dune exec bench/main.exe -- multicore --json
 
-check: build test smoke chaos ccache mc multicore
+# Per-packet sojourn-time distributions: the offered-load ladder, bursty
+# on-off rung and 1-4 hop service chains per leg, gated on timestamp
+# conservation (samples == delivered), zero loss below capacity and
+# p99/p50 tail shape. Writes BENCH_latency.json.
+latency:
+	dune exec bench/main.exe -- latency --json
+
+# RFC 2544 non-drop-rate binary search per leg; the reported rate must
+# re-probe loss-free and sit below every losing probe. Writes
+# BENCH_ndr.json.
+ndr:
+	dune exec bench/main.exe -- ndr --json
+
+check: build test smoke chaos ccache mc multicore latency ndr
 
 bench:
 	dune exec bench/main.exe

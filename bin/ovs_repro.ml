@@ -39,11 +39,15 @@ let topology_conv =
     | "pcp-veth" -> Ok (Scenario.PCP Scenario.Ct_veth)
     | "pcp-xdp" -> Ok (Scenario.PCP Scenario.Ct_xdp)
     | "pcp-afpacket" -> Ok (Scenario.PCP Scenario.Ct_afpacket)
+    | "chain-2" -> Ok (Scenario.Chain (Scenario.Vm_vhost, 2))
+    | "chain-3" -> Ok (Scenario.Chain (Scenario.Vm_vhost, 3))
+    | "chain-4" -> Ok (Scenario.Chain (Scenario.Vm_vhost, 4))
     | s ->
         Error
           (`Msg
             (Printf.sprintf
-               "unknown topology %S (p2p|pvp-tap|pvp-vhost|pcp-veth|pcp-xdp|pcp-afpacket)"
+               "unknown topology %S \
+                (p2p|pvp-tap|pvp-vhost|pcp-veth|pcp-xdp|pcp-afpacket|chain-2..4)"
                s))
   in
   Arg.conv
@@ -51,7 +55,8 @@ let topology_conv =
       fun ppf -> function
         | Scenario.P2P -> Fmt.string ppf "p2p"
         | Scenario.PVP v -> Fmt.pf ppf "pvp-%s" (Scenario.virt_name v)
-        | Scenario.PCP v -> Fmt.pf ppf "pcp-%s" (Scenario.virt_name v) )
+        | Scenario.PCP v -> Fmt.pf ppf "pcp-%s" (Scenario.virt_name v)
+        | Scenario.Chain (_, n) -> Fmt.pf ppf "chain-%d" n )
 
 let scenario_cmd =
   let run datapath topology flows frame queues gbps =

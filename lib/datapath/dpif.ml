@@ -92,6 +92,10 @@ type t = {
   mutable active_queues : int;  (** queues observed carrying traffic *)
   metadata_pool : Ovs_xsk.Dp_packet_pool.t;
   vm : Ovs_ebpf.Vm.t;  (** scratch VM for any per-port XDP programs *)
+  latency : Ovs_sim.Quantiles.t;
+      (** per-packet sojourn times (ingress stamp to egress), recorded by
+          the egress sink via {!record_latency}; empty unless the traffic
+          rig arms latency measurement *)
 }
 
 let flavor_of_kind = function
@@ -124,6 +128,7 @@ let create ?(costs = Costs.default) ~kind ~pipeline () =
       Ovs_xsk.Dp_packet_pool.create ~mode:opts.metadata
         ~size:(Int.min 4096 opts.frames_per_queue);
     vm = Ovs_ebpf.Vm.create ();
+    latency = Ovs_sim.Quantiles.create ();
   }
 
 let port t no = List.find_opt (fun p -> p.port_no = no) t.ports
@@ -141,6 +146,7 @@ let batchf t = float_of_int (afxdp_opts t).batch_size
 let put_on_wire (dev : Ovs_netdev.Netdev.t) (pkt : Ovs_packet.Buffer.t) =
   let copy = Ovs_packet.Buffer.of_bytes (Ovs_packet.Buffer.contents pkt) in
   copy.Ovs_packet.Buffer.rss_hash <- pkt.Ovs_packet.Buffer.rss_hash;
+  copy.Ovs_packet.Buffer.birth_ns <- pkt.Ovs_packet.Buffer.birth_ns;
   Ovs_netdev.Netdev.transmit dev copy
 
 let tx_cost t (charge : Dp_core.charge_fn) (p : port) (pkt : Ovs_packet.Buffer.t) =
@@ -396,6 +402,7 @@ let poll t ~(softirq : Cpu.ctx) ~(pmd : Cpu.ctx) ?(max = 32) ~port_no ~queue ()
                   *. float_of_int (Ovs_packet.Buffer.length pkt));
               ignore
                 (Ovs_xsk.Xsk.kernel_rx xsk
+                   ~birth_ns:pkt.Ovs_packet.Buffer.birth_ns
                    (Ovs_packet.Buffer.contents pkt)
                    ~len:(Ovs_packet.Buffer.length pkt))
           | Ovs_ebpf.Vm.Tx ->
@@ -496,6 +503,7 @@ let set_xdp_program t ~port_no prog =
 let reset_measurement t =
   t.serialized_tx <- 0.;
   Dp_core.reset_counters t.core;
+  Ovs_sim.Quantiles.reset t.latency;
   match Dp_core.tracer t.core with
   | Some r -> Ovs_sim.Trace.reset r
   | None -> ()
@@ -508,6 +516,16 @@ let ports t = List.rev t.ports  (* in add order *)
 let stats = counters
 let serialized_tx t = t.serialized_tx
 let active_queues t = t.active_queues
+let latency t = t.latency
+
+(** Record one delivered packet's sojourn time: [now] minus the ingress
+    stamp. Unstamped packets (latency measurement off, or a generated
+    frame such as a GSO segment's sibling) record nothing — so dropped
+    packets can never leak samples; only an egress sink calls this. *)
+let record_latency t ~now (pkt : Ovs_packet.Buffer.t) =
+  let birth = pkt.Ovs_packet.Buffer.birth_ns in
+  if birth >= 0. then
+    Ovs_sim.Quantiles.add t.latency (Float.max 0. (now -. birth))
 
 (** Per-queue XSK sockets of an AF_XDP physical port (for the PMD runtime
     to claim ring ownership), or [None] for other attachments. *)

@@ -94,6 +94,17 @@ val serialized_tx : t -> Ovs_sim.Time.ns
 
 val active_queues : t -> int
 
+val latency : t -> Ovs_sim.Quantiles.t
+(** Per-packet sojourn-time sketch (ns, ingress stamp to egress). Filled
+    by {!record_latency}; empty unless the traffic rig arms latency
+    measurement. Reset by {!reset_measurement}. *)
+
+val record_latency : t -> now:float -> Ovs_packet.Buffer.t -> unit
+(** Record one {e delivered} packet's sojourn time ([now] minus its
+    [birth_ns] ingress stamp) into {!latency}. Unstamped packets
+    ([birth_ns < 0]) record nothing, so dropped packets never leak
+    samples — call this only from an egress sink. *)
+
 val fastpath_category : t -> Ovs_sim.Cpu.category
 (** The CPU category fast-path work lands in for this datapath's flavor. *)
 

@@ -43,6 +43,10 @@ type stats = {
           wall-clock for [`Domains] *)
   s_mpps : float;  (** delivered over [s_wall_ns] *)
   s_units_detail : unit_load list;
+  s_latency : Ovs_sim.Quantiles.t option;
+      (** per-packet sojourn-time sketch when latency measurement was
+          armed (virtual ns under [`Vt], wall ns under [`Domains];
+          per-domain sketches are merged into one on stop) *)
 }
 
 let mpps ~delivered ~wall_ns =

@@ -76,6 +76,9 @@ type config = {
   upcall_capacity : int;  (** per-PMD bound on the upcall queue *)
   emc_entries : int;
   oracles : bool;  (** arm the runtime invariant assertions *)
+  latency : bool;
+      (** stamp each injected frame with a monotonic wall-clock birth and
+          record per-packet sojourn times into per-domain sketches *)
   translate : FK.t -> bool;
       (** the slow path's verdict for a missed flow: forward or drop *)
 }
@@ -83,12 +86,13 @@ type config = {
 let config ?(n_domains = 2) ?(frame_len = 64) ?(target = 100_000)
     ?(batch = 32) ?(lock = Umempool.Spinlock_batched) ?(frames_per_queue = 2048)
     ?(ring_size = 1024) ?(upcall_capacity = 512) ?(emc_entries = 8192)
-    ?(oracles = false) ?(translate = fun _ -> true) ~templates () =
+    ?(oracles = false) ?(latency = false) ?(translate = fun _ -> true)
+    ~templates () =
   if n_domains < 1 then invalid_arg "Engine_domains.config: n_domains < 1";
   if Array.length templates = 0 then
     invalid_arg "Engine_domains.config: no templates";
   { n_domains; templates; frame_len; target; batch; lock; frames_per_queue;
-    ring_size; upcall_capacity; emc_entries; oracles; translate }
+    ring_size; upcall_capacity; emc_entries; oracles; latency; translate }
 
 (* Owner-written worker counters, read by the main domain after join. *)
 type wstats = {
@@ -122,6 +126,9 @@ type t = {
   viol_mu : Mutex.t;
   mutable violations : string list;
   ws : wstats array;  (** PMDs 0..n-1, revalidator n, injector n+1 *)
+  lat : Ovs_sim.Quantiles.t array;
+      (** per-domain sojourn sketches (PMDs 0..n-1, revalidator n):
+          owner-written, merged into one readout at snapshot time *)
   mutable workers : unit Domain.t list;
   mutable started : bool;
   mutable t_start : float;
@@ -204,6 +211,7 @@ let create (cfg : config) : t =
     viol_mu = Mutex.create ();
     violations = [];
     ws;
+    lat = Array.init (n + 1) (fun _ -> Ovs_sim.Quantiles.create ());
     workers = [];
     started = false;
     t_start = 0.;
@@ -278,7 +286,8 @@ let injector_body t () =
       done;
       check_ring t (Printf.sprintf "q%d.fill" q) xsk.Xsk.fill fill_cons.(q);
       let tpl = cfg.templates.(!sent mod n_tpl) in
-      let ok = Xsk.kernel_rx xsk tpl ~len:cfg.frame_len in
+      let birth_ns = if cfg.latency then now_ns () else -1. in
+      let ok = Xsk.kernel_rx xsk ~birth_ns tpl ~len:cfg.frame_len in
       Atomic.incr t.a_offered;
       ws.w_packets <- ws.w_packets + 1;
       if not ok then begin
@@ -359,7 +368,13 @@ let pmd_body t k () =
                 if
                   transmit_egress t egr ~src_start:buf.Buffer.start
                     ~len:buf.Buffer.len
-                then incr delivered
+                then begin
+                  incr delivered;
+                  let birth = buf.Buffer.birth_ns in
+                  if birth >= 0. then
+                    Ovs_sim.Quantiles.add t.lat.(k)
+                      (Float.max 0. (now_ns () -. birth))
+                end
                 else incr dropped;
                 recycle := frame :: !recycle
             | Some false ->
@@ -414,7 +429,13 @@ let reval_body t () =
           let ok = fwd && transmit_egress t egr ~src_start ~len in
           if ok then begin
             ws.w_delivered <- ws.w_delivered + 1;
-            Atomic.incr t.a_delivered
+            Atomic.incr t.a_delivered;
+            (* birth rides the ingress frame's metadata area — the slow
+               path's extra queueing is part of its sojourn *)
+            let birth = Umem.birth t.ing_umem frame in
+            if birth >= 0. then
+              Ovs_sim.Quantiles.add t.lat.(cfg.n_domains)
+                (Float.max 0. (now_ns () -. birth))
           end
           else begin
             ws.w_dropped <- ws.w_dropped + 1;
@@ -579,6 +600,15 @@ let snapshot t ~wall_ns =
                ul_packets = w.w_packets;
                ul_busy_ns = w.w_busy_ns;
              });
+    s_latency =
+      (if t.cfg.latency then begin
+         (* fold the owner-written per-domain sketches into one readout;
+            exact after stop (workers joined), a progress sample before *)
+         let merged = Ovs_sim.Quantiles.create () in
+         Array.iter (fun s -> Ovs_sim.Quantiles.merge ~into:merged s) t.lat;
+         Some merged
+       end
+       else None);
   }
 
 let stats t =

@@ -21,6 +21,10 @@ type config = {
   upcall_capacity : int;  (** per-PMD bound on the upcall queue *)
   emc_entries : int;
   oracles : bool;  (** arm the runtime invariant assertions *)
+  latency : bool;
+      (** stamp each injected frame with a monotonic wall-clock birth and
+          record per-packet sojourn times into per-domain sketches,
+          merged into [s_latency] at snapshot time *)
   translate : Ovs_packet.Flow_key.t -> bool;
       (** the slow path's verdict for a missed flow: forward or drop *)
 }
@@ -36,6 +40,7 @@ val config :
   ?upcall_capacity:int ->
   ?emc_entries:int ->
   ?oracles:bool ->
+  ?latency:bool ->
   ?translate:(Ovs_packet.Flow_key.t -> bool) ->
   templates:Bytes.t array ->
   unit ->

@@ -95,6 +95,7 @@ let stats t =
     s_wall_ns = wall;
     s_mpps = Engine.mpps ~delivered ~wall_ns:wall;
     s_units_detail = units_detail;
+    s_latency = Some (Dpif.latency t.dp);
   }
 
 let stop t = stats t

@@ -32,6 +32,10 @@ type t = {
   mutable ct_zone : int;
   mutable ct_mark : int;
   mutable tunnel : tunnel_md option;
+  mutable birth_ns : float;
+      (** ingress timestamp for sojourn-time measurement: virtual ns
+          under [Engine_vt], monotonic wall ns under [Engine_domains];
+          negative = unstamped (latency measurement off) *)
   regs : int array;
       (** pipeline metadata registers reg0..reg7 — like OVS's frozen
           translation state, they survive recirculation, which register-
@@ -57,6 +61,7 @@ let create ?(headroom = default_headroom) ~size () =
     ct_zone = 0;
     ct_mark = 0;
     tunnel = None;
+    birth_ns = -1.;
     regs = Array.make 8 0;
     offload = fresh_offload ();
   }
@@ -84,6 +89,7 @@ let reset_metadata t =
   t.ct_zone <- 0;
   t.ct_mark <- 0;
   t.tunnel <- None;
+  t.birth_ns <- -1.;
   Array.fill t.regs 0 8 0;
   t.offload.csum_good <- false;
   t.offload.csum_tx_offload <- false;

@@ -490,6 +490,29 @@ let cache_hierarchy_show (dp : Dpif.t) =
   | None -> add "  ccache: absent (never enabled)");
   Ok_output (String.concat "\n" (List.rev !lines))
 
+(** [ovs-appctl dpif/latency-show]: the per-packet sojourn-time
+    distribution of the datapath's latency sketch — count, mean and the
+    tail percentiles the NFV-benchmarking methodology reports, plus the
+    sketch's documented relative error bound. *)
+let latency_show (dp : Dpif.t) =
+  let q = Dpif.latency dp in
+  let lines = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> lines := s :: !lines) fmt in
+  let n = Ovs_sim.Quantiles.count q in
+  add "per-packet sojourn (ns): %d samples, +/-%.0f%% per quantile" n
+    (100. *. Ovs_sim.Quantiles.error_bound q);
+  if n = 0 then add "  (empty: run traffic with latency measurement armed)"
+  else begin
+    add "  %-6s %14s" "stat" "ns";
+    add "  %-6s %14.1f" "mean" (Ovs_sim.Quantiles.mean q);
+    List.iter
+      (fun (name, p) ->
+        add "  %-6s %14.1f" name (Ovs_sim.Quantiles.quantile q p))
+      [ ("min", 0.); ("p50", 50.); ("p95", 95.); ("p99", 99.);
+        ("p999", 99.9); ("max", 100.) ]
+  end;
+  Ok_output (String.concat "\n" (List.rev !lines))
+
 module Health = Ovs_datapath.Health
 module Faults = Ovs_faults.Faults
 
@@ -540,6 +563,7 @@ let appctl ?(pmds : Pmd.report list = []) ?(dp : Dpif.t option)
   | "coverage/show" -> Ok_output (coverage_show ())
   | "dpif/show-stage-cycles" -> with_dp show_stage_cycles
   | "dpif/cache-hierarchy-show" -> with_dp cache_hierarchy_show
+  | "dpif/latency-show" -> with_dp latency_show
   | "dpctl/dump-flows" -> with_dp dpctl_dump_flows
   | "fault/list" -> Ok_output (Faults.render ())
   | "fault/clear" ->

@@ -97,10 +97,12 @@ let catalog =
   ]
 
 let leg_config (s : spec) leg =
+  (* latency is armed on every leg so each run also proves timestamp
+     conservation under faults: samples recorded == packets delivered *)
   let base ~kind ~n_pmds ~n_rxqs ~queues =
     Scenario.config ~kind ~n_pmds ~n_rxqs ~queues ~n_flows:64 ~measure:20_000
       ~rx_policy:s.s_rx_policy ~strict_match:s.s_strict
-      ~ct_zone:s.s_ct_zone ()
+      ~ct_zone:s.s_ct_zone ~latency:true ()
   in
   match leg with
   | Kernel_leg -> base ~kind:Dpif.Kernel ~n_pmds:0 ~n_rxqs:0 ~queues:1
@@ -115,19 +117,27 @@ type row = {
   row_leg : leg;
   row_res : Scenario.chaos_result;
   row_recovered : bool;  (** post-recovery rate within 1% of baseline *)
-  row_pass : bool;  (** conservation exact and recovered *)
+  row_latency_ok : bool;
+      (** timestamp conservation: sojourn samples == delivered packets
+          (dropped/mangled/crash-killed packets leaked nothing) *)
+  row_pass : bool;  (** conservation exact, recovered, no leaked stamps *)
 }
 
 let judge plan leg (res : Scenario.chaos_result) =
   let recovered =
     res.Scenario.c_post_mpps >= 0.99 *. res.Scenario.c_baseline_mpps
   in
+  let latency_ok =
+    res.Scenario.c_latency_count < 0
+    || res.Scenario.c_latency_count = res.Scenario.c_delivered
+  in
   {
     row_plan = plan;
     row_leg = leg;
     row_res = res;
     row_recovered = recovered;
-    row_pass = res.Scenario.c_conserved && recovered;
+    row_latency_ok = latency_ok;
+    row_pass = res.Scenario.c_conserved && recovered && latency_ok;
   }
 
 let run_one (s : spec) leg =
@@ -163,6 +173,9 @@ let render rows =
              c.Scenario.c_in_flight
              (c.Scenario.c_offered - c.Scenario.c_delivered
             - c.Scenario.c_drops)
+         else if not r.row_latency_ok then
+           Printf.sprintf "STAMP-LEAK (%d samples, %d delivered)"
+             c.Scenario.c_latency_count c.Scenario.c_delivered
          else "DEGRADED"))
     rows;
   Buffer.contents b
@@ -209,6 +222,8 @@ let to_json rows =
            (List.map
               (fun (n, k) -> Printf.sprintf "\"%s\": %d" (json_escape n) k)
               c.Scenario.c_fired));
+      add "     \"latency_count\": %d, \"latency_conserved\": %b,\n"
+        c.Scenario.c_latency_count r.row_latency_ok;
       add "     \"recovered\": %b, \"pass\": %b}%s\n" r.row_recovered
         r.row_pass
         (if i = List.length rows - 1 then "" else ","))

@@ -1,0 +1,65 @@
+(** RFC 2544-style non-drop-rate search: binary search over offered rate
+    for the highest rate the device under test forwards with zero loss.
+
+    The search itself is pure — the caller supplies [probe], which offers
+    packets at a rate (pps) and reports how many came back. A probe is
+    loss-free iff [delivered = offered]. Determinism and monotonicity are
+    the caller-visible contract (pinned by [test/test_latency.ml]):
+
+    - the search runs a fixed number of halvings, so it always terminates
+      within [iters] probes (plus the two bracket probes);
+    - the reported NDR is a rate that was {e probed} and observed
+      loss-free (never an interpolation), so it can be re-probed;
+    - the NDR never exceeds any rate observed to lose packets: the upper
+      bracket only ever moves down onto losing rates.
+
+    With a deterministic probe (the virtual-time rig), the same bracket
+    and budget always find the same rate. *)
+
+type probe_result = {
+  offered : int;  (** packets presented to the device under test *)
+  delivered : int;  (** packets that egressed *)
+}
+
+let lossless (p : probe_result) = p.delivered >= p.offered
+
+type outcome = {
+  ndr_pps : float;
+      (** highest probed zero-loss rate; 0. when even the lower bracket
+          loses packets *)
+  iterations : int;  (** probes actually run *)
+  probes : (float * bool) list;
+      (** every (rate, loss-free?) observation, in probe order *)
+}
+
+(** [search ~lo ~hi ~probe ()] binary-searches rates in [[lo, hi]] (pps).
+    [iters] bounds the halvings (default 12: the bracket narrows to
+    [(hi - lo) / 4096]). @raise Invalid_argument on a bad bracket. *)
+let search ?(iters = 12) ~lo ~hi ~(probe : float -> probe_result) () : outcome
+    =
+  if not (lo > 0. && hi > lo) then invalid_arg "Ndr.search: bad bracket";
+  let trail = ref [] in
+  let runs = ref 0 in
+  let try_rate rate =
+    incr runs;
+    let ok = lossless (probe rate) in
+    trail := (rate, ok) :: !trail;
+    ok
+  in
+  let finish best =
+    { ndr_pps = best; iterations = !runs; probes = List.rev !trail }
+  in
+  (* bracket: if the top rate is loss-free the device is not the
+     bottleneck at [hi]; if the bottom rate loses, there is no NDR in the
+     bracket at all *)
+  if try_rate hi then finish hi
+  else if not (try_rate lo) then finish 0.
+  else begin
+    (* invariant: [best] was probed loss-free, [bad] was probed losing *)
+    let best = ref lo and bad = ref hi in
+    for _ = 1 to iters do
+      let mid = (!best +. !bad) /. 2. in
+      if try_rate mid then best := mid else bad := mid
+    done;
+    finish !best
+  end

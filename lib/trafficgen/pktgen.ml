@@ -14,6 +14,15 @@ open Ovs_packet
 
 type mix = Uniform | Zipf of float  (** Zipf exponent s > 0 *)
 
+(** Bursty on-off offered load (the NFV-benchmarking methodology of
+    Zhang et al. 2020): [on_packets] back-to-back packets at the offered
+    rate, then [off_ns] of generator silence, repeating. The paced driver
+    in {!Scenario} interprets this; the mean offered rate drops to
+    [on / (on + off)] of the configured rate while the on-phase hits the
+    dataplane at full speed — which is what separates tail behaviour
+    from the constant-rate average. *)
+type onoff = { on_packets : int; off_ns : float }
+
 type t = {
   templates : Buffer.t array;
   seed : int;
@@ -106,8 +115,11 @@ let zipf_rank t u =
   !lo
 
 (** Next packet: an independent clone of a template chosen by the flow
-    mix (uniform, or Zipf-skewed over the rank permutation). *)
-let next t =
+    mix (uniform, or Zipf-skewed over the rank permutation).
+    [?birth_ns] stamps the clone's ingress timestamp for sojourn-time
+    measurement (default: unstamped, so latency-off runs stay
+    byte-identical). *)
+let next ?(birth_ns = -1.) t =
   let i =
     if Array.length t.templates = 1 then 0
     else
@@ -116,7 +128,9 @@ let next t =
       | Zipf _ -> t.rank_of.(zipf_rank t (Ovs_sim.Prng.float t.prng))
   in
   t.sent <- t.sent + 1;
-  Ovs_packet.Buffer.clone t.templates.(i)
+  let pkt = Ovs_packet.Buffer.clone t.templates.(i) in
+  pkt.Ovs_packet.Buffer.birth_ns <- birth_ns;
+  pkt
 
 (** How many distinct NIC queues this flow set occupies under RSS. *)
 let queues_hit t ~n_queues =

@@ -27,7 +27,16 @@ let virt_name = function
   | Ct_xdp -> "XDP program"
   | Ct_afpacket -> "af_packet"
 
-type topology = P2P | PVP of virt | PCP of virt
+type topology =
+  | P2P
+  | PVP of virt
+  | PCP of virt
+  | Chain of virt * int
+      (** a service chain: [hops] virtual network functions in sequence
+          (phy0 -> v1 -> ... -> vn -> phy1), each a guest/container
+          bounce like the PVP/PCP endpoints. 2–4 hops is the
+          NFV-benchmarking sweet spot; [Ct_xdp] is not supported (its
+          redirect path bypasses the datapath). *)
 
 type result = {
   rate_mpps : float;
@@ -101,6 +110,18 @@ type config = {
       (** which execution engine drives the PMD leg: [`Vt] (default) is
           the deterministic virtual-time scheduler; [`Domains n] runs the
           P2P rig on [n] real OCaml domains and measures wall-clock Mpps *)
+  latency : bool;
+      (** arm per-packet sojourn-time measurement: the generator becomes
+          a paced line-rate core ([offered_mpps]), stamps each packet's
+          birth on its arrival clock, and the egress sink records
+          sojourns into the datapath's {!Ovs_sim.Quantiles} sketch.
+          Off (the default) creates no context and stamps nothing, so
+          existing runs stay byte-identical. *)
+  offered_mpps : float;
+      (** offered rate for the paced latency driver, Mpps; 0. (default)
+          offers at line rate *)
+  burst : Pktgen.onoff option;
+      (** bursty on-off generator mode for the paced driver *)
 }
 
 let default_config =
@@ -126,6 +147,9 @@ let default_config =
     upcall_capacity = 512;
     retry_capacity = 256;
     engine = `Vt;
+    latency = false;
+    offered_mpps = 0.;
+    burst = None;
   }
 
 (** Builder over {!default_config}, so call sites survive new fields. *)
@@ -141,10 +165,13 @@ let config ?(kind = default_config.kind) ?(topology = default_config.topology)
     ?(ct_zone = default_config.ct_zone)
     ?(upcall_capacity = default_config.upcall_capacity)
     ?(retry_capacity = default_config.retry_capacity)
-    ?(engine = default_config.engine) () =
+    ?(engine = default_config.engine) ?(latency = default_config.latency)
+    ?(offered_mpps = default_config.offered_mpps)
+    ?(burst = default_config.burst) () =
   { kind; topology; n_flows; frame_len; queues; gbps; warmup; measure; cache;
     ccache; mix; n_pmds; n_rxqs; trace; faults; rx_policy; strict_match;
-    ct_zone; upcall_capacity; retry_capacity; engine }
+    ct_zone; upcall_capacity; retry_capacity; engine; latency; offered_mpps;
+    burst }
 
 let is_userspace = function
   | Dpif.Dpdk | Dpif.Afxdp _ -> true
@@ -168,9 +195,13 @@ type rig = {
   r_pmds : Cpu.ctx array;  (** legacy one-ctx-per-queue loop *)
   r_rt : Pmd.t option;
   r_guest : Cpu.ctx;
-  r_vdev : Netdev.t option;
-  r_vport : int;
-  r_pmd_v : Cpu.ctx option;
+  r_vdevs : (Netdev.t * int) list;
+      (** virtual endpoints in hop order (one for PVP/PCP, 2–4 for
+          [Chain]), each with its datapath port *)
+  r_pmd_v : Cpu.ctx option;  (** the context polling every virtual port *)
+  r_loadgen : Cpu.ctx option;
+      (** the paced generator's arrival clock, created only when
+          [cfg.latency] — unarmed runs stay byte-identical *)
   r_gen : Pktgen.t;
   r_eng : Engine_vt.t;
       (** the virtual-time engine wrapping the pmd leg; the schedule
@@ -235,7 +266,21 @@ let setup (cfg : config) : rig =
     Ovs_ofproto.Pipeline.add_flow pipeline ~priority:100 m
       [ Ovs_ofproto.Action.Output out ]
   in
-  let vdev, vport, pmd_v =
+  (* a PVP-style guest bounce: the virtual endpoint forwards everything
+     straight back onto its own rx queue *)
+  let guest_bounce virt dev =
+    Netdev.set_tx_sink dev (fun d pkt ->
+        (match virt with
+        | Vm_tap ->
+            Cpu.charge vhost_kthread Cpu.System
+              (costs.Costs.vhost_copy_fixed
+              +. Costs.copy costs ~bytes:(Ovs_packet.Buffer.length pkt)
+              +. 110.)
+        | _ -> ());
+        Cpu.charge guest Cpu.Guest (guest_fwd_cost costs);
+        ignore (Netdev.enqueue_on d ~queue:0 pkt : bool))
+  in
+  let vdevs, pmd_v =
     match cfg.topology with
     | P2P ->
         (match (cfg.ct_zone, cfg.strict_match) with
@@ -267,7 +312,7 @@ let setup (cfg : config) : rig =
                    "table=0,priority=1 actions=drop";
                  ])
         | None, false -> rule p0 p1);
-        (None, -1, None)
+        ([], None)
     | PVP virt -> begin
         let kind = match virt with Vm_tap -> Netdev.Tap | _ -> Netdev.Vhostuser in
         let dev = Netdev.create ~kind ~name:"vm0" () in
@@ -275,17 +320,40 @@ let setup (cfg : config) : rig =
         rule p0 vp;
         rule vp p1;
         (* the guest forwards everything straight back *)
-        Netdev.set_tx_sink dev (fun d pkt ->
-            (match virt with
-            | Vm_tap ->
-                Cpu.charge vhost_kthread Cpu.System
-                  (costs.Costs.vhost_copy_fixed
-                  +. Costs.copy costs ~bytes:(Ovs_packet.Buffer.length pkt)
-                  +. 110.)
-            | _ -> ());
-            Cpu.charge guest Cpu.Guest (guest_fwd_cost costs);
-            ignore (Netdev.enqueue_on d ~queue:0 pkt : bool));
-        (Some dev, vp, Some (Cpu.ctx machine "pmd-vm"))
+        guest_bounce virt dev;
+        ([ (dev, vp) ], Some (Cpu.ctx machine "pmd-vm"))
+      end
+    | Chain (virt, hops) -> begin
+        (* a service chain of [hops] PVP-style VNFs: phy0 -> v1 -> ...
+           -> vn -> phy1, each hop a guest bounce back into the datapath *)
+        if hops < 1 then invalid_arg "Scenario: Chain needs >= 1 hop";
+        (match virt with
+        | Ct_xdp -> invalid_arg "Scenario: Chain does not support Ct_xdp"
+        | _ -> ());
+        let kind =
+          match virt with
+          | Vm_tap -> Netdev.Tap
+          | Vm_vhost -> Netdev.Vhostuser
+          | Ct_afpacket -> Netdev.Tap
+          | Ct_veth | Ct_xdp -> Netdev.Veth
+        in
+        let devs =
+          List.init hops (fun i ->
+              let dev =
+                Netdev.create ~kind ~name:(Printf.sprintf "vnf%d" i) ()
+              in
+              let vp = Dpif.add_port dp dev in
+              guest_bounce virt dev;
+              (dev, vp))
+        in
+        let rec link prev = function
+          | [] -> rule prev p1
+          | (_, vp) :: rest ->
+              rule prev vp;
+              link vp rest
+        in
+        link p0 devs;
+        (devs, Some (Cpu.ctx machine "pmd-vm"))
       end
     | PCP virt -> begin
         let kind =
@@ -327,12 +395,20 @@ let setup (cfg : config) : rig =
             Netdev.set_tx_sink dev (fun d pkt ->
                 Cpu.charge container Cpu.Softirq (container_echo_cost costs);
                 ignore (Netdev.enqueue_on d ~queue:0 pkt : bool)));
-        (Some dev, vp, Some (Cpu.ctx machine "pmd-vm"))
+        ([ (dev, vp) ], Some (Cpu.ctx machine "pmd-vm"))
       end
   in
 
-  (* sink for measured egress: phy1 counts transmissions via its stats *)
-  Netdev.set_tx_sink phy1 (fun _ _ -> ());
+  (* sink for measured egress: phy1 counts transmissions via its stats;
+     with latency armed it also records each delivered packet's sojourn
+     (virtual now minus the birth stamp) — drops never reach it *)
+  if cfg.latency then
+    Netdev.set_tx_sink phy1 (fun _ pkt ->
+        Dpif.record_latency dp ~now:(Cpu.wall machine) pkt)
+  else Netdev.set_tx_sink phy1 (fun _ _ -> ());
+  let loadgen =
+    if cfg.latency then Some (Cpu.ctx machine "loadgen") else None
+  in
 
   let gen =
     Pktgen.create ~mix:cfg.mix ~n_flows:cfg.n_flows ~frame_len:cfg.frame_len ()
@@ -355,9 +431,9 @@ let setup (cfg : config) : rig =
     r_pmds = pmds;
     r_rt = rt;
     r_guest = guest;
-    r_vdev = vdev;
-    r_vport = vport;
+    r_vdevs = vdevs;
     r_pmd_v = pmd_v;
+    r_loadgen = loadgen;
     r_gen = gen;
     r_eng =
       Engine_vt.create ~dp ~machine ~softirq:sirq ~legacy:pmds ~rt ~port_no:p0
@@ -368,26 +444,92 @@ let batch = 32
 
 (* One poll sweep over the rig: the engine advances the phy leg (every
    PMD — or legacy per-queue context — polls once; byte-identical to the
-   pre-engine loop), plus the virtual endpoint's return port. *)
+   pre-engine loop), plus every virtual endpoint's return port, in hop
+   order. *)
 let poll_sweep (r : rig) =
   ignore (Engine_vt.step r.r_eng : int);
-  match (r.r_vdev, r.r_pmd_v) with
-  | Some _, Some pmd_vm ->
-      ignore
-        (Dpif.poll r.r_dp ~softirq:r.r_sirq.(0) ~pmd:pmd_vm ~port_no:r.r_vport
-           ~queue:0 ())
-  | _ -> ()
+  match r.r_pmd_v with
+  | Some pmd_vm ->
+      List.iter
+        (fun (_, vp) ->
+          ignore
+            (Dpif.poll r.r_dp ~softirq:r.r_sirq.(0) ~pmd:pmd_vm ~port_no:vp
+               ~queue:0 ()))
+        r.r_vdevs
+  | None -> ()
+
+(* The paced driver behind every latency-armed run. The generator is its
+   own line-rate core: each packet charges its inter-arrival gap to
+   [loadgen] (the arrival clock — birth stamps come from it) and a
+   credit counter converts elapsed server time back into injection
+   budget, [credit += rate * dwall]. When the dataplane keeps up, wall
+   advances exactly one gap per packet and the loop stays in lockstep;
+   when it falls behind, wall outruns the arrival clock, the credit (=
+   packets that arrived meanwhile) grows, and the backlog overflows the
+   NIC ring into counted rx drops — which is what gives an NDR probe a
+   real loss cliff and a latency rung its queueing tail. *)
+let drive_paced (r : rig) (loadgen : Cpu.ctx) ?(rate_pps = 0.) n =
+  let cfg = r.r_cfg in
+  let rate =
+    if rate_pps > 0. then rate_pps
+    else if cfg.offered_mpps > 0. then cfg.offered_mpps *. 1e6
+    else Netdev.line_rate_pps r.r_phy0 ~frame_len:cfg.frame_len
+  in
+  let gap = 1e9 /. rate in
+  let in_burst = ref 0 in
+  let injected = ref 0 in
+  let credit = ref (float_of_int batch) in
+  while !injected < n do
+    let want =
+      Int.min (Int.min (int_of_float !credit) (n - !injected)) 4096
+    in
+    let w0 = Cpu.wall r.r_machine in
+    if want > 0 then begin
+      for _ = 1 to want do
+        Cpu.charge loadgen Cpu.User gap;
+        (match cfg.burst with
+        | Some b ->
+            incr in_burst;
+            if !in_burst >= b.Pktgen.on_packets then begin
+              in_burst := 0;
+              (* generator silence: the arrival clock idles, and the
+                 credit the silent period will accrue (wall keeps
+                 moving) is cancelled here — packets do not arrive
+                 during the off phase, which is what drops the mean
+                 offered rate to on / (on + off) *)
+              Cpu.charge loadgen Cpu.User b.Pktgen.off_ns;
+              credit := !credit -. (rate *. b.Pktgen.off_ns /. 1e9)
+            end
+        | None -> ());
+        let pkt = Pktgen.next ~birth_ns:(Cpu.busy loadgen) r.r_gen in
+        ignore (Netdev.rss_enqueue r.r_phy0 pkt : bool);
+        incr injected
+      done;
+      Engine_vt.note_offered r.r_eng want;
+      credit := !credit -. float_of_int want
+    end;
+    poll_sweep r;
+    let dwall = Cpu.wall r.r_machine -. w0 in
+    (* an idle iteration (no credit, nothing to poll) must still move the
+       clock or the loop deadlocks *)
+    if dwall <= 0. && want = 0 then Cpu.charge loadgen Cpu.User (Time.us 1.);
+    let dwall = Float.max dwall (Cpu.wall r.r_machine -. w0) in
+    credit := !credit +. (rate *. dwall /. 1e9)
+  done
 
 let drive (r : rig) n =
-  let injected = ref 0 in
-  while !injected < n do
-    for _ = 1 to batch do
-      ignore (Netdev.rss_enqueue r.r_phy0 (Pktgen.next r.r_gen) : bool);
-      incr injected
-    done;
-    Engine_vt.note_offered r.r_eng batch;
-    poll_sweep r
-  done
+  match r.r_loadgen with
+  | Some loadgen -> drive_paced r loadgen n
+  | None ->
+      let injected = ref 0 in
+      while !injected < n do
+        for _ = 1 to batch do
+          ignore (Netdev.rss_enqueue r.r_phy0 (Pktgen.next r.r_gen) : bool);
+          incr injected
+        done;
+        Engine_vt.note_offered r.r_eng batch;
+        poll_sweep r
+      done
 
 module Dp_core = Ovs_datapath.Dp_core
 module Xsk = Ovs_xsk.Xsk
@@ -396,7 +538,7 @@ module Xsk = Ovs_xsk.Xsk
    retry queues — everything offered but not yet delivered or dropped *)
 let in_flight (r : rig) =
   Netdev.pending r.r_phy0
-  + (match r.r_vdev with Some d -> Netdev.pending d | None -> 0)
+  + List.fold_left (fun a (d, _) -> a + Netdev.pending d) 0 r.r_vdevs
   + (match Dpif.xsks r.r_dp ~port_no:r.r_p0 with
     | Some xs ->
         Array.fold_left (fun a x -> a + Ovs_xsk.Ring.available x.Xsk.rx) 0 xs
@@ -432,6 +574,39 @@ let measure_phase (r : rig) n =
   in
   (delivered, float_of_int delivered /. wall *. 1e9)
 
+(* -- latency and NDR probes (require a latency-armed rig) -- *)
+
+let loadgen_exn (r : rig) =
+  match r.r_loadgen with
+  | Some lg -> lg
+  | None -> invalid_arg "Scenario: rig not latency-armed (config ~latency:true)"
+
+(** One clean-slate measurement of the sojourn-time distribution:
+    quiesce, reset, offer [n] packets at [rate_pps] (0. = the config's
+    offered rate) through the paced driver, then drain so every
+    still-queued packet egresses or is dropped before the sketch is
+    read. Returns (delivered, the datapath's sketch) — the sketch's
+    count equals delivered exactly (drops record nothing), the
+    conservation the latency gates enforce. *)
+let measure_latency (r : rig) ?(rate_pps = 0.) n =
+  let loadgen = loadgen_exn r in
+  quiesce r;
+  Pktgen.reset r.r_gen;
+  List.iter Cpu.reset r.r_machine.Cpu.ctxs;
+  Dpif.reset_measurement r.r_dp;
+  (match r.r_rt with Some rt -> Pmd.reset_stats rt | None -> ());
+  let tx0 = r.r_phy1.Netdev.stats.Netdev.tx_packets in
+  drive_paced r loadgen ~rate_pps n;
+  quiesce r;
+  let delivered = r.r_phy1.Netdev.stats.Netdev.tx_packets - tx0 in
+  (delivered, Dpif.latency r.r_dp)
+
+(** One RFC 2544 probe: offer [n] packets at [rate_pps], drain, report
+    offered vs delivered for {!Ndr.search}'s loss-free test. *)
+let ndr_probe (r : rig) ~rate_pps n : Ndr.probe_result =
+  let delivered, _ = measure_latency r ~rate_pps n in
+  { Ndr.offered = n; delivered }
+
 (* -- the real-parallelism leg: [`Domains n] -- *)
 
 (** Drive the P2P scenario through {!Ovs_datapath.Engine_domains}: the
@@ -442,8 +617,10 @@ let measure_phase (r : rig) n =
     virtual endpoints are virtual-time constructs. *)
 let run_multicore ?(oracles = false) ?lock ?frames_per_queue ?ring_size
     (cfg : config) ~n_domains () : Engine.stats * string list =
-  if cfg.topology <> P2P then
-    invalid_arg "Scenario.run_multicore: only P2P runs on real domains";
+  (match cfg.topology with
+  | P2P -> ()
+  | PVP _ | PCP _ | Chain _ ->
+      invalid_arg "Scenario.run_multicore: only P2P runs on real domains");
   let gen =
     Pktgen.create ~mix:cfg.mix ~n_flows:cfg.n_flows ~frame_len:cfg.frame_len ()
   in
@@ -457,7 +634,7 @@ let run_multicore ?(oracles = false) ?lock ?frames_per_queue ?ring_size
   let ecfg =
     Engine_domains.config ~n_domains ~frame_len:cfg.frame_len
       ~target:cfg.measure ~upcall_capacity:cfg.upcall_capacity ~oracles
-      ?lock ?frames_per_queue ?ring_size
+      ~latency:cfg.latency ?lock ?frames_per_queue ?ring_size
       ~translate:(fun _ -> true) (* P2P: one wildcard rule, port0 -> port1 *)
       ~templates ()
   in
@@ -532,7 +709,8 @@ let run (cfg : config) : result =
      else [])
     @
     match cfg.topology with
-    | PVP _ -> [ r.r_guest ]  (* the guest runs a poll-mode forwarder *)
+    (* the guests run poll-mode forwarders *)
+    | PVP _ | Chain _ -> [ r.r_guest ]
     | P2P | PCP _ -> []
   in
   let cpu = Cpu.breakdown ~poll_floor machine ~wall in
@@ -575,6 +753,11 @@ type chaos_result = {
   c_repairs : int;
   c_fired : (string * int) list;  (** per-fault fire counts *)
   c_health : string;  (** dpif/health-show at end of the faulted phase *)
+  c_latency_count : int;
+      (** sojourn samples the sketch recorded over the faulted phase, or
+          -1 with latency off. Conservation demands exactly one sample
+          per delivered packet: a mangled or crash-killed packet that
+          leaked its timestamp would make this exceed [c_delivered]. *)
 }
 
 let run_chaos (cfg : config) (plan : Faults.plan) : chaos_result =
@@ -587,8 +770,11 @@ let run_chaos (cfg : config) (plan : Faults.plan) : chaos_result =
      models the generator as its own line-rate core: each offered packet
      charges its wire time, and drain iterations that move nothing charge
      an idle tick. Plain [run] never creates this context, so unfaulted
-     runs stay byte-identical. *)
-  let loadgen = Cpu.ctx machine "loadgen" in
+     runs stay byte-identical. (A latency-armed rig already carries the
+     same context — its arrival clock doubles as the birth stamp.) *)
+  let loadgen =
+    match r.r_loadgen with Some lg -> lg | None -> Cpu.ctx machine "loadgen"
+  in
   let pkt_ns = 1e9 /. Netdev.line_rate_pps phy0 ~frame_len:cfg.frame_len in
   drive r cfg.warmup;
   if cfg.ccache then
@@ -609,11 +795,13 @@ let run_chaos (cfg : config) (plan : Faults.plan) : chaos_result =
   Faults.arm plan;
   let tx0 = phy1.Netdev.stats.Netdev.tx_packets in
   let rxd0 = phy0.Netdev.stats.Netdev.rx_dropped in
-  let vdev_rxd0 =
-    match r.r_vdev with
-    | Some d -> d.Netdev.stats.Netdev.rx_dropped
-    | None -> 0
+  let vdev_rxd =
+    fun () ->
+      List.fold_left
+        (fun a (d, _) -> a + d.Netdev.stats.Netdev.rx_dropped)
+        0 r.r_vdevs
   in
+  let vdev_rxd0 = vdev_rxd () in
   let xsk_drops () =
     match Dpif.xsks dp ~port_no:r.r_p0 with
     | Some xs ->
@@ -660,6 +848,9 @@ let run_chaos (cfg : config) (plan : Faults.plan) : chaos_result =
           Ovs_packet.Buffer.set_u8 pkt 12 0xff
       | None -> ());
       Cpu.charge loadgen Cpu.User pkt_ns;
+      (* birth on the arrival clock, stamped after mangling: a dropped
+         mangled packet must not leak its timestamp into the sketch *)
+      if cfg.latency then pkt.Ovs_packet.Buffer.birth_ns <- Cpu.busy loadgen;
       let rxd_before = phy0.Netdev.stats.Netdev.rx_dropped in
       if Netdev.rss_enqueue phy0 pkt then incr offered
       else if phy0.Netdev.stats.Netdev.rx_dropped > rxd_before then
@@ -689,10 +880,7 @@ let run_chaos (cfg : config) (plan : Faults.plan) : chaos_result =
     phy0.Netdev.stats.Netdev.rx_dropped - rxd0
     + ((Dpif.counters dp).Dp_core.dropped - dp0)
     + (xsk_drops () - xsk0)
-    + ((match r.r_vdev with
-       | Some d -> d.Netdev.stats.Netdev.rx_dropped
-       | None -> 0)
-      - vdev_rxd0)
+    + (vdev_rxd () - vdev_rxd0)
   in
   let infl = in_flight r in
   let wall_b = Float.max (Cpu.wall machine) 1. in
@@ -704,6 +892,9 @@ let run_chaos (cfg : config) (plan : Faults.plan) : chaos_result =
   in
   let health_text = Health.render health ~now:(Cpu.wall machine) in
   let fired = Faults.fire_counts () in
+  let lat_count =
+    if cfg.latency then Ovs_sim.Quantiles.count (Dpif.latency dp) else -1
+  in
   Faults.disarm ();
 
   (* phase C: post-recovery, unfaulted again *)
@@ -724,4 +915,5 @@ let run_chaos (cfg : config) (plan : Faults.plan) : chaos_result =
     c_repairs = Health.repairs health;
     c_fired = fired;
     c_health = health_text;
+    c_latency_count = lat_count;
   }

@@ -10,6 +10,9 @@ type t = {
   data : Bytes.t;
   fill : Ring.t;  (** userspace -> kernel: empty frames for rx *)
   completion : Ring.t;  (** kernel -> userspace: frames done transmitting *)
+  birth : float array;
+      (** per-frame ingress timestamp, the model's stand-in for the XDP
+          metadata area in front of the packet; negative = unstamped *)
 }
 
 let default_frame_size = 2048
@@ -24,6 +27,7 @@ let create ?(frame_size = default_frame_size)
     data = Bytes.make (frame_size * n_frames) '\000';
     fill = Ring.create ~size:ring_size ();
     completion = Ring.create ~size:ring_size ();
+    birth = Array.make n_frames (-1.);
   }
 
 (** Byte offset of frame [idx]'s packet area (after headroom). *)
@@ -33,6 +37,17 @@ let frame_offset t idx =
 
 (** Usable payload capacity of one frame. *)
 let frame_capacity t = t.frame_size - t.frame_headroom
+
+(** Per-frame ingress timestamp (the XDP metadata area in the model):
+    stamped by the driver on rx, read back when the frame surfaces as a
+    packet buffer. *)
+let set_birth t idx ns =
+  if idx < 0 || idx >= t.n_frames then invalid_arg "Umem.set_birth";
+  t.birth.(idx) <- ns
+
+let birth t idx =
+  if idx < 0 || idx >= t.n_frames then invalid_arg "Umem.birth";
+  t.birth.(idx)
 
 (** Copy [len] wire bytes into frame [idx] — the model's stand-in for the
     NIC's DMA in zero-copy mode (charged as device time, not CPU). *)
@@ -58,6 +73,7 @@ let buffer_of_frame t idx ~len : Ovs_packet.Buffer.t =
     ct_zone = 0;
     ct_mark = 0;
     tunnel = None;
+    birth_ns = t.birth.(idx);
     regs = Array.make 8 0;
     offload = Buffer.fresh_offload ();
   }

@@ -91,10 +91,13 @@ let refill t n =
 
 (** Kernel: deliver one received packet into the socket. Copies the wire
     bytes into a fill-ring frame (the DMA step) and posts an rx descriptor.
-    Returns [false] if the packet had to be dropped — including frames
-    larger than the umem frame size (AF_XDP of this era had no
-    multi-buffer support, so jumbo/TSO frames cannot ride an XSK). *)
-let kernel_rx t (wire : Bytes.t) ~len =
+    [?birth_ns] stamps the frame's XDP-metadata ingress timestamp so the
+    latency measurement survives the kernel/userspace crossing (the wire
+    bytes carry no metadata). Returns [false] if the packet had to be
+    dropped — including frames larger than the umem frame size (AF_XDP of
+    this era had no multi-buffer support, so jumbo/TSO frames cannot ride
+    an XSK). *)
+let kernel_rx ?(birth_ns = -1.) t (wire : Bytes.t) ~len =
   if len > Umem.frame_capacity t.umem then begin
     t.rx_dropped_no_frame <- t.rx_dropped_no_frame + 1;
     Ovs_sim.Coverage.incr cov_rx_no_frame;
@@ -108,6 +111,7 @@ let kernel_rx t (wire : Bytes.t) ~len =
       false
   | Some { Ring.addr = frame; _ } ->
       Umem.dma_into_frame t.umem frame wire ~src_off:0 ~len;
+      Umem.set_birth t.umem frame birth_ns;
       if Ring.push t.rx { Ring.addr = frame; len } then begin
         t.rx_delivered <- t.rx_delivered + 1;
         true

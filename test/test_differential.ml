@@ -120,9 +120,16 @@ let run_leg ~kind ~deferred_upcalls ?(ccache = false) ?(ccache_serves = true)
   let devs = Array.init 4 (fun i -> Netdev.create ~name:(Printf.sprintf "p%d" i) ()) in
   Array.iter (fun d -> ignore (Dpif.add_port dp d)) devs;
   let current = ref [] in
+  (* latency leg: every packet is stamped at build time, every
+     transmission must find the stamp intact (recirculation, conntrack,
+     tunnel decap and the deferred-upcall queue all reuse the buffer) and
+     record exactly one sojourn sample — txs = sketch count at the end *)
+  let txs = ref 0 in
   Array.iter
     (fun d ->
       Netdev.set_tx_sink d (fun dev pkt ->
+          incr txs;
+          Dpif.record_latency dp ~now:1e6 pkt;
           current :=
             (dev.Netdev.port_no, Hashtbl.hash (Buffer.contents pkt)) :: !current))
     devs;
@@ -137,7 +144,9 @@ let run_leg ~kind ~deferred_upcalls ?(ccache = false) ?(ccache_serves = true)
     List.map
       (fun s ->
         current := [];
-        Dpif.process dp charge (build_packet s);
+        let pkt = build_packet s in
+        pkt.Buffer.birth_ns <- 1.;
+        Dpif.process dp charge pkt;
         while not (Queue.is_empty pending) do
           let pkt, key = Queue.pop pending in
           Dpif.handle_upcall dp charge pkt key
@@ -145,6 +154,10 @@ let run_leg ~kind ~deferred_upcalls ?(ccache = false) ?(ccache_serves = true)
         List.rev !current)
       specs
   in
+  (* complete distribution: one sample per transmission, none lost through
+     recirculation or the upcall retry path, none invented for drops *)
+  Alcotest.(check int) "latency samples = transmitted packets" !txs
+    (Ovs_sim.Quantiles.count (Dpif.latency dp));
   (* exact per-tier accounting: on a leg without deferred upcalls, every
      datapath pass ends in exactly one tier counter (or the slow path) *)
   if not deferred_upcalls then begin

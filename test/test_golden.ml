@@ -123,6 +123,34 @@ let test_health_show _rig _rt health =
   unhealthy for 0.0 ns|}
     (appctl_ok "dpif/health-show" (Tools.appctl ~health "dpif/health-show"))
 
+(* latency-show renders from the datapath's sojourn sketch; the fixture
+   never arms latency measurement, so the empty surface is the honest
+   first golden, and a handful of hand-fed samples pin the table *)
+let test_latency_show_empty rig _rt _health =
+  golden "dpif/latency-show (empty)"
+    {|per-packet sojourn (ns): 0 samples, +/-1% per quantile
+  (empty: run traffic with latency measurement armed)|}
+    (appctl_ok "dpif/latency-show"
+       (Tools.appctl ~dp:rig.Scenario.r_dp "dpif/latency-show"))
+
+let test_latency_show rig _rt _health =
+  let q = Dpif.latency rig.Scenario.r_dp in
+  List.iter
+    (Ovs_sim.Quantiles.add q)
+    [ 800.; 1_000.; 1_000.; 1_200.; 5_000.; 25_000.; 90_000.; 1_000_000. ];
+  golden "dpif/latency-show"
+    {|per-packet sojourn (ns): 8 samples, +/-1% per quantile
+  stat               ns
+  mean         140500.0
+  min             800.0
+  p50            1205.4
+  p95         1005514.1
+  p99         1005514.1
+  p999        1005514.1
+  max         1000000.0|}
+    (appctl_ok "dpif/latency-show"
+       (Tools.appctl ~dp:rig.Scenario.r_dp "dpif/latency-show"))
+
 let test_fault_list _rig _rt _health =
   golden "fault/list"
     {|plan "golden" (seed 7) at 100.00 us:
@@ -139,6 +167,10 @@ let () =
           Alcotest.test_case "cache-hierarchy-show" `Quick
             (with_fixture test_cache_hierarchy);
           Alcotest.test_case "health-show" `Quick (with_fixture test_health_show);
+          Alcotest.test_case "latency-show empty" `Quick
+            (with_fixture test_latency_show_empty);
+          Alcotest.test_case "latency-show" `Quick
+            (with_fixture test_latency_show);
           Alcotest.test_case "fault/list" `Quick (with_fixture test_fault_list);
         ] );
     ]

@@ -1,0 +1,177 @@
+(* Oracle suite for the streaming quantile sketch behind the latency
+   bench: the fixed-log-bucket histogram must stay within its documented
+   relative error bound of the exact (sorted, nearest-rank) quantiles,
+   merging two sketches must be indistinguishable from ingesting the
+   concatenated sample, and everything must be bit-deterministic — the
+   sketch sits inside virtual-time scenarios whose whole readout is
+   golden-tested byte-for-byte. *)
+
+module Q = Ovs_sim.Quantiles
+module Prng = Ovs_sim.Prng
+
+let check = Alcotest.check
+
+(* exact nearest-rank quantile on the raw sample, the oracle the sketch
+   is judged against *)
+let exact_quantile sorted p =
+  let n = Array.length sorted in
+  if p <= 0. then sorted.(0)
+  else if p >= 100. then sorted.(n - 1)
+  else
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+    sorted.(Int.max 0 (rank - 1))
+
+(* log-uniform samples over the sojourn range the bench actually sees
+   (ns to tens of ms), so every decade of buckets gets exercised *)
+let gen_samples prng n =
+  Array.init n (fun _ -> exp (Prng.float prng *. log 1e9))
+
+let percentiles = [ 1.; 10.; 25.; 50.; 75.; 90.; 95.; 99.; 99.9 ]
+
+(* -- unit oracle tests -- *)
+
+let empty_and_extremes () =
+  let q = Q.create () in
+  check (Alcotest.float 0.) "empty quantile" 0. (Q.quantile q 50.);
+  check Alcotest.int "empty count" 0 (Q.count q);
+  Q.add q 42.;
+  Q.add q 17.;
+  Q.add q 9_000.;
+  (* min and max are tracked exactly, outside the bucket geometry *)
+  check (Alcotest.float 0.) "p0 is the exact min" 17. (Q.quantile q 0.);
+  check (Alcotest.float 0.) "p100 is the exact max" 9_000. (Q.quantile q 100.);
+  check Alcotest.int "count" 3 (Q.count q);
+  check (Alcotest.float 1e-9) "mean is exact" ((42. +. 17. +. 9_000.) /. 3.)
+    (Q.mean q)
+
+let single_value () =
+  let q = Q.create () in
+  Q.add q 1234.;
+  List.iter
+    (fun p ->
+      let v = Q.quantile q p in
+      if Float.abs (v -. 1234.) /. 1234. > Q.error_bound q then
+        Alcotest.failf "single value: p%.1f = %f, want 1234 +/- %.0f%%" p v
+          (100. *. Q.error_bound q))
+    percentiles
+
+let merge_geometry_mismatch () =
+  let a = Q.create () and b = Q.create ~eps:0.05 () in
+  Alcotest.check_raises "mismatched eps rejected"
+    (Invalid_argument "Quantiles.merge: mismatched geometry")
+    (fun () -> Q.merge ~into:a b)
+
+let reset_clears () =
+  let q = Q.create () in
+  for i = 1 to 100 do
+    Q.add q (float_of_int i)
+  done;
+  Q.reset q;
+  check Alcotest.int "count after reset" 0 (Q.count q);
+  check (Alcotest.float 0.) "quantile after reset" 0. (Q.p99 q)
+
+(* -- the documented bound at 100k samples -- *)
+
+let oracle_100k () =
+  let prng = Prng.of_int 0x5EED in
+  let samples = gen_samples prng 100_000 in
+  let q = Q.create () in
+  Array.iter (Q.add q) samples;
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  List.iter
+    (fun p ->
+      let est = Q.quantile q p and ex = exact_quantile sorted p in
+      let rel = Float.abs (est -. ex) /. ex in
+      if rel > Q.error_bound q *. 1.0001 then
+        Alcotest.failf "100k oracle: p%.1f est %f vs exact %f (rel %.5f > %.5f)"
+          p est ex rel (Q.error_bound q))
+    percentiles
+
+(* -- properties -- *)
+
+(* the oracle bound holds for any seed and sample size, not just the
+   calibrated 100k run above *)
+let prop_oracle =
+  QCheck.Test.make ~count:40
+    ~name:"sketch quantiles within eps of exact nearest-rank"
+    QCheck.(pair small_int (int_range 100 5_000))
+    (fun (seed, n) ->
+      let prng = Prng.of_int seed in
+      let samples = gen_samples prng n in
+      let q = Q.create () in
+      Array.iter (Q.add q) samples;
+      let sorted = Array.copy samples in
+      Array.sort compare sorted;
+      List.for_all
+        (fun p ->
+          let est = Q.quantile q p and ex = exact_quantile sorted p in
+          Float.abs (est -. ex) /. ex <= Q.error_bound q *. 1.0001)
+        percentiles)
+
+(* two float totals accumulated in different orders agree only up to
+   rounding; the bucket counts behind the quantiles carry no such caveat *)
+let sum_close a b =
+  Float.abs (a -. b) <= 1e-9 *. Float.max 1. (Float.abs a)
+
+(* merge(a, b) must be indistinguishable from one sketch that ingested
+   the concatenation: identical count, extremes and every quantile
+   readout, exactly — merge is bucket-wise integer addition. Only the
+   running [sum] is float arithmetic, so it matches up to rounding. *)
+let prop_merge_is_concat =
+  QCheck.Test.make ~count:40
+    ~name:"merge a b = ingest (a @ b), readouts exactly equal"
+    QCheck.(triple small_int (int_range 0 2_000) (int_range 0 2_000))
+    (fun (seed, na, nb) ->
+      let prng = Prng.of_int seed in
+      let xs = gen_samples prng na and ys = gen_samples prng nb in
+      let a = Q.create () and b = Q.create () and whole = Q.create () in
+      Array.iter (Q.add a) xs;
+      Array.iter (Q.add b) ys;
+      Array.iter (Q.add whole) xs;
+      Array.iter (Q.add whole) ys;
+      Q.merge ~into:a b;
+      Q.count a = Q.count whole
+      && sum_close (Q.sum a) (Q.sum whole)
+      && List.for_all
+           (fun p -> Q.quantile a p = Q.quantile whole p)
+           ([ 0.; 100. ] @ percentiles))
+
+(* the sketch is a pure fold over the sample multiset: permuting the
+   ingest order changes nothing, and re-running it bit-reproduces — the
+   property the Engine_vt golden tests lean on *)
+let prop_deterministic =
+  QCheck.Test.make ~count:40
+    ~name:"readout deterministic and ingest-order independent"
+    QCheck.(pair small_int (int_range 1 2_000))
+    (fun (seed, n) ->
+      let prng = Prng.of_int seed in
+      let samples = gen_samples prng n in
+      let q1 = Q.create () and q2 = Q.create () in
+      Array.iter (Q.add q1) samples;
+      (* reversed order into the second sketch *)
+      for i = n - 1 downto 0 do
+        Q.add q2 samples.(i)
+      done;
+      List.for_all
+        (fun p -> Q.quantile q1 p = Q.quantile q2 p)
+        ([ 0.; 100. ] @ percentiles)
+      && sum_close (Q.sum q1) (Q.sum q2))
+
+let () =
+  Alcotest.run "ovs_quantiles"
+    [
+      ( "oracle",
+        [
+          Alcotest.test_case "empty sketch and exact extremes" `Quick
+            empty_and_extremes;
+          Alcotest.test_case "single value within bound" `Quick single_value;
+          Alcotest.test_case "merge rejects mismatched geometry" `Quick
+            merge_geometry_mismatch;
+          Alcotest.test_case "reset clears state" `Quick reset_clears;
+          Alcotest.test_case "100k-sample error bound" `Quick oracle_100k;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_oracle; prop_merge_is_concat; prop_deterministic ] );
+    ]
