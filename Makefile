@@ -1,5 +1,5 @@
 # Tier-1 verification in one command.
-.PHONY: all check build test smoke bench chaos ccache mc multicore latency ndr clean
+.PHONY: all check build test smoke bench chaos ccache mc multicore latency ndr policy clean
 
 all: build
 
@@ -55,7 +55,17 @@ latency:
 ndr:
 	dune exec bench/main.exe -- ndr --json
 
-check: build test smoke chaos ccache mc multicore latency ndr
+# The policy bench: compile the whole catalog ladder, prove
+# translate(compile(p)) = eval(p) with the symbolic checker (any
+# divergence exits nonzero and writes POLICY_counterexample.txt), verify
+# every seeded compiler mutation is caught with a concretely diverging
+# packet, and replay compiled policies through the kernel / AF_XDP /
+# PMD-deferred legs against the eval oracle with exact transmission
+# conservation. Writes BENCH_policy.json.
+policy:
+	dune exec bench/main.exe -- policy --json
+
+check: build test smoke chaos ccache mc multicore latency ndr policy
 
 bench:
 	dune exec bench/main.exe

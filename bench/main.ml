@@ -1229,6 +1229,277 @@ let ndr_exp () =
     row "wrote BENCH_ndr.json@."
   end
 
+(* ------------------------------------------------------- policy bench *)
+
+module Policy = Ovs_policy.Policy
+module Pol_compile = Ovs_policy.Compile
+module Pol_check = Ovs_policy.Check
+module Pol_catalog = Ovs_policy.Catalog
+
+type pol_row = {
+  pr_name : string;
+  pr_rules : int;
+  pr_tables : int;
+  pr_paths : int;
+  pr_cubes : int;  (** cubes the checker partitioned the key space into *)
+  pr_proved : bool;
+}
+
+type pol_mut_row = {
+  pm_mutation : string;
+  pm_policy : string;
+  pm_caught : bool;
+  pm_counterexample : string;  (** the diverging packet, "" if not caught *)
+}
+
+type pol_leg_row = {
+  pl_leg : string;
+  pl_policy : string;
+  pl_packets : int;
+  pl_emitted : int;  (** transmissions the datapath produced *)
+  pl_expected : int;  (** transmissions the denotational semantics predicts *)
+  pl_mismatches : int;  (** packets whose port multiset differed *)
+}
+
+(* one checker pass over the whole ladder; any divergence writes the
+   counterexample artifact (CI uploads it like MC_failure.txt) *)
+let policy_ladder () =
+  List.map
+    (fun (name, _desc, p) ->
+      let c, pipeline = Pol_compile.pipeline_of p in
+      let base =
+        {
+          pr_name = name;
+          pr_rules = List.length c.Pol_compile.rules;
+          pr_tables = c.Pol_compile.n_tables;
+          pr_paths = c.Pol_compile.n_paths;
+          pr_cubes = 0;
+          pr_proved = false;
+        }
+      in
+      match Pol_check.check ~ports:Pol_catalog.ports p pipeline with
+      | Pol_check.Proved cubes -> { base with pr_cubes = cubes; pr_proved = true }
+      | Pol_check.Divergent d ->
+          let out = open_out "POLICY_counterexample.txt" in
+          output_string out
+            (Printf.sprintf "policy %s\n%s\n" name
+               (Pol_check.render_divergence d));
+          close_out out;
+          fail_check
+            "policy %s: compiled tables diverge from the semantics, \
+             counterexample in POLICY_counterexample.txt"
+            name;
+          base)
+    Pol_catalog.entries
+
+(* every seeded compiler bug must be caught, and its counterexample must
+   really diverge under independent concrete evaluation *)
+let policy_mutations () =
+  List.map
+    (fun (mutation, pname) ->
+      let mname = Pol_compile.mutation_name mutation in
+      let p =
+        match Pol_catalog.find pname with Some p -> p | None -> assert false
+      in
+      let _, pipeline = Pol_compile.pipeline_of ~mutation p in
+      match Pol_check.check ~ports:Pol_catalog.ports p pipeline with
+      | Pol_check.Proved _ ->
+          fail_check "policy mutation %s on %s: not caught" mname pname;
+          { pm_mutation = mname; pm_policy = pname; pm_caught = false;
+            pm_counterexample = "" }
+      | Pol_check.Divergent d ->
+          let expected =
+            Policy.eval p d.Pol_check.d_key
+            |> List.map (fun k ->
+                   (Ovs_packet.Flow_key.get k Ovs_packet.Flow_key.Field.In_port, k))
+            |> List.sort_uniq compare
+          in
+          let got =
+            Pol_check.concrete_emissions pipeline d.Pol_check.d_key
+            |> List.sort_uniq compare
+          in
+          if expected = got then
+            fail_check
+              "policy mutation %s on %s: counterexample does not diverge \
+               concretely"
+              mname pname;
+          { pm_mutation = mname; pm_policy = pname;
+            pm_caught = expected <> got;
+            pm_counterexample = Pol_check.render_key d.Pol_check.d_key })
+    Pol_catalog.mutation_cases
+
+(* compiled policies pushed through real datapath legs: every packet's
+   transmitted port multiset must equal what [Policy.eval] predicts for
+   its flow key, and transmissions must conserve exactly (no leaks, no
+   duplicates through the deferred-upcall path) *)
+let policy_traffic_n = 4_000
+
+let policy_traffic_specs () =
+  let prng = Ovs_sim.Prng.of_int 0x90117 in
+  let ip a b c d = (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d in
+  List.init policy_traffic_n (fun _ ->
+      let open Ovs_sim.Prng in
+      let tcp = bool prng in
+      let src_ip = ip 10 (if bool prng then 0 else 7) 3 (1 + int prng 8) in
+      let dst_ip = ip 10 0 (if bool prng then 1 else 9) (1 + int prng 8) in
+      let sport = [| 53; 1024; 1025; 4096 |].(int prng 4) in
+      let dport = [| 53; 80; 443; 8080; 5353; 7 |].(int prng 6) in
+      (tcp, src_ip, dst_ip, sport, dport))
+
+let policy_build_packet (tcp, src_ip, dst_ip, src_port, dst_port) =
+  let pkt =
+    if tcp then Ovs_packet.Build.tcp ~src_ip ~dst_ip ~src_port ~dst_port ()
+    else Ovs_packet.Build.udp ~src_ip ~dst_ip ~src_port ~dst_port ()
+  in
+  pkt.Ovs_packet.Buffer.in_port <- 0;
+  pkt
+
+let policy_leg ~leg ~kind ~deferred_upcalls pname p specs =
+  let c = Pol_compile.compile p in
+  let pipeline =
+    Ovs_ofproto.Pipeline.create ~n_tables:(max 2 c.Pol_compile.n_tables) ()
+  in
+  Pol_compile.install c (Ovs_ofproto.Ofconn.create ~pipeline ());
+  let dp = Dpif.create ~kind ~pipeline () in
+  let devs =
+    Array.init 4 (fun i ->
+        Ovs_netdev.Netdev.create ~name:(Printf.sprintf "pp%d" i) ())
+  in
+  Array.iter (fun d -> ignore (Dpif.add_port dp d)) devs;
+  let current = ref [] in
+  Array.iter
+    (fun d ->
+      Ovs_netdev.Netdev.set_tx_sink d (fun dev _pkt ->
+          current := dev.Ovs_netdev.Netdev.port_no :: !current))
+    devs;
+  let pending = Queue.create () in
+  if deferred_upcalls then
+    Dpif.set_upcall_hook dp
+      (Some (fun pkt key -> Queue.add (pkt, key) pending; true));
+  let charge _ _ = () in
+  let emitted = ref 0 and expected = ref 0 and mismatches = ref 0 in
+  List.iter
+    (fun s ->
+      current := [];
+      let pkt = policy_build_packet s in
+      let oracle =
+        Policy.eval p (Ovs_packet.Flow_key.extract pkt)
+        |> List.map (fun k ->
+               Ovs_packet.Flow_key.get k Ovs_packet.Flow_key.Field.In_port)
+        |> List.sort compare
+      in
+      Dpif.process dp charge pkt;
+      while not (Queue.is_empty pending) do
+        let pkt, key = Queue.pop pending in
+        Dpif.handle_upcall dp charge pkt key
+      done;
+      let got = List.sort compare !current in
+      emitted := !emitted + List.length got;
+      expected := !expected + List.length oracle;
+      if got <> oracle then incr mismatches)
+    specs;
+  let r =
+    {
+      pl_leg = leg;
+      pl_policy = pname;
+      pl_packets = List.length specs;
+      pl_emitted = !emitted;
+      pl_expected = !expected;
+      pl_mismatches = !mismatches;
+    }
+  in
+  if r.pl_mismatches > 0 then
+    fail_check "policy %s on %s: %d/%d packets forwarded against the semantics"
+      pname leg r.pl_mismatches r.pl_packets;
+  if r.pl_emitted <> r.pl_expected then
+    fail_check "policy %s on %s: conservation: %d transmitted vs %d predicted"
+      pname leg r.pl_emitted r.pl_expected;
+  r
+
+let policy_legs () =
+  let specs = policy_traffic_specs () in
+  let shapes =
+    [ ("chain8", Pol_catalog.chain8); ("fat-union4", Pol_catalog.fat_union4);
+      ("star2", Pol_catalog.star2) ]
+  in
+  List.concat_map
+    (fun (pname, p) ->
+      List.map
+        (fun (leg, kind, deferred_upcalls) ->
+          policy_leg ~leg ~kind ~deferred_upcalls pname p specs)
+        [ ("kernel", Dpif.Kernel, false);
+          ("afxdp", Dpif.Afxdp Dpif.afxdp_default, false);
+          ("pmd-deferred", Dpif.Dpdk, true) ])
+    shapes
+
+let policy_to_json ladder muts legs =
+  let ladder_json r =
+    Printf.sprintf
+      "  {\"policy\": \"%s\", \"rules\": %d, \"tables\": %d, \"paths\": %d, \
+       \"cubes\": %d, \"proved\": %b}"
+      r.pr_name r.pr_rules r.pr_tables r.pr_paths r.pr_cubes r.pr_proved
+  in
+  let mut_json m =
+    Printf.sprintf
+      "  {\"mutation\": \"%s\", \"policy\": \"%s\", \"caught\": %b, \
+       \"counterexample\": %S}"
+      m.pm_mutation m.pm_policy m.pm_caught m.pm_counterexample
+  in
+  let leg_json l =
+    Printf.sprintf
+      "  {\"leg\": \"%s\", \"policy\": \"%s\", \"packets\": %d, \
+       \"emitted\": %d, \"expected\": %d, \"mismatches\": %d}"
+      l.pl_leg l.pl_policy l.pl_packets l.pl_emitted l.pl_expected
+      l.pl_mismatches
+  in
+  Printf.sprintf
+    "{\"bench\": \"policy\", \"ladder\": [\n%s\n], \"mutations\": [\n%s\n], \
+     \"legs\": [\n%s\n]}\n"
+    (String.concat ",\n" (List.map ladder_json ladder))
+    (String.concat ",\n" (List.map mut_json muts))
+    (String.concat ",\n" (List.map leg_json legs))
+
+let policy_exp () =
+  section
+    "Policy: compile the ladder, prove equivalence, catch mutations, drive \
+     traffic";
+  row "%-12s %6s %7s %6s %7s %7s@." "policy" "rules" "tables" "paths" "cubes"
+    "proved";
+  let ladder = policy_ladder () in
+  List.iter
+    (fun r ->
+      row "%-12s %6d %7d %6d %7d %7s@." r.pr_name r.pr_rules r.pr_tables
+        r.pr_paths r.pr_cubes
+        (if r.pr_proved then "yes" else "NO"))
+    ladder;
+  row "@.%-16s %-12s %-7s counterexample@." "mutation" "policy" "caught";
+  let muts = policy_mutations () in
+  List.iter
+    (fun m ->
+      row "%-16s %-12s %-7s %s@." m.pm_mutation m.pm_policy
+        (if m.pm_caught then "yes" else "NO")
+        m.pm_counterexample)
+    muts;
+  row "@.%-12s %-14s %8s %8s %9s %10s@." "policy" "leg" "packets" "emitted"
+    "predicted" "mismatches";
+  let legs = policy_legs () in
+  List.iter
+    (fun l ->
+      row "%-12s %-14s %8d %8d %9d %10d@." l.pl_policy l.pl_leg l.pl_packets
+        l.pl_emitted l.pl_expected l.pl_mismatches)
+    legs;
+  row "@.(the checker partitions the key space into cubes on which every@.";
+  row " branch is constant; \"proved\" means the compiled tables and the@.";
+  row " policy semantics agreed on every cube. Each seeded compiler bug@.";
+  row " must be caught with a packet that concretely diverges, and the@.";
+  row " datapath legs replay real traffic against the eval oracle)@.";
+  if !json_out then begin
+    let out = open_out "BENCH_policy.json" in
+    output_string out (policy_to_json ladder muts legs);
+    close_out out;
+    row "wrote BENCH_policy.json@."
+  end
+
 (* ------------------------------------------------------------------ CLI *)
 
 let all = [
@@ -1238,6 +1509,7 @@ let all = [
   ("pmd", pmd_exp); ("stages", stages_exp); ("ablations", ablations);
   ("chaos", chaos_exp); ("ccache", ccache_exp); ("mc", mc_exp);
   ("multicore", multicore_exp); ("latency", latency_exp); ("ndr", ndr_exp);
+  ("policy", policy_exp);
 ]
 
 let () =

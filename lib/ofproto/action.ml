@@ -27,6 +27,11 @@ type t =
   | Flood
   | Drop
   | Set_field of FK.Field.t * int
+  | Move of FK.Field.t * FK.Field.t
+      (** copy src field into dst field (NXAST_REG_MOVE); translation
+          resolves the copied value concretely, exact-matching the
+          source field in the megaflow — the policy compiler's
+          save/restore machinery *)
   | Push_vlan of int  (** the TCI to push *)
   | Pop_vlan
   | Tunnel_push of tunnel_spec
@@ -58,6 +63,8 @@ let pp ppf = function
   | Flood -> Fmt.string ppf "FLOOD"
   | Drop -> Fmt.string ppf "drop"
   | Set_field (f, v) -> Fmt.pf ppf "set_field:%s=0x%x" (FK.Field.name f) v
+  | Move (src, dst) ->
+      Fmt.pf ppf "move:%s->%s" (FK.Field.name src) (FK.Field.name dst)
   | Push_vlan tci -> Fmt.pf ppf "push_vlan:%d" (tci land 0xFFF)
   | Pop_vlan -> Fmt.string ppf "pop_vlan"
   | Tunnel_push ts ->

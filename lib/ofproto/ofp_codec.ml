@@ -291,6 +291,7 @@ let nxast_normal = 122
 let nxast_flood = 123
 let nxast_controller = 124
 let nxast_in_port = 125
+let nxast_reg_move = 126
 
 let encode_action w (a : Action.t) =
   let experimenter subtype body =
@@ -379,6 +380,10 @@ let encode_action w (a : Action.t) =
   | Action.Flood -> experimenter nxast_flood (fun () -> ())
   | Action.Controller -> experimenter nxast_controller (fun () -> ())
   | Action.In_port_output -> experimenter nxast_in_port (fun () -> ())
+  | Action.Move (src, dst) ->
+      experimenter nxast_reg_move (fun () ->
+          W.u8 w (FK.Field.to_index src);
+          W.u8 w (FK.Field.to_index dst))
   | Action.Drop -> ()  (* drop is the absence of actions *)
   | Action.Goto_table _ | Action.Meter _ ->
       invalid_arg "encode_action: instruction-level action"
@@ -460,6 +465,11 @@ let decode_action r : Action.t option =
       else if subtype = nxast_flood then Some Action.Flood
       else if subtype = nxast_controller then Some Action.Controller
       else if subtype = nxast_in_port then Some Action.In_port_output
+      else if subtype = nxast_reg_move then begin
+        let src = FK.Field.all.(R.u8 body) in
+        let dst = FK.Field.all.(R.u8 body) in
+        Some (Action.Move (src, dst))
+      end
       else fail "unknown experimenter action subtype %d" subtype
     end
   | t -> fail "unknown action type %d" t

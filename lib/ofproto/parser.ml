@@ -285,6 +285,17 @@ let parse_action tok =
                           match prefixed "set_field:" with
                           | Some v -> parse_set_field v
                           | None -> begin
+                          match prefixed "move:" with
+                          | Some v -> begin
+                              match split_arrow v with
+                              | exception Not_found -> fail "bad move %S" v
+                              | src, dst -> begin
+                                  match (FK.Field.of_name src, FK.Field.of_name dst) with
+                                  | Some s, Some d -> Action.Move (s, d)
+                                  | _ -> fail "unknown field in move %S" v
+                                end
+                            end
+                          | None -> begin
                               match prefixed "ct(" with
                               | Some v when String.length v > 0
                                             && v.[String.length v - 1] = ')' ->
@@ -300,6 +311,7 @@ let parse_action tok =
             end
         end
     end
+        end
         end
         end
 

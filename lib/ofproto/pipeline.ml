@@ -144,6 +144,15 @@ let translate t ?start_table
             emit (Action.Odp_set (f, v));
             FK.set key f v;
             apply table_id hops rest
+        | Action.Move (src, dst) ->
+            (* resolved concretely, like In_port_output: the emitted
+               value depends on the source field, so the megaflow must
+               exact-match it *)
+            FK.set mask src (FK.Field.full_mask src);
+            let v = FK.get key src in
+            emit (Action.Odp_set (dst, v));
+            FK.set key dst v;
+            apply table_id hops rest
         | Action.Push_vlan tci ->
             emit (Action.Odp_push_vlan tci);
             FK.set key FK.Field.Vlan_tci (tci lor 0x1000);

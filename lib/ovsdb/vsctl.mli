@@ -1,0 +1,29 @@
+(** The ovs-vsctl convenience layer: the commands operators (and the NSX
+    agent's scripts) use, each expanded into one atomic OVSDB transaction
+    against the Open_vSwitch schema — add-br, add-port, set-interface-type
+    and friends. *)
+
+exception Error of string
+
+(** ovs-vsctl add-br BRIDGE [-- set bridge datapath_type=...]; returns
+    the new Bridge row's uuid. *)
+val add_br : Db.t -> ?datapath_type:string -> string -> Value.uuid
+
+(** ovs-vsctl add-port BRIDGE PORT [-- set interface PORT type=TYPE];
+    returns the (Port, Interface) row uuids. *)
+val add_port :
+  Db.t -> bridge:string -> ?iface_type:string -> string ->
+  Value.uuid * Value.uuid
+
+(** ovs-vsctl del-port BRIDGE PORT. *)
+val del_port : Db.t -> bridge:string -> string -> unit
+
+(** ovs-vsctl set interface NAME ofport_request / record datapath port. *)
+val set_interface_ofport : Db.t -> string -> int -> unit
+
+(** ovs-vsctl list-br / list-ports (sorted). *)
+val list_br : Db.t -> string list
+
+val list_ports : Db.t -> bridge:string -> string list
+
+val interface_type : Db.t -> string -> string option

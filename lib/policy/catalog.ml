@@ -1,0 +1,140 @@
+(** The built-in policy ladder: named shapes — filter/mod chains, fat
+    unions, bounded stars, overlapping mod arms — sized to the traffic
+    universe the differential suite generates (10.0.0.0/16 sources,
+    10.0.1.0/24 destinations, well-known destination ports). The bench
+    ladder, the appctl [policy/show]/[policy/check] commands and the
+    mutation leg all speak these names. *)
+
+module FK = Ovs_packet.Flow_key
+open Policy
+
+let ip a b c d = (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d
+
+(** The [in_port] universe the checker quantifies over. *)
+let ports = [ 0; 1; 2; 3 ]
+
+let chain3 =
+  seq
+    [
+      Filter (test_prefix FK.Field.Nw_dst (ip 10 0 1 0) 24);
+      Filter (test FK.Field.Tp_dst 53);
+      fwd 1;
+    ]
+
+let chain8 =
+  seq
+    [
+      Filter (test_prefix FK.Field.Nw_src (ip 10 0 0 0) 16);
+      Filter (test_prefix FK.Field.Nw_dst (ip 10 0 1 0) 24);
+      Filter (test FK.Field.Nw_proto 17);
+      Filter (test FK.Field.Tp_dst 80);
+      Filter (Not (test FK.Field.Tp_src 53));
+      Mod (FK.Field.Nw_tos, 46);
+      Mod (FK.Field.Tp_src, 4096);
+      fwd 2;
+    ]
+
+let arm port dport = seq [ Filter (test FK.Field.Tp_dst dport); fwd port ]
+
+let fat_union4 = union [ arm 0 53; arm 1 80; arm 2 443; arm 3 8080 ]
+
+let fat_union8 =
+  union
+    [
+      arm 0 53;
+      arm 1 80;
+      arm 2 443;
+      arm 3 8080;
+      seq
+        [
+          Filter
+            (And (test_masked FK.Field.Tp_src 0 1, test FK.Field.Tp_dst 53));
+          Mod (FK.Field.Tp_dst, 5353);
+          fwd 1;
+        ];
+      seq
+        [
+          Filter
+            (And (test_masked FK.Field.Tp_src 1 1, test FK.Field.Tp_dst 53));
+          fwd 2;
+        ];
+      seq
+        [
+          Filter (test_prefix FK.Field.Nw_src (ip 10 7 0 0) 16);
+          Mod (FK.Field.Nw_tos, 7);
+          fwd 3;
+        ];
+      seq
+        [
+          Filter
+            (And
+               ( test_prefix FK.Field.Nw_dst (ip 10 0 9 0) 24,
+                 test FK.Field.Nw_proto 6 ));
+          fwd 0;
+        ];
+    ]
+
+let star2 =
+  seq
+    [
+      Star
+        ( 2,
+          union
+            [
+              seq [ Filter (test FK.Field.Tp_dst 80); Mod (FK.Field.Tp_dst, 443) ];
+              seq
+                [ Filter (test FK.Field.Tp_dst 443); Mod (FK.Field.Tp_dst, 8080) ];
+            ] );
+      fwd 1;
+    ]
+
+let overlap2 =
+  union
+    [
+      seq [ Filter (test FK.Field.Tp_dst 80); Mod (FK.Field.Tp_dst, 53); fwd 1 ];
+      seq [ Filter (test FK.Field.Tp_dst 80); fwd 2 ];
+    ]
+
+let mixed =
+  seq
+    [
+      union
+        [
+          seq [ Filter (test_masked FK.Field.Tp_src 0 1); fwd 2 ];
+          seq
+            [
+              Filter (test_masked FK.Field.Tp_src 1 1);
+              Mod (FK.Field.Tp_src, 1024);
+              fwd 3;
+            ];
+        ];
+      Star (1, seq [ Filter (test FK.Field.Nw_tos 0); Mod (FK.Field.Nw_tos, 46) ]);
+    ]
+
+let entries =
+  [
+    ("chain3", "3-step filter chain", chain3);
+    ("chain8", "8-step chain with negation and mods", chain8);
+    ("fat-union4", "4-arm union, one port per service", fat_union4);
+    ("fat-union8", "8 overlapping arms with masked tests and mods", fat_union8);
+    ("star2", "bounded star escalating ports 80 -> 443 -> 8080", star2);
+    ("overlap2", "overlapping arms where restore order matters", overlap2);
+    ("mixed", "union of masked arms followed by a bounded star", mixed);
+  ]
+
+let find name =
+  List.find_map (fun (n, _, p) -> if n = name then Some p else None) entries
+
+(** One policy per seeded compiler mutation, chosen so the bug is
+    semantically visible (e.g. [Drop_restore] needs a later arm that
+    re-tests a field an earlier arm modifies). *)
+let mutation_cases =
+  [
+    (Compile.Drop_goto, "fat-union4");
+    (Compile.Wrong_priority, "fat-union4");
+    (Compile.Drop_restore, "overlap2");
+    (Compile.Drop_union_arm, "fat-union4");
+    (Compile.Wrong_mod_value, "chain8");
+    (Compile.Drop_filter, "fat-union4");
+    (Compile.Star_off_by_one, "star2");
+  ]

@@ -1,0 +1,278 @@
+(** Mask-aware symbolic equivalence: prove that translating the
+    compiled tables agrees with the policy's denotational semantics over
+    the whole flow-key space, or produce a concrete counterexample
+    packet.
+
+    The engine generalizes the single-field interval carving of
+    {!Ovs_nmu.Iset} to cross-field predicate partitions. Every masked
+    atom either side can branch on — policy tests, compiled rule
+    matches, and the exact values written by mods — is collected per
+    field; {!Ovs_nmu.Iset.Masked.refine} carves each field's domain into
+    disjoint regions on which every atom is constant, and the cross
+    product of those regions (times the finite [in_port] universe) is a
+    partition of the key space into {e cubes}. Within one cube both
+    sides take the same branches everywhere, so checking the cube's
+    representative key checks the whole cube:
+
+    - the {b policy side} evaluates symbolically: an environment maps
+      each field to a constant (written by a mod) or to "original";
+      predicates resolve against the cube representative.
+    - the {b compiled side} runs the real {!Ovs_ofproto.Pipeline.translate}
+      on the representative and interprets the returned datapath actions
+      symbolically. A [set] whose value equals the representative's
+      original field value is a register {e restore} (or a mod the cube
+      pins to its own value — equivalent on the cube) and maps back to
+      "original"; any other [set] is a cube-constant write. Register and
+      recirculation metadata is invisible on the wire and excluded.
+
+    Both sides normalize emissions to [(port, field := const, ...)]
+    descriptor sets; a cube where the sets differ yields its
+    representative as the counterexample packet. *)
+
+module FK = Ovs_packet.Flow_key
+module Masked = Ovs_nmu.Iset.Masked
+module Pipeline = Ovs_ofproto.Pipeline
+module Table = Ovs_ofproto.Table
+module Match_ = Ovs_ofproto.Match_
+module Action = Ovs_ofproto.Action
+
+exception Check_error of string
+
+let fail fmt = Fmt.kstr (fun m -> raise (Check_error m)) fmt
+
+type emission = {
+  e_port : int;
+  e_sets : (FK.Field.t * int) list;
+      (** cube-constant rewrites, sorted by field index; fields absent
+          keep their input value *)
+}
+
+type divergence = {
+  d_key : FK.t;  (** the counterexample packet *)
+  d_policy : emission list;
+  d_compiled : emission list;
+}
+
+type result = Proved of int  (** cubes checked *) | Divergent of divergence
+
+let reserved f =
+  match f with
+  | FK.Field.Recirc_id | FK.Field.Reg0 | FK.Field.Reg1 | FK.Field.Reg2
+  | FK.Field.Reg3 | FK.Field.Reg4 | FK.Field.Reg5 | FK.Field.Reg6
+  | FK.Field.Reg7 -> true
+  | _ -> false
+
+(* -- symbolic environments: field -> written constant; absent = original -- *)
+
+let env_set rep env f v =
+  (* writing the representative's own value is "original" on this cube
+     (register restores; mods the cube pins to their written value) *)
+  let env = List.remove_assoc f env in
+  if v = FK.get rep f then env else (f, v) :: env
+
+let env_get rep env f =
+  match List.assoc_opt f env with Some v -> v | None -> FK.get rep f
+
+let env_canon env =
+  List.sort (fun (a, _) (b, _) -> compare (FK.Field.to_index a) (FK.Field.to_index b)) env
+
+(* -- policy side -- *)
+
+let rec eval_pred_env rep env (pr : Policy.pred) =
+  match pr with
+  | Policy.True -> true
+  | Policy.False -> false
+  | Policy.Test (f, v, m) -> env_get rep env f land m = v
+  | Policy.And (a, b) -> eval_pred_env rep env a && eval_pred_env rep env b
+  | Policy.Or (a, b) -> eval_pred_env rep env a || eval_pred_env rep env b
+  | Policy.Not a -> not (eval_pred_env rep env a)
+
+let union_envs a b =
+  List.fold_left (fun acc e -> if List.mem e acc then acc else acc @ [ e ]) a b
+
+let rec eval_sym rep (p : Policy.t) (envs : (FK.Field.t * int) list list) =
+  match p with
+  | Policy.Filter pr -> List.filter (fun e -> eval_pred_env rep e pr) envs
+  | Policy.Mod (f, v) ->
+      union_envs [] (List.map (fun e -> env_canon (env_set rep e f v)) envs)
+  | Policy.Union (a, b) ->
+      union_envs (eval_sym rep a envs) (eval_sym rep b envs)
+  | Policy.Seq (a, b) -> eval_sym rep b (eval_sym rep a envs)
+  | Policy.Star (bound, a) ->
+      let acc = ref envs and frontier = ref envs in
+      for _ = 1 to bound do
+        frontier := eval_sym rep a !frontier;
+        acc := union_envs !acc !frontier
+      done;
+      !acc
+
+let emissions_canon es =
+  let es =
+    List.fold_left (fun acc e -> if List.mem e acc then acc else e :: acc) [] es
+  in
+  List.sort compare es
+
+let policy_emissions rep (p : Policy.t) : emission list =
+  eval_sym rep p [ [] ]
+  |> List.map (fun env ->
+         { e_port = env_get rep env FK.Field.In_port; e_sets = env_canon env })
+  |> emissions_canon
+
+(* -- compiled side -- *)
+
+(** Interpret a translated datapath action list symbolically against the
+    cube representative. Only [set]/[output]/[drop] can appear in a
+    compiled policy's translation. *)
+let interp_odp rep (odp : Action.odp list) : emission list =
+  let env = ref [] in
+  let out = ref [] in
+  List.iter
+    (function
+      | Action.Odp_set (f, v) ->
+          if not (reserved f) then env := env_set rep !env f v
+      | Action.Odp_output p ->
+          out := { e_port = p; e_sets = env_canon !env } :: !out
+      | Action.Odp_drop -> ()
+      | a -> fail "non-policy datapath action %a" Action.pp_odp a)
+    odp;
+  emissions_canon !out
+
+let compiled_emissions pipeline rep : emission list =
+  let r = Pipeline.translate pipeline rep in
+  interp_odp rep r.Pipeline.odp_actions
+
+(** Concrete per-key oracle used by the differential tests and the bench
+    conservation gates: the [(port, output key)] transmissions a single
+    translation produces for [key], with register/recirc metadata zeroed
+    so wire-identical packets compare equal. *)
+let concrete_emissions pipeline (key : FK.t) : (int * FK.t) list =
+  let r = Pipeline.translate pipeline key in
+  let cur = FK.copy key in
+  let out = ref [] in
+  List.iter
+    (function
+      | Action.Odp_set (f, v) -> FK.set cur f v
+      | Action.Odp_output p ->
+          let k = FK.copy cur in
+          Array.iter (fun f -> if reserved f then FK.set k f 0) FK.Field.all;
+          out := (p, k) :: !out
+      | Action.Odp_drop -> ()
+      | a -> fail "non-policy datapath action %a" Action.pp_odp a)
+    r.Pipeline.odp_actions;
+  List.rev !out
+
+(* -- atom collection and cube enumeration -- *)
+
+let collect_atoms (p : Policy.t) (pipeline : Pipeline.t) :
+    (FK.Field.t * Masked.t list) list =
+  let by_field : (FK.Field.t, Masked.t list) Hashtbl.t = Hashtbl.create 8 in
+  let add f (a : Masked.t) =
+    if not (reserved f || f = FK.Field.In_port || Masked.is_always a) then begin
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_field f) in
+      if not (List.exists (Masked.equal a) cur) then
+        Hashtbl.replace by_field f (a :: cur)
+    end
+  in
+  let exact f v = add f (Masked.make ~value:v ~mask:(FK.Field.full_mask f)) in
+  List.iter (fun (f, v, m) -> add f (Masked.make ~value:v ~mask:m)) (Policy.atoms p);
+  List.iter (fun (f, v) -> exact f v) (Policy.mods p);
+  Array.iter
+    (fun tbl ->
+      Table.iter tbl (fun r ->
+          let m = r.Table.match_ in
+          Array.iter
+            (fun f ->
+              let mask = FK.get m.Match_.mask f in
+              if mask <> 0 then
+                add f (Masked.make ~value:(FK.get m.Match_.key f) ~mask))
+            FK.Field.all;
+          List.iter
+            (function
+              | Action.Set_field (f, v) -> if not (reserved f) then exact f v
+              | _ -> ())
+            r.Table.value))
+    pipeline.Pipeline.tables;
+  Hashtbl.fold (fun f atoms acc -> (f, List.rev atoms) :: acc) by_field []
+  |> List.sort (fun (a, _) (b, _) ->
+         compare (FK.Field.to_index a) (FK.Field.to_index b))
+
+let max_cubes = 500_000
+
+(** Prove [translate (compile p) = eval p] over the key space (with
+    [in_port] ranging over [ports]), or return a counterexample. *)
+let check ?(ports = [ 0; 1; 2; 3 ]) (p : Policy.t) (pipeline : Pipeline.t) :
+    result =
+  if ports = [] then fail "empty port universe";
+  let dims =
+    List.map
+      (fun (f, atoms) ->
+        let full = FK.Field.full_mask f in
+        let regions = Masked.refine ~full atoms in
+        if regions = [] then fail "empty refinement on %s" (FK.Field.name f);
+        (f, Array.of_list (List.map (fun r -> r.Masked.r_rep) regions)))
+      (collect_atoms p pipeline)
+  in
+  let n_cubes =
+    List.fold_left (fun n (_, reps) -> n * Array.length reps) (List.length ports) dims
+  in
+  if n_cubes > max_cubes then
+    fail "cube explosion: %d cubes (max %d)" n_cubes max_cubes;
+  let divergence = ref None in
+  let cubes = ref 0 in
+  let rec enumerate rep = function
+    | [] ->
+        incr cubes;
+        let pol = policy_emissions rep p in
+        let comp = compiled_emissions pipeline rep in
+        if pol <> comp && !divergence = None then
+          divergence :=
+            Some { d_key = FK.copy rep; d_policy = pol; d_compiled = comp }
+    | (f, reps) :: rest ->
+        Array.iter
+          (fun v ->
+            if !divergence = None then begin
+              FK.set rep f v;
+              enumerate rep rest
+            end)
+          reps
+  in
+  List.iter
+    (fun port ->
+      if !divergence = None then begin
+        let rep = FK.create () in
+        FK.set rep FK.Field.In_port port;
+        enumerate rep dims
+      end)
+    ports;
+  match !divergence with Some d -> Divergent d | None -> Proved !cubes
+
+(* -- rendering -- *)
+
+let pp_emission ppf e =
+  if e.e_sets = [] then Fmt.pf ppf "port %d" e.e_port
+  else
+    Fmt.pf ppf "port %d (%s)" e.e_port
+      (String.concat ", "
+         (List.map
+            (fun (f, v) ->
+              Printf.sprintf "%s:=%s" (FK.Field.name f) (Policy.pp_value f v))
+            e.e_sets))
+
+let pp_emissions ppf = function
+  | [] -> Fmt.string ppf "no packets"
+  | es -> Fmt.pf ppf "%a" Fmt.(list ~sep:(any "; ") pp_emission) es
+
+let render_key (key : FK.t) : string =
+  let parts =
+    Array.to_list FK.Field.all
+    |> List.filter_map (fun f ->
+           let v = FK.get key f in
+           if v <> 0 && not (reserved f) then
+             Some (Printf.sprintf "%s=%s" (FK.Field.name f) (Policy.pp_value f v))
+           else None)
+  in
+  if parts = [] then "all-zero packet on port 0" else String.concat "," parts
+
+let render_divergence (d : divergence) : string =
+  Fmt.str "counterexample packet: %s\n  policy emits:   %a\n  compiled emits: %a"
+    (render_key d.d_key) pp_emissions d.d_policy pp_emissions d.d_compiled

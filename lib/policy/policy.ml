@@ -1,0 +1,165 @@
+(** A NetKAT-style policy language with denotational packet-set
+    semantics over {!Ovs_packet.Flow_key}.
+
+    A policy maps one packet (flow key) to a *set* of packets: [Filter]
+    keeps or drops the packet, [Mod] rewrites one field, [Union] runs
+    both branches on the same input and unions the results, [Seq]
+    pipes every output of the first policy into the second, and
+    [Star (k, p)] is the bounded iteration [id + p + p^2 + ... + p^k].
+
+    Locations follow the NetKAT convention: a packet's position is its
+    [In_port] field, so "output to port 2" is [Mod (In_port, 2)] (see
+    {!fwd}) and every element of [eval p key] is a packet emitted on its
+    own final [In_port]. The compiler in {!Compile} lowers exactly this
+    semantics onto the multi-table ofproto pipeline, and {!Check} proves
+    the two agree. *)
+
+module FK = Ovs_packet.Flow_key
+
+type pred =
+  | True
+  | False
+  | Test of FK.Field.t * int * int
+      (** [Test (f, v, m)]: the packet satisfies [key.f land m = v] *)
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+type t =
+  | Filter of pred
+  | Mod of FK.Field.t * int
+  | Union of t * t
+  | Seq of t * t
+  | Star of int * t  (** bounded: [id + p + ... + p^k] *)
+
+(* -- constructors -- *)
+
+let test f v =
+  let full = FK.Field.full_mask f in
+  Test (f, v land full, full)
+
+let test_masked f v m = Test (f, v land m, m)
+
+let test_prefix f addr plen =
+  if plen < 0 || plen > 32 then invalid_arg "Policy.test_prefix";
+  let m = if plen = 0 then 0 else 0xFFFFFFFF lsl (32 - plen) land 0xFFFFFFFF in
+  Test (f, addr land m, m)
+
+let id = Filter True
+let drop = Filter False
+let fwd p = Mod (FK.Field.In_port, p)
+let seq = function [] -> id | p :: ps -> List.fold_left (fun a b -> Seq (a, b)) p ps
+let union = function [] -> drop | p :: ps -> List.fold_left (fun a b -> Union (a, b)) p ps
+
+(* -- semantics -- *)
+
+let rec eval_pred (pr : pred) (key : FK.t) : bool =
+  match pr with
+  | True -> true
+  | False -> false
+  | Test (f, v, m) -> FK.get key f land m = v
+  | And (a, b) -> eval_pred a key && eval_pred b key
+  | Or (a, b) -> eval_pred a key || eval_pred b key
+  | Not a -> not (eval_pred a key)
+
+let add_unique k ks = if List.exists (FK.equal k) ks then ks else ks @ [ k ]
+let union_keys a b = List.fold_left (fun acc k -> add_unique k acc) a b
+
+(** The denotation: the set of output packets (fresh copies; the input
+    key is never modified). *)
+let rec eval (p : t) (key : FK.t) : FK.t list =
+  match p with
+  | Filter pr -> if eval_pred pr key then [ FK.copy key ] else []
+  | Mod (f, v) ->
+      let k = FK.copy key in
+      FK.set k f v;
+      [ k ]
+  | Union (a, b) -> union_keys (eval a key) (eval b key)
+  | Seq (a, b) ->
+      List.fold_left (fun acc k -> union_keys acc (eval b k)) [] (eval a key)
+  | Star (bound, p) ->
+      let acc = ref [ FK.copy key ] in
+      let frontier = ref [ FK.copy key ] in
+      for _ = 1 to bound do
+        let next =
+          List.fold_left (fun ns k -> union_keys ns (eval p k)) [] !frontier
+        in
+        frontier := next;
+        acc := union_keys !acc next
+      done;
+      !acc
+
+(* -- structure queries -- *)
+
+let rec pred_atoms (pr : pred) : (FK.Field.t * int * int) list =
+  match pr with
+  | True | False -> []
+  | Test (f, v, m) -> [ (f, v, m) ]
+  | And (a, b) | Or (a, b) -> pred_atoms a @ pred_atoms b
+  | Not a -> pred_atoms a
+
+(** Every [Test] atom in the policy, in syntactic order. *)
+let rec atoms (p : t) : (FK.Field.t * int * int) list =
+  match p with
+  | Filter pr -> pred_atoms pr
+  | Mod _ -> []
+  | Union (a, b) | Seq (a, b) -> atoms a @ atoms b
+  | Star (_, a) -> atoms a
+
+(** Every [(field, value)] a [Mod] can write, in syntactic order. *)
+let rec mods (p : t) : (FK.Field.t * int) list =
+  match p with
+  | Filter _ -> []
+  | Mod (f, v) -> [ (f, v) ]
+  | Union (a, b) | Seq (a, b) -> mods a @ mods b
+  | Star (_, a) -> mods a
+
+let modified_fields p =
+  List.fold_left
+    (fun acc (f, _) -> if List.mem f acc then acc else acc @ [ f ])
+    [] (mods p)
+
+(* -- rendering -- *)
+
+let pp_value f v =
+  match f with
+  | FK.Field.Nw_src | FK.Field.Nw_dst | FK.Field.Tun_src | FK.Field.Tun_dst ->
+      Ovs_packet.Ipv4.addr_to_string v
+  | _ -> string_of_int v
+
+let pp_atom ppf (f, v, m) =
+  let full = FK.Field.full_mask f in
+  if m = full then Fmt.pf ppf "%s=%s" (FK.Field.name f) (pp_value f v)
+  else
+    (* render IPv4 prefixes as CIDR, everything else as value/mask *)
+    let plen_of m =
+      let rec go i = if i > 32 then None
+        else if m = (if i = 0 then 0 else 0xFFFFFFFF lsl (32 - i) land 0xFFFFFFFF)
+        then Some i else go (i + 1)
+      in
+      go 0
+    in
+    match f with
+    | (FK.Field.Nw_src | FK.Field.Nw_dst) when plen_of m <> None ->
+        Fmt.pf ppf "%s=%s/%d" (FK.Field.name f)
+          (Ovs_packet.Ipv4.addr_to_string v)
+          (match plen_of m with Some p -> p | None -> 32)
+    | _ -> Fmt.pf ppf "%s&0x%x=0x%x" (FK.Field.name f) m v
+
+let rec pp_pred ppf = function
+  | True -> Fmt.string ppf "true"
+  | False -> Fmt.string ppf "false"
+  | Test (f, v, m) -> pp_atom ppf (f, v, m)
+  | And (a, b) -> Fmt.pf ppf "(%a and %a)" pp_pred a pp_pred b
+  | Or (a, b) -> Fmt.pf ppf "(%a or %a)" pp_pred a pp_pred b
+  | Not a -> Fmt.pf ppf "not %a" pp_pred a
+
+let rec pp ppf = function
+  | Filter True -> Fmt.string ppf "id"
+  | Filter False -> Fmt.string ppf "drop"
+  | Filter pr -> Fmt.pf ppf "filter %a" pp_pred pr
+  | Mod (FK.Field.In_port, p) -> Fmt.pf ppf "fwd(%d)" p
+  | Mod (f, v) -> Fmt.pf ppf "%s := %s" (FK.Field.name f) (pp_value f v)
+  | Union (a, b) -> Fmt.pf ppf "(%a | %a)" pp a pp b
+  | Seq (a, b) -> Fmt.pf ppf "%a; %a" pp a pp b
+  | Star (k, a) -> Fmt.pf ppf "(%a)*%d" pp a k

@@ -534,6 +534,52 @@ let mc_replay artifact =
   | Ok s -> Ok_output s
   | Error e -> Not_supported ("mc/replay: " ^ e)
 
+module Policy = Ovs_policy.Policy
+module Pol_compile = Ovs_policy.Compile
+module Pol_check = Ovs_policy.Check
+module Pol_catalog = Ovs_policy.Catalog
+
+(** [ovs-appctl policy/show NAME]: the catalog policy's source text and
+    its compiled multi-table layout. *)
+let policy_show name =
+  match Pol_catalog.find name with
+  | None ->
+      Not_supported
+        (Fmt.str "no policy %S (have: %s)" name
+           (String.concat ", " (List.map (fun (n, _, _) -> n) Pol_catalog.entries)))
+  | Some p ->
+      let c = Pol_compile.compile p in
+      let desc =
+        List.find_map
+          (fun (n, d, _) -> if n = name then Some d else None)
+          Pol_catalog.entries
+      in
+      Ok_output
+        (Fmt.str "policy %s: %s\n  %a\ncompiled: %d tables, %d paths, %d rules"
+           name
+           (Option.value ~default:"" desc)
+           Policy.pp p c.Pol_compile.n_tables c.Pol_compile.n_paths
+           (List.length c.Pol_compile.rules))
+
+(** [ovs-appctl policy/check NAME]: compile the catalog policy, install
+    it through the controller path, and run the symbolic equivalence
+    checker over the whole key space. *)
+let policy_check name =
+  match Pol_catalog.find name with
+  | None -> Not_supported (Fmt.str "no policy %S" name)
+  | Some p -> (
+      let c, pipeline = Pol_compile.pipeline_of p in
+      match Pol_check.check ~ports:Pol_catalog.ports p pipeline with
+      | Pol_check.Proved cubes ->
+          Ok_output
+            (Fmt.str
+               "policy %s: PROVED translate(compile(p)) = eval(p) over %d cubes (%d rules)"
+               name cubes (List.length c.Pol_compile.rules))
+      | Pol_check.Divergent d ->
+          Ok_output
+            (Fmt.str "policy %s: DIVERGENT\n%s" name
+               (Pol_check.render_divergence d)))
+
 (** Dispatch an appctl command string. PMD commands render the supplied
     runtime reports (pass the current {!Pmd.reports}); datapath commands
     ([ofproto/trace], [dpif/show-stage-cycles], [dpctl/dump-flows]) need
@@ -557,6 +603,8 @@ let appctl ?(pmds : Pmd.report list = []) ?(dp : Dpif.t option)
   let trace_prefix = "ofproto/trace " in
   let fault_prefix = "fault/inject " in
   let mc_prefix = "mc/replay " in
+  let policy_show_prefix = "policy/show " in
+  let policy_check_prefix = "policy/check " in
   match cmd with
   | "dpif-netdev/pmd-stats-show" -> Ok_output (pmd_stats_show pmds)
   | "dpif-netdev/pmd-rxq-show" -> Ok_output (pmd_rxq_show pmds)
@@ -578,6 +626,11 @@ let appctl ?(pmds : Pmd.report list = []) ?(dp : Dpif.t option)
   | "ofproto/trace" -> Not_supported "usage: ofproto/trace FLOW"
   | "mc/replay" ->
       Not_supported "usage: mc/replay mc1 mode=MODE seed=N mut=NAME sched=HEX"
+  | "policy/show" | "policy/check" ->
+      Not_supported
+        (Printf.sprintf "usage: %s NAME (see policy/show for names)" cmd)
+  | _ when prefixed policy_show_prefix -> policy_show (arg policy_show_prefix)
+  | _ when prefixed policy_check_prefix -> policy_check (arg policy_check_prefix)
   | _ when prefixed mc_prefix -> mc_replay (arg mc_prefix)
   | _ when prefixed fault_prefix -> fault_inject (arg fault_prefix)
   | _ when prefixed trace_prefix ->

@@ -102,12 +102,18 @@ let ruleset_tunnel =
 
 (* -- one leg: run the whole script through one datapath flavor -- *)
 
+(* Rule installation is a closure over a fresh pipeline, so legs can be
+   built from parsed flow strings or from the policy compiler's
+   controller path alike. *)
+let install_rules rules pipeline =
+  ignore (Ovs_ofproto.Parser.install_flows pipeline rules)
+
 (* Each processed packet yields the list of (output port, frame digest)
    transmissions it caused, in order; a dropped packet yields []. *)
 let run_leg ~kind ~deferred_upcalls ?(ccache = false) ?(ccache_serves = true)
-    rules specs =
-  let pipeline = Ovs_ofproto.Pipeline.create ~n_tables:4 () in
-  ignore (Ovs_ofproto.Parser.install_flows pipeline rules);
+    ?(n_tables = 4) install specs =
+  let pipeline = Ovs_ofproto.Pipeline.create ~n_tables () in
+  install pipeline;
   let dp = Dpif.create ~kind ~pipeline () in
   if ccache then begin
     Dpif.set_ccache_enabled dp true;
@@ -206,14 +212,32 @@ let legs =
     ("afxdp-ccache", Dpif.Afxdp Dpif.afxdp_default, false, true);
   ]
 
-let differential ?(ccache_serves = true) name rules () =
+let differential ?(ccache_serves = true) ?n_tables ?oracle name install () =
   let prng = Prng.of_int 0xD1FF in
   let specs = List.init n_packets (fun _ -> gen_spec prng) in
   let results =
     List.map (fun (leg, kind, deferred_upcalls, ccache) ->
-        (leg, run_leg ~kind ~deferred_upcalls ~ccache ~ccache_serves rules specs))
+        ( leg,
+          run_leg ~kind ~deferred_upcalls ~ccache ~ccache_serves ?n_tables
+            install specs ))
       legs
   in
+  (* tie the dataplane to a per-packet semantic oracle when one is given:
+     the set of ports each packet leaves on must be exactly what the
+     oracle predicts for that packet's flow key *)
+  (match (oracle, results) with
+  | Some oracle, (ref_leg, (ref_out, _)) :: _ ->
+      List.iteri
+        (fun i (s, out) ->
+          let got = List.sort_uniq compare (List.map fst out) in
+          let expected = oracle s in
+          if got <> expected then
+            Alcotest.failf "%s: packet %d of %s left on ports {%s}, oracle says {%s}"
+              name i ref_leg
+              (String.concat "," (List.map string_of_int got))
+              (String.concat "," (List.map string_of_int expected)))
+        (List.combine specs ref_out)
+  | _ -> ());
   match results with
   | [] | [ _ ] -> Alcotest.fail "need at least two legs"
   | (ref_leg, (ref_out, ref_flows)) :: rest ->
@@ -238,16 +262,45 @@ let differential ?(ccache_serves = true) name rules () =
         true
         (forwarded > n_packets / 4)
 
+(* -- compiled policies as legs: the policy compiler's controller-path
+      output pushed through every datapath flavor, with Policy.eval as
+      the per-packet oracle -- *)
+
+module Policy = Ovs_policy.Policy
+module Compile = Ovs_policy.Compile
+
+let policy_differential name p =
+  let c = Compile.compile p in
+  let install pipeline =
+    let conn = Ovs_ofproto.Ofconn.create ~pipeline () in
+    Compile.install c conn
+  in
+  let oracle s =
+    let key = FK.extract (build_packet s) in
+    Policy.eval p key
+    |> List.map (fun k -> FK.get k FK.Field.In_port)
+    |> List.sort_uniq compare
+  in
+  (* policy tables carry no range-indexable megaflow fields the ccache
+     trains on, so zero ccache hits is the correct answer *)
+  differential ~ccache_serves:false ~n_tables:(max 2 c.Compile.n_tables)
+    ~oracle name install
+
 let () =
   Alcotest.run "ovs_differential"
     [
       ( "forwarding",
         [
           Alcotest.test_case "plain L3/L4 ruleset" `Quick
-            (differential "plain" ruleset_plain);
+            (differential "plain" (install_rules ruleset_plain));
           Alcotest.test_case "conntrack ruleset" `Quick
-            (differential ~ccache_serves:false "conntrack" ruleset_conntrack);
+            (differential ~ccache_serves:false "conntrack"
+               (install_rules ruleset_conntrack));
           Alcotest.test_case "tunnel ruleset" `Quick
-            (differential "tunnel" ruleset_tunnel);
+            (differential "tunnel" (install_rules ruleset_tunnel));
+          Alcotest.test_case "compiled policy: fat-union4" `Quick
+            (policy_differential "policy-fat-union4" Ovs_policy.Catalog.fat_union4);
+          Alcotest.test_case "compiled policy: star2" `Quick
+            (policy_differential "policy-star2" Ovs_policy.Catalog.star2);
         ] );
     ]

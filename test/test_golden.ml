@@ -158,6 +158,20 @@ let test_fault_list _rig _rt _health =
   storm: upcall_storm window [150.00 us, 1.00 ms]  fired 0|}
     (appctl_ok "fault/list" (Tools.appctl "fault/list"))
 
+(* policy/show + policy/check need no datapath fixture: the catalog,
+   the compiler and the checker are all deterministic pure code *)
+let test_policy_show () =
+  golden "policy/show chain3"
+    {|policy chain3: 3-step filter chain
+  filter nw_dst=10.0.1.0/24; filter tp_dst=53; fwd(1)
+compiled: 2 tables, 1 paths, 4 rules|}
+    (appctl_ok "policy/show" (Tools.appctl "policy/show chain3"))
+
+let test_policy_check () =
+  golden "policy/check chain3"
+    {|policy chain3: PROVED translate(compile(p)) = eval(p) over 16 cubes (4 rules)|}
+    (appctl_ok "policy/check" (Tools.appctl "policy/check chain3"))
+
 let () =
   Alcotest.run "ovs_golden"
     [
@@ -172,5 +186,7 @@ let () =
           Alcotest.test_case "latency-show" `Quick
             (with_fixture test_latency_show);
           Alcotest.test_case "fault/list" `Quick (with_fixture test_fault_list);
+          Alcotest.test_case "policy/show" `Quick test_policy_show;
+          Alcotest.test_case "policy/check" `Quick test_policy_check;
         ] );
     ]

@@ -1,0 +1,228 @@
+(* Tests for lib/policy: the mask-aware predicate algebra (QCheck laws:
+   intersect/complement membership, refinement disjointness + cover,
+   sample soundness and small-domain completeness), the compiler against
+   the denotational semantics on concrete keys, the symbolic equivalence
+   checker on the whole catalog ladder, and the mutation-testing leg —
+   every seeded compiler bug must be caught with a counterexample packet
+   that concretely diverges. *)
+
+module FK = Ovs_packet.Flow_key
+module Masked = Ovs_nmu.Iset.Masked
+module Policy = Ovs_policy.Policy
+module Compile = Ovs_policy.Compile
+module Check = Ovs_policy.Check
+module Catalog = Ovs_policy.Catalog
+module Prng = Ovs_sim.Prng
+
+let check = Alcotest.check
+
+(* -- the Masked algebra -- *)
+
+let full16 = 0xFFFF
+
+let gen_test =
+  QCheck.map
+    (fun (v, m) -> Masked.make ~value:v ~mask:(m land full16))
+    QCheck.(pair (int_bound full16) (int_bound full16))
+
+let prop_inter_membership =
+  QCheck.Test.make ~count:500 ~name:"inter = conjunction of memberships"
+    QCheck.(triple gen_test gen_test (int_bound full16))
+    (fun (a, b, v) ->
+      let both = Masked.mem v a && Masked.mem v b in
+      match Masked.inter a b with
+      | Some i -> Masked.mem v i = both
+      | None -> not both)
+
+let prop_complement_membership =
+  QCheck.Test.make ~count:500 ~name:"complement region = negated membership"
+    QCheck.(pair gen_test (int_bound full16))
+    (fun (a, v) ->
+      match Masked.complement ~full:full16 a with
+      | Some r -> Masked.region_mem v r = not (Masked.mem v a)
+      | None -> Masked.is_always a)
+
+let prop_implies =
+  QCheck.Test.make ~count:500 ~name:"implies is membership containment"
+    QCheck.(triple gen_test gen_test (int_bound full16))
+    (fun (a, b, v) ->
+      QCheck.assume (Masked.implies a b);
+      (not (Masked.mem v a)) || Masked.mem v b)
+
+let prop_refine_partition =
+  QCheck.Test.make ~count:200 ~name:"refine is a disjoint cover"
+    QCheck.(pair (list_of_size Gen.(int_range 0 5) gen_test) (int_bound full16))
+    (fun (atoms, v) ->
+      let regions = Masked.refine ~full:full16 atoms in
+      (* every value lies in exactly one region, and every atom is
+         constant on the region containing it *)
+      let homes = List.filter (Masked.region_mem v) regions in
+      List.length homes = 1
+      &&
+      let r = List.hd homes in
+      List.for_all
+        (fun a -> Masked.mem v a = Masked.mem r.Masked.r_rep a)
+        atoms)
+
+let prop_sample_sound_complete =
+  (* small domain: brute force decides emptiness exactly *)
+  let full8 = 0xFF in
+  let gen_test8 =
+    QCheck.map
+      (fun (v, m) -> Masked.make ~value:v ~mask:(m land full8))
+      QCheck.(pair (int_bound full8) (int_bound full8))
+  in
+  QCheck.Test.make ~count:300 ~name:"sample is sound and complete (8-bit)"
+    QCheck.(pair gen_test8 (list_of_size Gen.(int_range 0 4) gen_test8))
+    (fun (pos, negs) ->
+      let witness = ref None in
+      for v = 0 to full8 do
+        if !witness = None && Masked.mem v pos
+           && List.for_all (fun n -> not (Masked.mem v n)) negs
+        then witness := Some v
+      done;
+      match Masked.sample ~full:full8 pos negs with
+      | Some v ->
+          Masked.mem v pos && List.for_all (fun n -> not (Masked.mem v n)) negs
+      | None -> !witness = None)
+
+(* -- concrete keys from the catalog universe -- *)
+
+let ip a b c d = (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d
+
+let random_key prng =
+  let key = FK.create () in
+  let pick l = List.nth l (Prng.int prng (List.length l)) in
+  FK.set key FK.Field.In_port (Prng.int prng 4);
+  FK.set key FK.Field.Nw_proto (pick [ 1; 6; 17 ]);
+  FK.set key FK.Field.Nw_tos (pick [ 0; 7; 46 ]);
+  FK.set key FK.Field.Nw_src
+    (pick [ ip 10 0 3 1; ip 10 7 3 2; ip 192 168 0 1 ]);
+  FK.set key FK.Field.Nw_dst
+    (pick [ ip 10 0 1 1; ip 10 0 9 2; ip 8 8 8 8 ]);
+  FK.set key FK.Field.Tp_src (pick [ 0; 1; 53; 1024; 1025; 4096 ]);
+  FK.set key FK.Field.Tp_dst
+    (pick [ 0; 53; 80; 443; 444; 5353; 8080; Prng.int prng 65536 ]);
+  key
+
+(* the policy-side oracle in the same normal form as
+   Check.concrete_emissions: (port, key with metadata zeroed) *)
+let eval_emissions p key =
+  Policy.eval p key
+  |> List.map (fun k -> (FK.get k FK.Field.In_port, k))
+  |> List.sort_uniq compare
+
+let translate_emissions pipeline key =
+  Check.concrete_emissions pipeline key |> List.sort_uniq compare
+
+(* -- compiled-vs-eval on concrete keys, whole catalog -- *)
+
+let test_compile_matches_eval () =
+  let prng = Prng.of_int 0x90110 in
+  List.iter
+    (fun (name, _, p) ->
+      let _, pipeline = Compile.pipeline_of p in
+      for i = 1 to 500 do
+        let key = random_key prng in
+        let expected = eval_emissions p key in
+        let got = translate_emissions pipeline key in
+        if expected <> got then
+          Alcotest.failf "%s: key %d (%s): eval %d emissions, compiled %d"
+            name i (Check.render_key key) (List.length expected)
+            (List.length got)
+      done)
+    Catalog.entries
+
+(* -- the symbolic checker proves the ladder -- *)
+
+let test_ladder_proved () =
+  List.iter
+    (fun (name, _, p) ->
+      let _, pipeline = Compile.pipeline_of p in
+      match Check.check ~ports:Catalog.ports p pipeline with
+      | Check.Proved cubes ->
+          check Alcotest.bool (name ^ ": proved over >0 cubes") true (cubes > 0)
+      | Check.Divergent d ->
+          Alcotest.failf "%s diverges:\n%s" name (Check.render_divergence d))
+    Catalog.entries
+
+(* -- every seeded compiler mutation is caught, and the counterexample
+      concretely diverges -- *)
+
+let test_mutations_caught () =
+  List.iter
+    (fun (mutation, pname) ->
+      let mname = Compile.mutation_name mutation in
+      let p =
+        match Catalog.find pname with
+        | Some p -> p
+        | None -> Alcotest.failf "unknown catalog policy %s" pname
+      in
+      let _, pipeline = Compile.pipeline_of ~mutation p in
+      match Check.check ~ports:Catalog.ports p pipeline with
+      | Check.Proved _ ->
+          Alcotest.failf "mutation %s on %s not caught" mname pname
+      | Check.Divergent d ->
+          (* the counterexample must really diverge: independent concrete
+             evaluation of both sides on the returned packet *)
+          let expected = eval_emissions p d.Check.d_key in
+          let got = translate_emissions pipeline d.Check.d_key in
+          if expected = got then
+            Alcotest.failf
+              "mutation %s on %s: counterexample does not diverge (%s)" mname
+              pname
+              (Check.render_key d.Check.d_key))
+    Catalog.mutation_cases
+
+(* an unmutated compile of every mutation-leg policy still proves, so
+   the catches above are the mutation's doing *)
+let test_mutation_policies_baseline () =
+  List.iter
+    (fun (_, pname) ->
+      let p = Option.get (Catalog.find pname) in
+      let _, pipeline = Compile.pipeline_of p in
+      match Check.check ~ports:Catalog.ports p pipeline with
+      | Check.Proved _ -> ()
+      | Check.Divergent d ->
+          Alcotest.failf "baseline %s diverges:\n%s" pname
+            (Check.render_divergence d))
+    Catalog.mutation_cases
+
+(* -- the controller path really carried the rules -- *)
+
+let test_install_path () =
+  let c, pipeline = Compile.pipeline_of Catalog.fat_union4 in
+  check Alcotest.int "all rules survived the FLOW_MOD wire round-trip"
+    (List.length c.Compile.rules)
+    (Ovs_ofproto.Pipeline.flow_count pipeline);
+  check Alcotest.bool "multi-table layout" true (c.Compile.n_tables >= 5)
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "ovs_policy"
+    [
+      ( "masked-algebra",
+        qcheck
+          [
+            prop_inter_membership;
+            prop_complement_membership;
+            prop_implies;
+            prop_refine_partition;
+            prop_sample_sound_complete;
+          ] );
+      ( "compiler",
+        [
+          Alcotest.test_case "compiled = eval on concrete keys" `Quick
+            test_compile_matches_eval;
+          Alcotest.test_case "controller install path" `Quick test_install_path;
+        ] );
+      ( "checker",
+        [
+          Alcotest.test_case "ladder proved equivalent" `Quick test_ladder_proved;
+          Alcotest.test_case "mutations caught with diverging counterexamples"
+            `Quick test_mutations_caught;
+          Alcotest.test_case "mutation policies prove unmutated" `Quick
+            test_mutation_policies_baseline;
+        ] );
+    ]
