@@ -1,5 +1,5 @@
 # Tier-1 verification in one command.
-.PHONY: all check build test smoke bench chaos ccache mc multicore latency ndr policy clean
+.PHONY: all check build test smoke bench chaos ccache mc multicore latency ndr policy scale clean
 
 all: build
 
@@ -65,7 +65,16 @@ ndr:
 policy:
 	dune exec bench/main.exe -- policy --json
 
-check: build test smoke chaos ccache mc multicore latency ndr policy
+# The sustained-scale bench: 1M+ concurrent connections from a churning
+# Zipf mix at 10k conns/s over a sharded conntrack, with rule churn
+# driving the incremental revalidator against the flush-all oracle every
+# round (any divergence exits nonzero), exact packet conservation, a
+# bounded-heap gate in steady state and p50/p99 upcall latency. Writes
+# BENCH_scale.json.
+scale:
+	dune exec bench/main.exe -- scale --json
+
+check: build test smoke chaos ccache mc multicore latency ndr policy scale
 
 bench:
 	dune exec bench/main.exe

@@ -1500,6 +1500,274 @@ let policy_exp () =
     row "wrote BENCH_policy.json@."
   end
 
+(* ------------------------------------------------------- scale bench *)
+
+(* Sustained scale — the revalidator subsystem's tentpole scenario: a
+   churn-extended Zipf flow mix births ~10k connections/s while an
+   NSX-style manager churns DFW rules through [Maintenance.churn]. The
+   datapath must hold 1M+ concurrent tracked connections (per-PMD-sharded
+   conntrack, lazy bounded expiry) in bounded memory, keep incremental
+   revalidation work proportional to the churn (not the megaflow table),
+   and agree with the flush-all oracle on every round. *)
+
+module Conntrack = Ovs_conntrack.Conntrack
+module Reval = Ovs_revalidator.Revalidator
+
+let scale_n_flows = 42_000
+let scale_churn_per_s = 10_000.  (* connection births per virtual second *)
+let scale_rounds = 30
+let scale_round_s = 5.0  (* virtual seconds of traffic per rule-churn round *)
+let scale_tick_s = 0.1
+let scale_rules_per_round = 200
+let scale_bg_per_tick = 100  (* Zipf background packets per tick *)
+let scale_sweep_budget = 50_000  (* lazy-expiry entries examined per tick *)
+let scale_shards = 8
+let scale_zone = 1
+let scale_zone_limit = 2_000_000
+
+type scale_round = {
+  sr_round : int;
+  sr_now_s : float;
+  sr_conns : int;  (** tracked connections at the end of the round *)
+  sr_megaflows : int;
+  sr_dirty : int;  (** megaflows the round's rule churn marked dirty *)
+  sr_retx : int;  (** dirty megaflows re-translated *)
+  sr_evicted : int;  (** re-translations that came back different *)
+  sr_divergences : int;  (** incremental vs flush-all disagreements *)
+  sr_heap_mb : float;
+}
+
+let scale_to_json (rounds : scale_round list) ~births ~offered ~delivered
+    ~upcalls ~peak_conns ~final_conns ~heap_mb ~p50 ~p99 =
+  let round_json r =
+    Printf.sprintf
+      "  {\"round\": %d, \"now_s\": %.1f, \"conns\": %d, \"megaflows\": %d, \
+       \"dirty\": %d, \"retranslated\": %d, \"evicted\": %d, \
+       \"divergences\": %d, \"heap_mb\": %.1f}"
+      r.sr_round r.sr_now_s r.sr_conns r.sr_megaflows r.sr_dirty r.sr_retx
+      r.sr_evicted r.sr_divergences r.sr_heap_mb
+  in
+  Printf.sprintf
+    "{\"bench\": \"scale\", \"flows\": %d, \"churn_per_s\": %.0f, \
+     \"births\": %d, \"offered\": %d, \"delivered\": %d, \"upcalls\": %d, \
+     \"peak_conns\": %d, \"final_conns\": %d, \"heap_mb\": %.1f, \
+     \"upcall_p50_ns\": %.0f, \"upcall_p99_ns\": %.0f, \"rounds\": [\n%s\n]}\n"
+    scale_n_flows scale_churn_per_s births offered delivered upcalls peak_conns
+    final_conns heap_mb p50 p99
+    (String.concat ",\n" (List.map round_json rounds))
+
+let scale_exp () =
+  section "Scale: 1M+ concurrent connections under flow and rule churn";
+  let pipeline = Ovs_ofproto.Pipeline.create ~n_tables:2 () in
+  Ovs_ofproto.Pipeline.add_flow pipeline ~table:0 ~priority:0
+    (Ovs_ofproto.Match_.catchall ())
+    [ Ovs_ofproto.Action.Ct
+        { zone = scale_zone; commit = true; nat = None; table = Some 1 } ];
+  Ovs_ofproto.Pipeline.add_flow pipeline ~table:1 ~priority:0
+    (Ovs_ofproto.Match_.catchall ())
+    [ Ovs_ofproto.Action.Output 1 ];
+  let dp = Dpif.create ~kind:Dpif.Dpdk ~pipeline () in
+  let devs =
+    Array.init 2 (fun i ->
+        Ovs_netdev.Netdev.create ~name:(Printf.sprintf "sc%d" i) ())
+  in
+  Array.iter (fun d -> ignore (Dpif.add_port dp d)) devs;
+  let delivered = ref 0 in
+  Array.iter
+    (fun d -> Ovs_netdev.Netdev.set_tx_sink d (fun _ _ -> incr delivered))
+    devs;
+  Dpif.set_ct_shards dp scale_shards;
+  let ct = Dpif.conntrack dp in
+  Conntrack.set_zone_limit ct ~zone:scale_zone ~limit:scale_zone_limit;
+  Dpif.set_revalidator_enabled dp true;
+  let gen =
+    Ovs_trafficgen.Pktgen.create ~seed:11 ~mix:(Ovs_trafficgen.Pktgen.Zipf 0.9)
+      ~churn:{ Ovs_trafficgen.Pktgen.flows_per_s = scale_churn_per_s }
+      ~n_flows:scale_n_flows ~frame_len:64 ()
+  in
+  let c = Dpif.counters dp in
+  let upcall_lat = Quantiles.create ~lo:10. ~hi:1e9 ~eps:0.02 () in
+  let charge _ _ = () in
+  let offered = ref 0 in
+  let process pkt =
+    pkt.Ovs_packet.Buffer.in_port <- 0;
+    incr offered;
+    let u0 = c.Ovs_datapath.Dp_core.upcalls in
+    let t0 = Unix.gettimeofday () in
+    Dpif.process dp charge pkt;
+    if c.Ovs_datapath.Dp_core.upcalls > u0 then
+      Quantiles.add upcall_lat ((Unix.gettimeofday () -. t0) *. 1e9)
+  in
+  (* a slot's rebirth reaches the datapath as its first packet plus a
+     synthesized server reply; the reply upgrades the UDP connection to
+     the long bidirectional timeout, so the tracked population is
+     governed by churn and timeouts, not by which slots the Zipf mix
+     happens to revisit *)
+  let inject_birth i =
+    process (Ovs_packet.Buffer.clone gen.Ovs_trafficgen.Pktgen.templates.(i));
+    let g = gen.Ovs_trafficgen.Pktgen.gens.(i) in
+    process
+      (Ovs_packet.Build.udp ~frame_len:64
+         ~src_mac:(Ovs_packet.Mac.of_index 2)
+         ~dst_mac:(Ovs_packet.Mac.of_index 1)
+         ~src_ip:gen.Ovs_trafficgen.Pktgen.slot_dst.(i)
+         ~dst_ip:(gen.Ovs_trafficgen.Pktgen.slot_src.(i) + (g * 0x10000))
+         ~src_port:(2048 + (i lsr 12))
+         ~dst_port:(1024 + (i land 0xFFF))
+         ())
+  in
+  let vnow = ref 0. in
+  let births = ref 0 in
+  let peak_conns = ref 0 in
+  let drive seconds =
+    let ticks = int_of_float (seconds /. scale_tick_s) in
+    for _ = 1 to ticks do
+      vnow := !vnow +. (scale_tick_s *. 1e9);
+      Dpif.set_time dp !vnow;
+      let reborn = Ovs_trafficgen.Pktgen.churn_tick gen ~now:!vnow in
+      List.iter
+        (fun i ->
+          incr births;
+          inject_birth i)
+        reborn;
+      for _ = 1 to scale_bg_per_tick do
+        process (Ovs_trafficgen.Pktgen.next gen)
+      done;
+      ignore (Conntrack.sweep_bounded ct ~now:!vnow ~budget:scale_sweep_budget);
+      peak_conns := Int.max !peak_conns (Conntrack.active_conns ct)
+    done
+  in
+  (* generation 0: bring the initial slot population up *)
+  for i = 0 to scale_n_flows - 1 do
+    incr births;
+    inject_birth i
+  done;
+  let lifetime_s = float_of_int scale_n_flows /. scale_churn_per_s in
+  (* aim each round's /24 at subnets the then-current generation of
+     traffic occupies, so the rule churn actually intersects live
+     megaflows (rebirth shifts the source b-octet by the generation) *)
+  let subnet_of r =
+    let g =
+      int_of_float (float_of_int (r + 1) *. scale_round_s /. lifetime_s)
+    in
+    (10 lsl 24) lor ((1 + g) lsl 16) lor ((r mod 4) lsl 8)
+  in
+  (* forward everything: the default's DFW-drop rules would make packets
+     vanish uncounted and break the conservation gate *)
+  let mk_actions ~round:_ ~k:_ = [ Ovs_ofproto.Action.Output 1 ] in
+  row "%5s %6s %9s %9s %6s %6s %7s %5s %8s@." "round" "t(s)" "conns"
+    "megaflows" "dirty" "retx" "evicted" "div" "heap(MB)";
+  let rounds = ref [] in
+  let round_idx = ref 0 in
+  let last_cum = ref (0, 0, 0) in
+  let revalidate () =
+    drive scale_round_s;
+    let _full_stale, incr_evicted, divergences = Dpif.revalidate_check dp in
+    let st =
+      match Dpif.revalidator_stats dp with
+      | Some s -> s
+      | None -> assert false
+    in
+    let d0, r0, e0 = !last_cum in
+    last_cum :=
+      (st.Reval.st_dirty, st.Reval.st_retranslated, st.Reval.st_evicted);
+    let _, megaflows, _ = Dpif.dpcls_stats dp in
+    incr round_idx;
+    rounds :=
+      {
+        sr_round = !round_idx;
+        sr_now_s = !vnow /. 1e9;
+        sr_conns = Conntrack.active_conns ct;
+        sr_megaflows = megaflows;
+        sr_dirty = st.Reval.st_dirty - d0;
+        sr_retx = st.Reval.st_retranslated - r0;
+        sr_evicted = st.Reval.st_evicted - e0;
+        sr_divergences = divergences;
+        sr_heap_mb =
+          float_of_int (Gc.quick_stat ()).Gc.heap_words *. 8. /. 1e6;
+      }
+      :: !rounds;
+    (match !rounds with
+    | r :: _ ->
+        row "%5d %6.1f %9d %9d %6d %6d %7d %5d %8.1f@." r.sr_round r.sr_now_s
+          r.sr_conns r.sr_megaflows r.sr_dirty r.sr_retx r.sr_evicted
+          r.sr_divergences r.sr_heap_mb
+    | [] -> ());
+    if divergences <> 0 then
+      fail_check "scale round %d: incremental vs flush-all: %d divergences"
+        !round_idx divergences;
+    incr_evicted
+  in
+  let ch =
+    Ovs_nsx.Maintenance.churn ~table:1 ~seed:17 ~subnet_of ~mk_actions
+      ~pipeline ~rounds:scale_rounds ~rules_per_round:scale_rules_per_round
+      ~revalidate
+      ~retrain:(fun () -> ())
+      ()
+  in
+  let rounds = List.rev !rounds in
+  let final_conns = Conntrack.active_conns ct in
+  let heap_mb = float_of_int (Gc.quick_stat ()).Gc.heap_words *. 8. /. 1e6 in
+  let p50 = Quantiles.p50 upcall_lat and p99 = Quantiles.p99 upcall_lat in
+  row "@.%d births at %.0f conns/s over %.0f virtual s (%d rules churned)@."
+    !births scale_churn_per_s (!vnow /. 1e9)
+    (ch.Ovs_nsx.Maintenance.ch_added + ch.Ovs_nsx.Maintenance.ch_deleted);
+  row "peak %d / final %d tracked connections, %.1f MB heap@." !peak_conns
+    final_conns heap_mb;
+  row "offered %d = delivered %d + dropped %d; %d upcalls, p50 %.0f ns, \
+       p99 %.0f ns@."
+    !offered !delivered c.Ovs_datapath.Dp_core.dropped
+    c.Ovs_datapath.Dp_core.upcalls p50 p99;
+  (* --- gates --- *)
+  if !peak_conns < 1_000_000 then
+    fail_check "scale: peaked at %d concurrent connections, need >= 1M"
+      !peak_conns;
+  if !offered <> !delivered + c.Ovs_datapath.Dp_core.dropped then
+    fail_check "scale: conservation: offered %d <> delivered %d + dropped %d"
+      !offered !delivered c.Ovs_datapath.Dp_core.dropped;
+  if Conntrack.limit_drops ct > 0 then
+    fail_check "scale: %d zone-limit drops below the %d cap"
+      (Conntrack.limit_drops ct) scale_zone_limit;
+  if Quantiles.count upcall_lat = 0 then
+    fail_check "scale: no upcall latency samples recorded";
+  (* revalidation work must track the churn, not the table: the mean
+     per-round re-translation count stays a small fraction of the mean
+     megaflow population *)
+  let steady = List.filter (fun r -> r.sr_round > 2) rounds in
+  let mean f =
+    List.fold_left (fun a r -> a +. f r) 0. steady
+    /. float_of_int (List.length steady)
+  in
+  let mean_retx = mean (fun r -> float_of_int r.sr_retx) in
+  let mean_mf = mean (fun r -> float_of_int r.sr_megaflows) in
+  if mean_retx > 0.25 *. mean_mf then
+    fail_check
+      "scale: revalidation work not incremental: %.1f re-translations/round \
+       vs %.1f megaflows tracked"
+      mean_retx mean_mf;
+  (* bounded memory: once the connection population is steady (the UDP
+     timeout horizon has passed), the heap must stop growing *)
+  let horizon = 1. +. (125. /. scale_round_s) in
+  let late = List.filter (fun r -> float_of_int r.sr_round >= horizon) rounds in
+  (match late with
+  | first :: _ ->
+      let worst =
+        List.fold_left (fun a r -> Float.max a r.sr_heap_mb) 0. late
+      in
+      if worst > 1.3 *. first.sr_heap_mb then
+        fail_check "scale: heap grew %.1f -> %.1f MB past steady state"
+          first.sr_heap_mb worst
+  | [] -> ());
+  if !json_out then begin
+    let out = open_out "BENCH_scale.json" in
+    output_string out
+      (scale_to_json rounds ~births:!births ~offered:!offered
+         ~delivered:!delivered ~upcalls:c.Ovs_datapath.Dp_core.upcalls
+         ~peak_conns:!peak_conns ~final_conns ~heap_mb ~p50 ~p99);
+    close_out out;
+    row "wrote BENCH_scale.json@."
+  end
+
 (* ------------------------------------------------------------------ CLI *)
 
 let all = [
@@ -1509,7 +1777,7 @@ let all = [
   ("pmd", pmd_exp); ("stages", stages_exp); ("ablations", ablations);
   ("chaos", chaos_exp); ("ccache", ccache_exp); ("mc", mc_exp);
   ("multicore", multicore_exp); ("latency", latency_exp); ("ndr", ndr_exp);
-  ("policy", policy_exp);
+  ("policy", policy_exp); ("scale", scale_exp);
 ]
 
 let () =

@@ -3,7 +3,15 @@
     (Sec 4). Supports zones (NSX uses one zone per virtual network for
     firewall separation), a TCP state machine, UDP/ICMP pseudo-state,
     source/destination NAT, expiry, and per-zone connection limits (the
-    feature whose kernel backport cost the paper quantifies in Sec 2.1.1). *)
+    feature whose kernel backport cost the paper quantifies in Sec 2.1.1).
+
+    Storage is sharded by a direction-symmetric 5-tuple hash so a
+    per-PMD engine can size [shards] to its PMD count and keep the hit
+    path lock-free (each shard is only ever touched by its owning
+    domain when the caller partitions traffic by RSS hash, which uses
+    the same src/dst-symmetric construction). Expiry is a resumable
+    bucket-cursor sweep with a per-call work budget, so a poll loop
+    can amortize reclamation instead of stalling on a full-table scan. *)
 
 module FK = Ovs_packet.Flow_key
 
@@ -76,8 +84,19 @@ let timeout_of = function
   | Udp_multiple -> Ovs_sim.Time.s 120.
   | Icmp_active -> Ovs_sim.Time.s 30.
 
+(* One direction of a connection: both a conn's orig and reply tuples
+   get a slot, possibly in different shards. *)
+type slot = { s_tup : tuple; s_conn : conn }
+
+type shard = {
+  mutable buckets : slot list array;
+  mutable entries : int;  (** directional slots, i.e. 2x connections *)
+  mutable cursor : int;  (** next bucket the bounded sweep examines *)
+}
+
 type t = {
-  conns : (tuple, conn) Hashtbl.t;  (** both directions map to the conn *)
+  shards : shard array;
+  mutable shard_cursor : int;  (** which shard the bounded sweep is in *)
   zone_counts : (int, int ref) Hashtbl.t;
   zone_limits : (int, int) Hashtbl.t;
   mutable lookups : int;
@@ -85,9 +104,15 @@ type t = {
   mutable limit_drops : int;
 }
 
-let create () =
+let initial_buckets = 64
+
+let new_shard () = { buckets = Array.make initial_buckets []; entries = 0; cursor = 0 }
+
+let create ?(shards = 1) () =
+  let shards = Int.max 1 shards in
   {
-    conns = Hashtbl.create 4096;
+    shards = Array.init shards (fun _ -> new_shard ());
+    shard_cursor = 0;
     zone_counts = Hashtbl.create 64;
     zone_limits = Hashtbl.create 64;
     lookups = 0;
@@ -95,13 +120,100 @@ let create () =
     limit_drops = 0;
   }
 
+let n_shards t = Array.length t.shards
+
+(* Direction-symmetric shard choice: XOR of the two endpoint hashes is
+   commutative, so a tuple and its reverse always land in the same
+   shard (a PMD owns whole connections, and the ICMP related-conn
+   lookup dispatches correctly for free). *)
+let shard_of t tup =
+  let n = Array.length t.shards in
+  if n = 1 then t.shards.(0)
+  else
+    let a = Hashtbl.hash (tup.src, tup.sport)
+    and b = Hashtbl.hash (tup.dst, tup.dport) in
+    let h = (a lxor b) + (31 * tup.proto) + (131 * tup.zone) in
+    t.shards.(h land max_int mod n)
+
+let bucket_index sh tup = Hashtbl.hash tup land max_int mod Array.length sh.buckets
+
+let find_tuple t tup : conn option =
+  let sh = shard_of t tup in
+  let rec scan = function
+    | [] -> None
+    | s :: rest -> if s.s_tup = tup then Some s.s_conn else scan rest
+  in
+  scan sh.buckets.(bucket_index sh tup)
+
+(* Grow a shard at 4 slots/bucket mean occupancy. The cursor resets:
+   rehashing reshuffles which buckets the un-swept slots live in, and
+   restarting the pass only makes the sweep conservative (it may visit
+   some slots twice, never skip live expiry work forever). *)
+let maybe_grow sh =
+  if sh.entries > 4 * Array.length sh.buckets then begin
+    let old = sh.buckets in
+    sh.buckets <- Array.make (2 * Array.length old) [];
+    sh.cursor <- 0;
+    Array.iter
+      (List.iter (fun s ->
+           let i = bucket_index sh s.s_tup in
+           sh.buckets.(i) <- s :: sh.buckets.(i)))
+      old
+  end
+
+(* Hashtbl.replace semantics: at most one slot per tuple. *)
+let insert_dir t tup conn =
+  let sh = shard_of t tup in
+  let i = bucket_index sh tup in
+  let had = List.exists (fun s -> s.s_tup = tup) sh.buckets.(i) in
+  let bucket =
+    if had then List.filter (fun s -> s.s_tup <> tup) sh.buckets.(i)
+    else sh.buckets.(i)
+  in
+  sh.buckets.(i) <- { s_tup = tup; s_conn = conn } :: bucket;
+  if not had then begin
+    sh.entries <- sh.entries + 1;
+    maybe_grow sh
+  end
+
+let remove_dir t tup =
+  let sh = shard_of t tup in
+  let i = bucket_index sh tup in
+  if List.exists (fun s -> s.s_tup = tup) sh.buckets.(i) then begin
+    sh.buckets.(i) <- List.filter (fun s -> s.s_tup <> tup) sh.buckets.(i);
+    sh.entries <- sh.entries - 1
+  end
+
+let decr_zone t zone =
+  match Hashtbl.find_opt t.zone_counts zone with Some r -> decr r | None -> ()
+
+(* Drop a connection: both directional slots plus the zone count. *)
+let remove_conn t conn =
+  remove_dir t conn.orig;
+  remove_dir t (tuple_reverse conn.orig);
+  decr_zone t conn.orig.zone
+
+(* Iterate original-direction slots only (one visit per connection). *)
+let iter_conns t f =
+  Array.iter
+    (fun sh ->
+      Array.iter
+        (List.iter (fun s -> if s.s_tup = s.s_conn.orig then f s.s_conn))
+        sh.buckets)
+    t.shards
+
+let total_entries t = Array.fold_left (fun acc sh -> acc + sh.entries) 0 t.shards
+
 (** Per-zone connection limit (Sec 2.1.1's nf_conncount feature). *)
 let set_zone_limit t ~zone ~limit = Hashtbl.replace t.zone_limits zone limit
 
 let zone_count t ~zone =
   match Hashtbl.find_opt t.zone_counts zone with Some r -> !r | None -> 0
 
-let active_conns t = Hashtbl.length t.conns / 2
+let active_conns t = total_entries t / 2
+let lookups t = t.lookups
+let committed t = t.committed
+let limit_drops t = t.limit_drops
 
 (** Result of passing a packet through conntrack: the ct_state bits OVS
     sets on the packet for the recirculated lookup. *)
@@ -140,7 +252,9 @@ let tcp_advance st ~flags ~is_reply =
 (* ICMP errors (destination unreachable, time exceeded) embed the header
    of the offending packet; if that packet belongs to a tracked
    connection, the error is "related" (+rel), which firewalls must admit
-   for PMTU discovery and friends to work. *)
+   for PMTU discovery and friends to work. The inner tuple dispatches to
+   its own shard, so relation works even when the error arrives on a
+   different shard than the offending flow. *)
 let related_conn t ~zone (buf : Ovs_packet.Buffer.t) : conn option =
   let open Ovs_packet in
   match Icmp.parse buf with
@@ -163,7 +277,7 @@ let related_conn t ~zone (buf : Ovs_packet.Buffer.t) : conn option =
                 { src = ip.Ipv4.src; dst = ip.Ipv4.dst; proto = ip.Ipv4.proto;
                   sport; dport; zone }
               in
-              Hashtbl.find_opt t.conns tup
+              find_tuple t tup
           | Some _ | None -> None
         in
         buf.Buffer.l3_ofs <- saved_l3;
@@ -180,7 +294,7 @@ let related_conn t ~zone (buf : Ovs_packet.Buffer.t) : conn option =
 let track ?buf t ~now ~zone (k : FK.t) : verdict =
   t.lookups <- t.lookups + 1;
   let tup = tuple_of_key ~zone k in
-  match Hashtbl.find_opt t.conns tup with
+  match find_tuple t tup with
   | None -> begin
       let related =
         if FK.get k FK.Field.Nw_proto = Ovs_packet.Ipv4.Proto.icmp then
@@ -198,11 +312,7 @@ let track ?buf t ~now ~zone (k : FK.t) : verdict =
       let is_reply = tup = tuple_reverse conn.orig && tup <> conn.orig in
       let expired = now -. conn.last_seen > timeout_of conn.state in
       if expired then begin
-        Hashtbl.remove t.conns conn.orig;
-        Hashtbl.remove t.conns (tuple_reverse conn.orig);
-        (match Hashtbl.find_opt t.zone_counts zone with
-        | Some r -> decr r
-        | None -> ());
+        remove_conn t conn;
         { ct_state = state_bits ~is_new:true ~established:false ~reply:false ~invalid:false; conn = None }
       end
       else begin
@@ -233,7 +343,7 @@ let track ?buf t ~now ~zone (k : FK.t) : verdict =
     limit; returns [None] when the zone is full (packet should drop). *)
 let commit t ~now ~zone ?nat (k : FK.t) : conn option =
   let tup = tuple_of_key ~zone k in
-  match Hashtbl.find_opt t.conns tup with
+  match find_tuple t tup with
   | Some conn -> Some conn  (* already committed *)
   | None -> begin
       let count =
@@ -274,8 +384,8 @@ let commit t ~now ~zone ?nat (k : FK.t) : conn option =
               nat;
             }
           in
-          Hashtbl.replace t.conns tup conn;
-          Hashtbl.replace t.conns (tuple_reverse tup) conn;
+          insert_dir t tup conn;
+          insert_dir t (tuple_reverse tup) conn;
           incr count;
           t.committed <- t.committed + 1;
           Some conn
@@ -345,11 +455,8 @@ let evict_to_limit t ~zone ~limit =
   if excess <= 0 then 0
   else begin
     let candidates = ref [] in
-    Hashtbl.iter
-      (fun tup conn ->
-        if tup = conn.orig && tup.zone = zone then
-          candidates := conn :: !candidates)
-      t.conns;
+    iter_conns t (fun conn ->
+        if conn.orig.zone = zone then candidates := conn :: !candidates);
     (* oldest first; the tuple tie-break keeps same-instant commits (one
        virtual-time batch) deterministic regardless of hash order *)
     let victims =
@@ -361,32 +468,83 @@ let evict_to_limit t ~zone ~limit =
         !candidates
       |> List.filteri (fun i _ -> i < excess)
     in
-    List.iter
-      (fun conn ->
-        Hashtbl.remove t.conns conn.orig;
-        Hashtbl.remove t.conns (tuple_reverse conn.orig);
-        match Hashtbl.find_opt t.zone_counts conn.orig.zone with
-        | Some r -> decr r
-        | None -> ())
-      victims;
+    List.iter (remove_conn t) victims;
     List.length victims
   end
 
+(** Enforce one zone limit across several conntrack instances — the
+    per-PMD sharding story, where each PMD domain owns a private table
+    but nf_conncount semantics are per zone, not per PMD. Victims are
+    the globally oldest connections regardless of which instance holds
+    them. Returns the total evicted. *)
+let evict_to_limit_multi ts ~zone ~limit =
+  let total = List.fold_left (fun acc t -> acc + zone_count t ~zone) 0 ts in
+  let excess = total - limit in
+  if excess <= 0 then 0
+  else begin
+    let candidates = ref [] in
+    List.iter
+      (fun t ->
+        iter_conns t (fun conn ->
+            if conn.orig.zone = zone then candidates := (t, conn) :: !candidates))
+      ts;
+    let victims =
+      List.sort
+        (fun (_, a) (_, b) ->
+          match compare a.created_at b.created_at with
+          | 0 -> compare a.orig b.orig
+          | c -> c)
+        !candidates
+      |> List.filteri (fun i _ -> i < excess)
+    in
+    List.iter (fun (t, conn) -> remove_conn t conn) victims;
+    List.length victims
+  end
+
+(** Resumable bounded expiry: examine at least [budget] directional
+    entries' worth of buckets (an empty bucket costs 1, so progress is
+    guaranteed), starting from where the previous call stopped, and
+    reclaim every expired connection found. One full rotation of the
+    cursor — however many calls it is amortized over — examines every
+    bucket exactly once, so no connection lingers more than one
+    rotation past its timeout. Returns how many were reclaimed. *)
+let sweep_bounded t ~now ~budget =
+  let n_sh = Array.length t.shards in
+  let total_buckets =
+    Array.fold_left (fun acc sh -> acc + Array.length sh.buckets) 0 t.shards
+  in
+  let reclaimed = ref 0 in
+  let examined = ref 0 in
+  let visited = ref 0 in
+  while !visited < total_buckets && !examined < budget do
+    let sh = t.shards.(t.shard_cursor) in
+    if sh.cursor >= Array.length sh.buckets then begin
+      sh.cursor <- 0;
+      t.shard_cursor <- (t.shard_cursor + 1) mod n_sh
+    end
+    else begin
+      let bucket = sh.buckets.(sh.cursor) in
+      examined := !examined + Int.max 1 (List.length bucket);
+      List.iter
+        (fun s ->
+          if
+            s.s_tup = s.s_conn.orig
+            && now -. s.s_conn.last_seen > timeout_of s.s_conn.state
+          then begin
+            remove_conn t s.s_conn;
+            incr reclaimed
+          end)
+        bucket;
+      sh.cursor <- sh.cursor + 1;
+      incr visited;
+      if sh.cursor >= Array.length sh.buckets then begin
+        sh.cursor <- 0;
+        t.shard_cursor <- (t.shard_cursor + 1) mod n_sh
+      end
+    end
+  done;
+  !reclaimed
+
 (** Expire connections idle past their protocol timeout. Returns how many
-    were reclaimed. *)
-let sweep t ~now =
-  let dead = ref [] in
-  Hashtbl.iter
-    (fun tup conn ->
-      if tup = conn.orig && now -. conn.last_seen > timeout_of conn.state then
-        dead := conn :: !dead)
-    t.conns;
-  List.iter
-    (fun conn ->
-      Hashtbl.remove t.conns conn.orig;
-      Hashtbl.remove t.conns (tuple_reverse conn.orig);
-      match Hashtbl.find_opt t.zone_counts conn.orig.zone with
-      | Some r -> decr r
-      | None -> ())
-    !dead;
-  List.length !dead
+    were reclaimed. The unbounded wrapper: one whole cursor rotation. *)
+let sweep t ~now = sweep_bounded t ~now ~budget:max_int

@@ -50,13 +50,22 @@ type conn = {
 
 type t
 
-val create : unit -> t
+val create : ?shards:int -> unit -> t
+(** [shards] (default 1) splits storage by a direction-symmetric
+    5-tuple hash: a tuple and its reverse always land in the same
+    shard, so per-PMD engines can treat each shard as domain-private
+    and keep the hit path lock-free. *)
+
+val n_shards : t -> int
 
 val set_zone_limit : t -> zone:int -> limit:int -> unit
 (** Cap committed connections in a zone (nf_conncount). *)
 
 val zone_count : t -> zone:int -> int
 val active_conns : t -> int
+val lookups : t -> int
+val committed : t -> int
+val limit_drops : t -> int
 
 type verdict = { ct_state : int; conn : conn option }
 (** The ct_state bits ({!FK.Ct_state_bits}) the [ct] action sets for the
@@ -80,12 +89,28 @@ val apply_nat : conn -> is_reply:bool -> Ovs_packet.Buffer.t -> FK.t -> bool
 
 val sweep : t -> now:Ovs_sim.Time.ns -> int
 (** Reclaim connections idle past their protocol timeout; returns how
-    many. *)
+    many. Equivalent to {!sweep_bounded} with an infinite budget: one
+    full rotation of the bucket cursor. *)
+
+val sweep_bounded : t -> now:Ovs_sim.Time.ns -> budget:int -> int
+(** Resumable bounded expiry: examine roughly [budget] directional
+    entries (an empty bucket costs 1, so progress is guaranteed)
+    starting where the previous call stopped, reclaiming expired
+    connections found along the way. A full cursor rotation — however
+    many calls it is amortized over — visits every bucket exactly
+    once, so per-poll budgets bound reclamation latency by one
+    rotation. Returns how many connections were reclaimed. *)
 
 val evict_to_limit : t -> zone:int -> limit:int -> int
 (** Evict the oldest connections (by [created_at], original direction)
     until [zone] holds at most [limit] — early_drop under table
     pressure; the [Ct_pressure] fault's window-open side effect.
     Returns the number evicted. *)
+
+val evict_to_limit_multi : t list -> zone:int -> limit:int -> int
+(** {!evict_to_limit} across several conntrack instances at once (the
+    per-PMD private-table layout): victims are the globally oldest
+    connections in [zone] regardless of owning instance. Returns the
+    total evicted. *)
 
 val timeout_of : proto_state -> Ovs_sim.Time.ns

@@ -19,6 +19,7 @@ module FK = Ovs_packet.Flow_key
 module Action = Ovs_ofproto.Action
 module Coverage = Ovs_sim.Coverage
 module Trace = Ovs_sim.Trace
+module Reval = Ovs_revalidator.Revalidator
 
 type flavor = Flavor_userspace | Flavor_kernel | Flavor_kernel_ebpf
 
@@ -85,7 +86,11 @@ type t = {
   mutable cc_autoretrain : int option;
       (** retrain after this many installs while enabled (churn coupling) *)
   dpcls : Action.odp list Ovs_flow.Dpcls.t;
-  conntrack : Ovs_conntrack.Conntrack.t;
+  mutable conntrack : Ovs_conntrack.Conntrack.t;
+  mutable reval : Action.odp list Reval.t option;
+      (** the incremental revalidator's megaflow tracker; [None] (the
+          default) records nothing, so a datapath that never arms it is
+          byte-identical to one built before the subsystem existed *)
   mutable output : charge_fn -> int -> Ovs_packet.Buffer.t -> unit;
       (** bound by the enclosing datapath once ports exist *)
   mutable now : Ovs_sim.Time.ns;
@@ -137,6 +142,7 @@ let create ~flavor ~costs ~pipeline () =
     cc_autoretrain = None;
     dpcls = Ovs_flow.Dpcls.create ();
     conntrack = Ovs_conntrack.Conntrack.create ();
+    reval = None;
     output = (fun _ _ _ -> ());
     now = 0.;
     counters = fresh_counters ();
@@ -150,6 +156,55 @@ let create ~flavor ~costs ~pipeline () =
 (* -- accessors over the sealed record -- *)
 
 let conntrack t = t.conntrack
+
+(* Replace the connection table with a sharded one. Meant for setup
+   time: existing connections (if any) are discarded. *)
+let set_ct_shards t n =
+  t.conntrack <- Ovs_conntrack.Conntrack.create ~shards:n ()
+
+(* Translate and collect the rule-dependency set the revalidator
+   indexes megaflows by: per visited table, the rule that matched (by
+   id) or the miss. *)
+let translate_with_deps t (key : FK.t) =
+  let acc = ref [] in
+  let log table_id rule =
+    acc :=
+      {
+        Reval.dep_table = table_id;
+        dep_outcome =
+          (match rule with
+          | Some ru ->
+              Reval.Matched
+                { rule = ru.Ovs_ofproto.Table.id;
+                  priority = ru.Ovs_ofproto.Table.priority }
+          | None -> Reval.Missed);
+      }
+      :: !acc
+  in
+  let r = Ovs_ofproto.Pipeline.translate t.pipeline ~log key in
+  ( r.Ovs_ofproto.Pipeline.odp_actions,
+    r.Ovs_ofproto.Pipeline.megaflow_mask,
+    List.rev !acc )
+
+let revalidator_enabled t = t.reval <> None
+let revalidator_stats t = Option.map Reval.stats t.reval
+let revalidator_render t add = Option.iter (fun rv -> Reval.render rv add) t.reval
+
+(* Arm the incremental revalidator. Already-installed megaflows are
+   adopted by re-translating them for their dependency sets, so a
+   mid-life arm tracks the whole table. *)
+let set_revalidator_enabled t v =
+  if not v then t.reval <- None
+  else
+    match t.reval with
+    | Some _ -> ()
+    | None ->
+        let rv = Reval.create ~pipeline:t.pipeline () in
+        Ovs_flow.Dpcls.iter t.dpcls (fun ~mask ~key actions _hits ->
+            let _, _, deps = translate_with_deps t key in
+            Reval.record rv ~mask ~key ~actions deps);
+        t.reval <- Some rv
+
 let counters t = t.counters
 let csum_offload t = t.csum_offload
 let set_csum_offload t v = t.csum_offload <- v
@@ -496,6 +551,37 @@ let slowpath t (charge : charge_fn) (key : FK.t) : Action.odp list =
                   (Printf.sprintf "table %d: no match (table miss: drop)" table_id))
     | Some _ | None -> None
   in
+  (* when the incremental revalidator is armed, the same translation
+     also collects the rule-dependency set it indexes this megaflow by *)
+  let deps =
+    match t.reval with None -> None | Some _ -> Some (ref [])
+  in
+  let log =
+    match deps with
+    | None -> log
+    | Some acc ->
+        let dep_log table_id rule =
+          acc :=
+            {
+              Reval.dep_table = table_id;
+              dep_outcome =
+                (match rule with
+                | Some ru ->
+                    Reval.Matched
+                      { rule = ru.Ovs_ofproto.Table.id;
+                        priority = ru.Ovs_ofproto.Table.priority }
+                | None -> Reval.Missed);
+            }
+            :: !acc
+        in
+        Some
+          (match log with
+          | None -> dep_log
+          | Some f ->
+              fun table_id rule ->
+                f table_id rule;
+                dep_log table_id rule)
+  in
   let result = Ovs_ofproto.Pipeline.translate t.pipeline ?log key in
   charge Ovs_sim.Cpu.User
     (upcall_cost
@@ -509,6 +595,11 @@ let slowpath t (charge : charge_fn) (key : FK.t) : Action.odp list =
         actions);
   Ovs_flow.Dpcls.insert t.dpcls
     ~mask:result.Ovs_ofproto.Pipeline.megaflow_mask ~key actions;
+  (match (t.reval, deps) with
+  | Some rv, Some acc ->
+      Reval.record rv ~mask:result.Ovs_ofproto.Pipeline.megaflow_mask ~key
+        ~actions (List.rev !acc)
+  | _ -> ());
   charge cat c.Ovs_sim.Costs.megaflow_insert;
   (* a fresh megaflow is safe for a trained ccache (an unindexed flow just
      misses through to dpcls), but count it toward the retrain trigger *)
@@ -770,7 +861,8 @@ let handle_upcall t (charge : charge_fn) (pkt : Ovs_packet.Buffer.t) (key : FK.t
 let flush_caches t =
   (match t.ccache with Some cc -> Ovs_nmu.Ccache.invalidate cc | None -> ());
   (match t.emc with Some emc -> Ovs_flow.Emc.flush emc | None -> ());
-  Ovs_flow.Dpcls.flush t.dpcls
+  Ovs_flow.Dpcls.flush t.dpcls;
+  match t.reval with Some rv -> Reval.clear rv | None -> ()
 
 (** Render the installed megaflows in ovs-appctl dpctl/dump-flows style:
     the fast-path view (masked match, hit count, cached actions). *)
@@ -799,7 +891,11 @@ let dump_megaflows t : string list =
     evict entries whose cached actions no longer match the policy. Returns
     the number of megaflows evicted. The microflow caches are flushed when
     anything was stale (they reference the same cached actions). *)
-let revalidate t =
+(* The full-scan staleness computation, without evicting: the list of
+   (mask, key) whose re-translation disagrees with the installed entry.
+   This is both [revalidate]'s work list and the oracle the incremental
+   sweep is checked against. *)
+let revalidate_dry t =
   let stale = ref [] in
   Ovs_flow.Dpcls.iter t.dpcls (fun ~mask ~key actions _hits ->
       let fresh = Ovs_ofproto.Pipeline.translate t.pipeline key in
@@ -810,13 +906,75 @@ let revalidate t =
         fresh.Ovs_ofproto.Pipeline.odp_actions <> actions
         || not (FK.equal fresh.Ovs_ofproto.Pipeline.megaflow_mask mask)
       then stale := (FK.copy mask, FK.copy key) :: !stale);
-  (* the staleness rule: the computational cache must be invalidated
-     BEFORE any megaflow is removed — its models hold direct entry refs *)
-  if !stale <> [] then
+  !stale
+
+(* Evict a batch of megaflows and keep every dependent cache honest.
+   The staleness rule: the computational cache must be invalidated
+   BEFORE any megaflow is removed — its models hold direct entry refs. *)
+let evict_megaflows t stale =
+  if stale <> [] then begin
     (match t.ccache with Some cc -> Ovs_nmu.Ccache.invalidate cc | None -> ());
-  List.iter (fun (mask, key) -> ignore (Ovs_flow.Dpcls.remove t.dpcls ~mask ~key)) !stale;
-  if !stale <> [] then begin
+    List.iter
+      (fun (mask, key) ->
+        ignore (Ovs_flow.Dpcls.remove t.dpcls ~mask ~key);
+        match t.reval with Some rv -> Reval.forget rv ~mask ~key | None -> ())
+      stale;
     (match t.emc with Some emc -> Ovs_flow.Emc.flush emc | None -> ());
     match t.smc with Some smc -> Ovs_flow.Smc.flush smc | None -> ()
+  end
+
+let revalidate t =
+  let stale = revalidate_dry t in
+  evict_megaflows t stale;
+  List.length stale
+
+(** The incremental pass: diff the OpenFlow tables against the last
+    sweep's snapshot, re-translate only the megaflows whose recorded
+    dependencies are affected, and evict the ones that changed. [None]
+    when the revalidator is not armed. *)
+let incremental_sweep t rv : Reval.sweep_stats * (FK.t * FK.t) list =
+  let evicted = ref [] in
+  let stats =
+    Reval.sweep rv
+      ~translate:(fun key -> translate_with_deps t key)
+      ~evict:(fun ~mask ~key ->
+        evicted := (FK.copy mask, FK.copy key) :: !evicted)
+  in
+  (* the sweep already dropped evicted entries from its own tracker;
+     mirror the eviction into dpcls and the packet caches *)
+  if !evicted <> [] then begin
+    (match t.ccache with Some cc -> Ovs_nmu.Ccache.invalidate cc | None -> ());
+    List.iter
+      (fun (mask, key) -> ignore (Ovs_flow.Dpcls.remove t.dpcls ~mask ~key))
+      !evicted;
+    (match t.emc with Some emc -> Ovs_flow.Emc.flush emc | None -> ());
+    (match t.smc with Some smc -> Ovs_flow.Smc.flush smc | None -> ())
   end;
-  List.length !stale
+  (stats, !evicted)
+
+let revalidate_incremental t : Reval.sweep_stats option =
+  match t.reval with
+  | None -> None
+  | Some rv -> Some (fst (incremental_sweep t rv))
+
+(* Canonical identity of a megaflow for set comparison. *)
+let mf_ids l =
+  List.map (fun (mask, key) -> (mask, FK.apply_mask key mask)) l
+  |> List.sort compare
+
+(** Run the flush-all oracle and the incremental sweep on the same
+    state and prove they agree: returns [(full_stale, incr_evicted,
+    divergences)] where divergences is the size of the symmetric
+    difference between the two eviction sets (must be 0). The
+    incremental sweep's evictions are applied; the oracle is computed
+    first, without mutating. *)
+let revalidate_check t : int * int * int =
+  let oracle = revalidate_dry t in
+  let evicted =
+    match t.reval with
+    | None -> []  (* not armed: nothing evicts, every stale flow diverges *)
+    | Some rv -> snd (incremental_sweep t rv)
+  in
+  let a = mf_ids oracle and b = mf_ids evicted in
+  let diff x y = List.length (List.filter (fun e -> not (List.mem e y)) x) in
+  (List.length oracle, List.length evicted, diff a b + diff b a)

@@ -48,6 +48,12 @@ val create :
 (** {1 Accessors} *)
 
 val conntrack : t -> Ovs_conntrack.Conntrack.t
+
+(** Replace the connection table with one sharded [n] ways by the
+    direction-symmetric 5-tuple hash. Setup-time only: existing
+    connections are discarded. *)
+val set_ct_shards : t -> int -> unit
+
 val counters : t -> counters
 val reset_counters : t -> unit
 
@@ -158,3 +164,36 @@ val dump_megaflows : t -> string list
     tables and evict stale entries, like OVS's revalidator threads.
     Returns the number of megaflows evicted. *)
 val revalidate : t -> int
+
+(** {1 Incremental revalidation (lib/revalidator)} *)
+
+(** Arm (or disarm) the incremental revalidator: translations record
+    their rule-dependency sets, and {!revalidate_incremental}
+    re-translates only megaflows whose dependencies are touched by
+    rule churn. Arming mid-life adopts already-installed megaflows.
+    Disarmed (the default), the datapath is byte-identical to one
+    built before the subsystem existed. *)
+val set_revalidator_enabled : t -> bool -> unit
+
+val revalidator_enabled : t -> bool
+val revalidator_stats : t -> Ovs_revalidator.Revalidator.stats option
+
+(** Feed the revalidator's cumulative counters, one rendered line at a
+    time, into a sink (the [dpif/revalidator-show] body). No-op when
+    disarmed. *)
+val revalidator_render : t -> (string -> unit) -> unit
+
+(** The incremental pass: diff the OpenFlow tables against the last
+    sweep's snapshot, re-translate only affected megaflows, evict the
+    changed ones (invalidating the computational cache first and
+    flushing the microflow caches, like {!revalidate}). [None] when
+    the revalidator is not armed. *)
+val revalidate_incremental : t -> Ovs_revalidator.Revalidator.sweep_stats option
+
+(** Prove the incremental pass equals the flush-all oracle on the
+    current state: computes the full-scan stale set without mutating,
+    then runs the incremental sweep (applying its evictions), and
+    returns [(full_stale, incremental_evicted, divergences)] —
+    [divergences] is the size of the symmetric difference of the two
+    eviction sets and must be 0 whenever the revalidator is armed. *)
+val revalidate_check : t -> int * int * int

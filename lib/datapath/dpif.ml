@@ -553,6 +553,14 @@ let ccache_selfcheck t keys = Dp_core.ccache_selfcheck t.core keys
 let dpcls_stats t = Dp_core.dpcls_stats t.core
 let flush_caches t = Dp_core.flush_caches t.core
 let revalidate t = Dp_core.revalidate t.core
+let set_ct_shards t n = Dp_core.set_ct_shards t.core n
+let set_revalidator_enabled t v = Dp_core.set_revalidator_enabled t.core v
+let revalidator_enabled t = Dp_core.revalidator_enabled t.core
+let revalidator_stats t = Dp_core.revalidator_stats t.core
+let revalidator_render t add = Dp_core.revalidator_render t.core add
+let revalidate_incremental t = Dp_core.revalidate_incremental t.core
+let revalidate_check t = Dp_core.revalidate_check t.core
+let now t = Dp_core.now t.core
 let dump_megaflows t = Dp_core.dump_megaflows t.core
 let set_meter t ~id ~rate_pps ~burst = Dp_core.set_meter t.core ~id ~rate_pps ~burst
 let meter_stats t ~id = Dp_core.meter_stats t.core ~id

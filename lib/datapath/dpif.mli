@@ -175,6 +175,36 @@ val revalidate : t -> int
 (** Re-translate installed megaflows and evict stale entries; returns the
     number evicted. *)
 
+val set_ct_shards : t -> int -> unit
+(** Replace the connection table with one sharded [n] ways by the
+    direction-symmetric 5-tuple hash (setup-time only: existing
+    connections are discarded). *)
+
+val set_revalidator_enabled : t -> bool -> unit
+(** Arm (or disarm) incremental megaflow revalidation
+    (lib/revalidator): translations record rule-dependency sets and
+    {!revalidate_incremental} re-translates only megaflows touched by
+    rule churn. Disarmed (default) is byte-identical to the
+    pre-subsystem datapath. *)
+
+val revalidator_enabled : t -> bool
+val revalidator_stats : t -> Ovs_revalidator.Revalidator.stats option
+
+val revalidator_render : t -> (string -> unit) -> unit
+(** Feed the revalidator's counters, one rendered line at a time, into
+    a sink (the [dpif/revalidator-show] body); no-op when disarmed. *)
+
+val revalidate_incremental : t -> Ovs_revalidator.Revalidator.sweep_stats option
+(** The incremental pass: re-translate only megaflows whose recorded
+    dependencies are affected by rule churn since the last pass.
+    [None] when the revalidator is not armed. *)
+
+val revalidate_check : t -> int * int * int
+(** Prove the incremental pass equals the flush-all oracle:
+    [(full_stale, incremental_evicted, divergences)]; [divergences]
+    must be 0 whenever the revalidator is armed. The incremental
+    sweep's evictions are applied. *)
+
 val dump_megaflows : t -> string list
 (** The installed megaflows in dpctl/dump-flows style. *)
 
@@ -186,6 +216,9 @@ val set_controller : t -> (Ovs_packet.Buffer.t -> unit) -> unit
 
 val set_time : t -> Ovs_sim.Time.ns -> unit
 (** Advance the datapath's virtual clock (meters, conntrack). *)
+
+val now : t -> Ovs_sim.Time.ns
+(** The datapath's current virtual time (what {!set_time} last set). *)
 
 val reset_measurement : t -> unit
 (** Zero the counters, serialized-time accumulators and the installed

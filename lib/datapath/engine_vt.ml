@@ -27,12 +27,19 @@ type t = {
   port_no : int;
   queues : int;
   mutable offered : int;  (** maintained by the owner via {!note_offered} *)
+  ct_sweep_budget : int option;
+      (** when set, each {!step} runs one bounded conntrack expiry
+          sweep with this per-step budget — the PMD-amortized lazy
+          expiry. [None] (the default) changes nothing: charged cycles
+          stay byte-identical to the pre-subsystem engine. *)
 }
 
 let name = "vt"
 
-let create ~dp ~machine ~softirq ~legacy ~rt ~port_no ~queues () =
-  { dp; machine; softirq; legacy; rt; port_no; queues; offered = 0 }
+let create ~dp ~machine ~softirq ~legacy ~rt ~port_no ~queues
+    ?ct_sweep_budget () =
+  { dp; machine; softirq; legacy; rt; port_no; queues; offered = 0;
+    ct_sweep_budget }
 
 let runtime t = t.rt
 
@@ -46,17 +53,26 @@ let start _ = ()
    rig loop: the runtime's poll_all, or one Dpif.poll per legacy queue
    context, in queue order. *)
 let step t =
-  match t.rt with
-  | Some rt -> Pmd.poll_all rt
-  | None ->
-      let polled = ref 0 in
-      for q = 0 to t.queues - 1 do
-        polled :=
-          !polled
-          + Dpif.poll t.dp ~softirq:t.softirq.(q) ~pmd:t.legacy.(q)
-              ~port_no:t.port_no ~queue:q ()
-      done;
-      !polled
+  let polled =
+    match t.rt with
+    | Some rt -> Pmd.poll_all rt
+    | None ->
+        let polled = ref 0 in
+        for q = 0 to t.queues - 1 do
+          polled :=
+            !polled
+            + Dpif.poll t.dp ~softirq:t.softirq.(q) ~pmd:t.legacy.(q)
+                ~port_no:t.port_no ~queue:q ()
+        done;
+        !polled
+  in
+  (match t.ct_sweep_budget with
+  | Some budget ->
+      ignore
+        (Ovs_conntrack.Conntrack.sweep_bounded (Dpif.conntrack t.dp)
+           ~now:(Dpif.now t.dp) ~budget)
+  | None -> ());
+  polled
 
 let stats t =
   let c = Dpif.counters t.dp in

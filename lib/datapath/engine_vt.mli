@@ -16,11 +16,15 @@ val create :
   rt:Pmd.t option ->
   port_no:int ->
   queues:int ->
+  ?ct_sweep_budget:int ->
   unit ->
   t
 (** [legacy] holds the one-context-per-queue loop's contexts (used when
     [rt] is [None]); with [rt] set, steps go through the poll-mode
-    runtime. *)
+    runtime. With [ct_sweep_budget] set, every {!step} also runs one
+    bounded conntrack expiry sweep with that per-step budget (the
+    PMD-amortized lazy expiry); unset, nothing changes and charged
+    cycles stay byte-identical to the pre-subsystem engine. *)
 
 val runtime : t -> Pmd.t option
 (** The poll-mode runtime behind this engine, if any — for introspection

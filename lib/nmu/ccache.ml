@@ -48,6 +48,9 @@ type 'a t = {
   mutable resort_counter : int;
   mutable lookups : int;
   mutable hits : int;
+  mutable invalidations : int;
+      (** times a megaflow removal forced the index to be dropped — the
+          retrain pressure rule churn puts on this tier *)
   mutable last_train : train_stats option;
 }
 
@@ -61,6 +64,7 @@ let create () =
     resort_counter = 0;
     lookups = 0;
     hits = 0;
+    invalidations = 0;
     last_train = None;
   }
 
@@ -68,6 +72,7 @@ let trained t = t.trained
 let generation t = t.generation
 let lookups t = t.lookups
 let hits t = t.hits
+let invalidations t = t.invalidations
 let last_train t = t.last_train
 
 (** The model-evaluation / search-step / validation work of the most
@@ -78,6 +83,7 @@ let last_work t = (t.scratch.Rqrmi.models, t.scratch.Rqrmi.steps, t.last_validat
     from the backing classifier; a stale index could otherwise return a
     deleted flow. *)
 let invalidate t =
+  if t.trained then t.invalidations <- t.invalidations + 1;
   t.isets <- [];
   t.trained <- false
 
@@ -202,5 +208,5 @@ let render t =
   match t.last_train with
   | None -> "ccache: untrained"
   | Some s ->
-      Fmt.str "ccache: gen %d, %a; %d lookups, %d hits" t.generation
-        pp_train_stats s t.lookups t.hits
+      Fmt.str "ccache: gen %d, %a; %d lookups, %d hits, %d invalidations"
+        t.generation pp_train_stats s t.lookups t.hits t.invalidations

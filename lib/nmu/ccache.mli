@@ -20,6 +20,11 @@ val trained : 'a t -> bool
 val generation : 'a t -> int
 val lookups : 'a t -> int
 val hits : 'a t -> int
+
+val invalidations : 'a t -> int
+(** Times {!invalidate} dropped a trained index — the retrain pressure
+    megaflow removals (revalidation, flushes) put on this tier. *)
+
 val last_train : 'a t -> train_stats option
 
 (** [(model evaluations, search steps, validations)] of the most recent

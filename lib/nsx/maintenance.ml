@@ -105,12 +105,21 @@ type churn_stats = {
    round can be retired with one non-strict del-flows spec *)
 let round_subnet r = (172 lsl 24) lor (31 lsl 16) lor (r mod 250) lsl 8
 
-let churn ?(table = 20) ?(seed = 7) ~(pipeline : Pipeline.t) ~rounds
+(* defaults for the rule shape, overridable so a scenario can aim the
+   churn at its own traffic (subnet_of targets the subnets its flows
+   actually live in; mk_actions keeps packets forwarded-and-counted
+   where the DFW-drop default would make them vanish) *)
+let default_mk_actions ~round:_ ~k =
+  if k mod 5 = 0 then []  (* a DFW drop rule *)
+  else [ Ovs_ofproto.Action.Output 1 ]
+
+let churn ?(table = 20) ?(seed = 7) ?(subnet_of = round_subnet)
+    ?(mk_actions = default_mk_actions) ~(pipeline : Pipeline.t) ~rounds
     ~rules_per_round ~(revalidate : unit -> int) ~(retrain : unit -> unit) () :
     churn_stats =
   let prng = Ovs_sim.Prng.of_int seed in
   let round_spec r =
-    Match_.with_prefix (Match_.catchall ()) OFK.Field.Nw_src (round_subnet r) 24
+    Match_.with_prefix (Match_.catchall ()) OFK.Field.Nw_src (subnet_of r) 24
   in
   let added = ref 0 and deleted = ref 0 and evicted = ref 0 in
   let retrains = ref 0 in
@@ -119,14 +128,11 @@ let churn ?(table = 20) ?(seed = 7) ~(pipeline : Pipeline.t) ~rounds
       let m =
         Match_.with_field
           (Match_.with_prefix (Match_.catchall ()) OFK.Field.Nw_src
-             (round_subnet r) 24)
+             (subnet_of r) 24)
           OFK.Field.Tp_dst
           (1 + Ovs_sim.Prng.int prng 16000)
       in
-      let actions =
-        if k mod 5 = 0 then []  (* a DFW drop rule *)
-        else [ Ovs_ofproto.Action.Output 1 ]
-      in
+      let actions = mk_actions ~round:r ~k in
       Pipeline.add_flow pipeline ~table ~priority:(1000 + k) m actions;
       incr added
     done;

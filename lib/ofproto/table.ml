@@ -108,6 +108,7 @@ let remove_where t pred =
   let removed = ref 0 in
   List.iter
     (fun (st : 'a subtable) ->
+      let before_st = st.rule_count in
       Hashtbl.iter
         (fun _ bucket ->
           let before = List.length !bucket in
@@ -115,7 +116,17 @@ let remove_where t pred =
           let gone = before - List.length !bucket in
           removed := !removed + gone;
           st.rule_count <- st.rule_count - gone)
-        st.tbl)
+        st.tbl;
+      (* keep max_priority exact: a stale upper bound would make probe
+         pruning — and thus megaflow masks — depend on deleted rules *)
+      if st.rule_count < before_st && st.rule_count > 0 then begin
+        let m = ref min_int in
+        Hashtbl.iter
+          (fun _ bucket ->
+            List.iter (fun r -> if r.priority > !m then m := r.priority) !bucket)
+          st.tbl;
+        st.max_priority <- !m
+      end)
     t.subtables;
   t.subtables <-
     List.filter (fun (st : 'a subtable) -> st.rule_count > 0) t.subtables;

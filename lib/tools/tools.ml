@@ -513,6 +513,19 @@ let latency_show (dp : Dpif.t) =
   end;
   Ok_output (String.concat "\n" (List.rev !lines))
 
+(** [ovs-appctl dpif/revalidator-show]: the incremental revalidator's
+    lifetime counters — megaflows tracked, sweeps run, the rule churn
+    diffed so far and the dirty / re-translate / evict work it caused.
+    A disarmed datapath says so instead of printing zeros. *)
+let revalidator_show (dp : Dpif.t) =
+  if not (Dpif.revalidator_enabled dp) then
+    Ok_output "revalidator: disabled (arm with set_revalidator_enabled)"
+  else begin
+    let lines = ref [ "revalidator: enabled" ] in
+    Dpif.revalidator_render dp (fun s -> lines := s :: !lines);
+    Ok_output (String.concat "\n" (List.rev !lines))
+  end
+
 module Health = Ovs_datapath.Health
 module Faults = Ovs_faults.Faults
 
@@ -582,8 +595,8 @@ let policy_check name =
 
 (** Dispatch an appctl command string. PMD commands render the supplied
     runtime reports (pass the current {!Pmd.reports}); datapath commands
-    ([ofproto/trace], [dpif/show-stage-cycles], [dpctl/dump-flows]) need
-    the [dp] argument; [dpif/health-show] needs [health]. The [fault/*]
+    ([ofproto/trace], [dpif/show-stage-cycles], [dpctl/dump-flows],
+    [dpif/revalidator-show]) need the [dp] argument; [dpif/health-show] needs [health]. The [fault/*]
     commands drive the global injector directly, and [mc/replay] runs a
     schedule-explorer artifact through a fresh model. *)
 let appctl ?(pmds : Pmd.report list = []) ?(dp : Dpif.t option)
@@ -612,6 +625,7 @@ let appctl ?(pmds : Pmd.report list = []) ?(dp : Dpif.t option)
   | "dpif/show-stage-cycles" -> with_dp show_stage_cycles
   | "dpif/cache-hierarchy-show" -> with_dp cache_hierarchy_show
   | "dpif/latency-show" -> with_dp latency_show
+  | "dpif/revalidator-show" -> with_dp revalidator_show
   | "dpctl/dump-flows" -> with_dp dpctl_dump_flows
   | "fault/list" -> Ok_output (Faults.render ())
   | "fault/clear" ->

@@ -23,6 +23,16 @@ type mix = Uniform | Zipf of float  (** Zipf exponent s > 0 *)
     from the constant-rate average. *)
 type onoff = { on_packets : int; off_ns : float }
 
+(** Connection churn: every flow slot is periodically reborn as a fresh
+    connection (new source IP, same slot) at an aggregate rate of
+    [flows_per_s] across the whole template set. Each slot lives
+    [n_flows / flows_per_s] seconds, and slot lifetimes are
+    phase-staggered so rebirths spread evenly over time instead of
+    arriving in one thundering herd. Rebirth is a pure function of
+    (seed, slot, generation) — no extra PRNG draws — so the flow
+    schedule is deterministic and {!reset} replays it exactly. *)
+type churn = { flows_per_s : float }
+
 type t = {
   templates : Buffer.t array;
   seed : int;
@@ -37,6 +47,12 @@ type t = {
           ([Ovs_sim.Prng] primitives consume exactly one step each) *)
   mutable prng : Ovs_sim.Prng.t;
   mutable sent : int;
+  churn : churn option;
+  slot_src : int array;  (** generation-0 source IP per slot *)
+  slot_dst : int array;
+  gens : int array;  (** current generation per slot (0 = original) *)
+  frame_len : int;
+  dst_mac : Mac.t;
 }
 
 let base_src = Ipv4.addr_of_string "10.1.0.0"
@@ -45,22 +61,28 @@ let base_dst = Ipv4.addr_of_string "10.2.0.0"
 (** Build [n_flows] distinct UDP flow templates of [frame_len] bytes.
     Checksums are valid; the RSS hash is precomputed (as NIC hardware
     does on receive). *)
-let create ?(seed = 42) ?(dst_mac = Mac.of_index 2) ?(mix = Uniform) ~n_flows
-    ~frame_len () =
+let build_slot ~frame_len ~dst_mac ~src_ip ~dst_ip i =
+  let pkt =
+    Build.udp ~frame_len ~src_mac:(Mac.of_index 1) ~dst_mac ~src_ip ~dst_ip
+      ~src_port:(1024 + (i land 0xFFF))
+      ~dst_port:(2048 + (i lsr 12)) ()
+  in
+  let key = Flow_key.extract pkt in
+  pkt.Buffer.rss_hash <- Flow_key.rss_hash key;
+  pkt
+
+let create ?(seed = 42) ?(dst_mac = Mac.of_index 2) ?(mix = Uniform) ?churn
+    ~n_flows ~frame_len () =
   let prng = Ovs_sim.Prng.of_int seed in
+  let slot_src = Array.make n_flows 0 in
+  let slot_dst = Array.make n_flows 0 in
   let templates =
     Array.init n_flows (fun i ->
         let src_ip = base_src + Ovs_sim.Prng.int prng 1000 in
         let dst_ip = base_dst + Ovs_sim.Prng.int prng 1000 in
-        let pkt =
-          Build.udp ~frame_len ~src_mac:(Mac.of_index 1) ~dst_mac
-            ~src_ip ~dst_ip
-            ~src_port:(1024 + (i land 0xFFF))
-            ~dst_port:(2048 + (i lsr 12)) ()
-        in
-        let key = Flow_key.extract pkt in
-        pkt.Buffer.rss_hash <- Flow_key.rss_hash key;
-        pkt)
+        slot_src.(i) <- src_ip;
+        slot_dst.(i) <- dst_ip;
+        build_slot ~frame_len ~dst_mac ~src_ip ~dst_ip i)
   in
   let init_draws = ref (2 * n_flows) in
   let rank_of, cdf =
@@ -89,7 +111,74 @@ let create ?(seed = 42) ?(dst_mac = Mac.of_index 2) ?(mix = Uniform) ~n_flows
         done;
         (perm, cdf)
   in
-  { templates; seed; mix; rank_of; cdf; init_draws = !init_draws; prng; sent = 0 }
+  (match churn with
+  | Some { flows_per_s } when flows_per_s <= 0. ->
+      invalid_arg "Pktgen.create: churn flows_per_s must be > 0"
+  | _ -> ());
+  {
+    templates;
+    seed;
+    mix;
+    rank_of;
+    cdf;
+    init_draws = !init_draws;
+    prng;
+    sent = 0;
+    churn;
+    slot_src;
+    slot_dst;
+    gens = Array.make n_flows 0;
+    frame_len;
+    dst_mac;
+  }
+
+(** Rebuild slot [i] at generation [g]: generation [g] shifts the source
+    IP into its own /16-sized block above the slot's base, so every
+    rebirth is a distinct 5-tuple (a brand-new connection to the
+    conntrack and megaflow layers) while ports and destination stay
+    stable. Pure in (seed, i, g) — deterministic, no PRNG draws. *)
+let rebirth t i g =
+  t.gens.(i) <- g;
+  t.templates.(i) <-
+    build_slot ~frame_len:t.frame_len ~dst_mac:t.dst_mac
+      ~src_ip:(t.slot_src.(i) + (g * 0x10000))
+      ~dst_ip:t.slot_dst.(i) i
+
+(** Per-slot connection lifetime under the churn knob: with the whole
+    set reborn at [flows_per_s] aggregate, each of the [n] slots lives
+    [n / flows_per_s] seconds. *)
+let slot_lifetime_ns t =
+  match t.churn with
+  | None -> infinity
+  | Some { flows_per_s } ->
+      float_of_int (Array.length t.templates) /. flows_per_s *. 1e9
+
+(* Slot i's generation at virtual time [now]: lifetimes are
+   phase-staggered by i/n of a lifetime so rebirths arrive spread
+   evenly (10k flows/s means one rebirth every 100us, not 10k at
+   every lifetime boundary). *)
+let gen_at t i ~now =
+  let life = slot_lifetime_ns t in
+  let phase = float_of_int i /. float_of_int (Array.length t.templates) in
+  int_of_float ((now +. (phase *. life)) /. life)
+
+(** Advance the churn clock to virtual time [now]: every slot whose
+    staggered lifetime expired is reborn as a fresh connection. Returns
+    the reborn slot indices (oldest phase first) so the driver can
+    account births/deaths. No-op (and [[]]) without a churn config. *)
+let churn_tick t ~now =
+  match t.churn with
+  | None -> []
+  | Some _ ->
+      let reborn = ref [] in
+      for i = Array.length t.templates - 1 downto 0 do
+        let g = gen_at t i ~now in
+        if g > t.gens.(i) then begin
+          rebirth t i g;
+          reborn := i :: !reborn
+        end
+      done;
+      !reborn
 
 (** Rewind the flow-choice stream to the template set's seed state, so a
     measurement phase can replay the exact packet sequence of an earlier
@@ -103,7 +192,10 @@ let reset t =
     ignore (Ovs_sim.Prng.int prng 2)
   done;
   t.prng <- prng;
-  t.sent <- 0
+  t.sent <- 0;
+  (* churn rewind: every slot back to its generation-0 template (rebirth
+     is pure in (seed, slot, gen), so this reproduces the original) *)
+  Array.iteri (fun i g -> if g <> 0 then rebirth t i 0) t.gens
 
 (* binary search: smallest rank with cdf.(rank) >= u *)
 let zipf_rank t u =

@@ -122,6 +122,10 @@ type config = {
           offers at line rate *)
   burst : Pktgen.onoff option;
       (** bursty on-off generator mode for the paced driver *)
+  ct_sweep_budget : int option;
+      (** amortized conntrack expiry: each engine step also runs one
+          bounded cursor sweep with this budget. [None] (default)
+          keeps runs byte-identical to the pre-subsystem engine. *)
 }
 
 let default_config =
@@ -150,6 +154,7 @@ let default_config =
     latency = false;
     offered_mpps = 0.;
     burst = None;
+    ct_sweep_budget = None;
   }
 
 (** Builder over {!default_config}, so call sites survive new fields. *)
@@ -167,11 +172,12 @@ let config ?(kind = default_config.kind) ?(topology = default_config.topology)
     ?(retry_capacity = default_config.retry_capacity)
     ?(engine = default_config.engine) ?(latency = default_config.latency)
     ?(offered_mpps = default_config.offered_mpps)
-    ?(burst = default_config.burst) () =
+    ?(burst = default_config.burst)
+    ?(ct_sweep_budget = default_config.ct_sweep_budget) () =
   { kind; topology; n_flows; frame_len; queues; gbps; warmup; measure; cache;
     ccache; mix; n_pmds; n_rxqs; trace; faults; rx_policy; strict_match;
     ct_zone; upcall_capacity; retry_capacity; engine; latency; offered_mpps;
-    burst }
+    burst; ct_sweep_budget }
 
 let is_userspace = function
   | Dpif.Dpdk | Dpif.Afxdp _ -> true
@@ -437,7 +443,7 @@ let setup (cfg : config) : rig =
     r_gen = gen;
     r_eng =
       Engine_vt.create ~dp ~machine ~softirq:sirq ~legacy:pmds ~rt ~port_no:p0
-        ~queues ();
+        ~queues ?ct_sweep_budget:cfg.ct_sweep_budget ();
   }
 
 let batch = 32

@@ -254,6 +254,85 @@ let prop_evict_then_readd =
       && Ct.commit ct ~now:51. ~zone:5 extra <> None
       && Ct.zone_count ct ~zone:5 = limit)
 
+(* -- property tests: sharding and bounded sweeps -- *)
+
+(* The sharded table is an implementation split, never a semantic one:
+   any interleaving of commits, tracks (both directions), zone-limited
+   commits and full sweeps must produce the same verdicts and the same
+   population as the unsharded oracle. *)
+let prop_sharded_oracle =
+  QCheck.Test.make ~count:60 ~name:"sharded conntrack == unsharded oracle"
+    QCheck.(
+      pair (int_range 2 16) (list_of_size Gen.(int_range 20 80) (int_range 0 999)))
+    (fun (shards, ops) ->
+      let a = Ct.create () and b = Ct.create ~shards () in
+      Ct.set_zone_limit a ~zone:1 ~limit:4;
+      Ct.set_zone_limit b ~zone:1 ~limit:4;
+      let now = ref 0. in
+      let ok = ref true in
+      let agree c = ok := !ok && c in
+      List.iter
+        (fun r ->
+          now := !now +. Ovs_sim.Time.s (float_of_int (r mod 7));
+          let sport = 40000 + (r mod 6) and zone = 1 + (r mod 2) in
+          let k = udp_key ~sport () in
+          let krev =
+            udp_key ~src:server_ip ~dst:client_ip ~sport:53 ~dport:sport ()
+          in
+          match r / 7 mod 4 with
+          | 0 ->
+              agree
+                (Ct.commit a ~now:!now ~zone k <> None
+                = (Ct.commit b ~now:!now ~zone k <> None))
+          | 1 ->
+              agree
+                ((Ct.track a ~now:!now ~zone k).Ct.ct_state
+                = (Ct.track b ~now:!now ~zone k).Ct.ct_state)
+          | 2 ->
+              agree
+                ((Ct.track a ~now:!now ~zone krev).Ct.ct_state
+                = (Ct.track b ~now:!now ~zone krev).Ct.ct_state)
+          | _ -> agree (Ct.sweep a ~now:!now = Ct.sweep b ~now:!now))
+        ops;
+      !ok
+      && Ct.active_conns a = Ct.active_conns b
+      && Ct.zone_count a ~zone:1 = Ct.zone_count b ~zone:1
+      && Ct.zone_count a ~zone:2 = Ct.zone_count b ~zone:2
+      && Ct.limit_drops a = Ct.limit_drops b)
+
+(* However small the per-call budget, amortized bounded sweeps reclaim
+   exactly what one unbounded sweep would — a full cursor rotation
+   visits every bucket — and an empty bucket still consumes budget, so
+   the loop provably terminates. *)
+let prop_sweep_bounded_total =
+  QCheck.Test.make ~count:80
+    ~name:"sweep_bounded: amortized calls == one full sweep"
+    QCheck.(triple (int_range 1 8) (int_range 0 40) (int_range 1 50))
+    (fun (shards, n, budget) ->
+      let ct = Ct.create ~shards () in
+      ignore (commit_flows ct ~zone:3 n);
+      let late = Ovs_sim.Time.s 120. in
+      let total = ref 0 and calls = ref 0 in
+      while Ct.active_conns ct > 0 && !calls < 100_000 do
+        total := !total + Ct.sweep_bounded ct ~now:late ~budget;
+        incr calls
+      done;
+      !total = n && Ct.active_conns ct = 0)
+
+(* Cross-shard eviction: "oldest first" is a global order, not a
+   per-shard one. *)
+let prop_evict_sharded =
+  QCheck.Test.make ~count:100
+    ~name:"evict_to_limit: oldest first across shards"
+    QCheck.(triple (int_range 2 8) (int_range 1 40) (int_range 0 40))
+    (fun (shards, n, limit) ->
+      let ct = Ct.create ~shards () in
+      let keys = commit_flows ct ~zone:3 n in
+      ignore (Ct.evict_to_limit ct ~zone:3 ~limit);
+      List.for_all2
+        (fun i k -> tracked ct ~zone:3 k = (i >= n - limit))
+        (List.init n Fun.id) keys)
+
 module Faults = Ovs_faults.Faults
 
 (* The ct_pressure fault forces an effective zone limit while its window
@@ -338,4 +417,7 @@ let () =
             prop_evict_then_readd;
             prop_ct_pressure_fault;
           ] );
+      ( "sharding-properties",
+        qcheck
+          [ prop_sharded_oracle; prop_sweep_bounded_total; prop_evict_sharded ] );
     ]

@@ -151,6 +151,53 @@ let test_latency_show rig _rt _health =
     (appctl_ok "dpif/latency-show"
        (Tools.appctl ~dp:rig.Scenario.r_dp "dpif/latency-show"))
 
+(* revalidator-show: the fixture never arms the revalidator, so the
+   disabled surface is the honest first golden; the populated one drives
+   a tiny standalone datapath through one full megaflow lifecycle —
+   install, dirty on a rule add, re-translate, evict, re-install *)
+let test_revalidator_show_empty rig _rt _health =
+  golden "dpif/revalidator-show (disabled)"
+    {|revalidator: disabled (arm with set_revalidator_enabled)|}
+    (appctl_ok "dpif/revalidator-show"
+       (Tools.appctl ~dp:rig.Scenario.r_dp "dpif/revalidator-show"))
+
+let test_revalidator_show () =
+  let module Pipeline = Ovs_ofproto.Pipeline in
+  let module Match_ = Ovs_ofproto.Match_ in
+  let module FK = Ovs_packet.Flow_key in
+  let pipeline = Pipeline.create ~n_tables:1 () in
+  Pipeline.add_flow pipeline ~table:0 ~priority:0 (Match_.catchall ())
+    [ Ovs_ofproto.Action.Output 1 ];
+  let dp = Dpif.create ~kind:Dpif.Dpdk ~pipeline () in
+  ignore (Dpif.add_port dp (Netdev.create ~name:"rv0" ()));
+  ignore (Dpif.add_port dp (Netdev.create ~name:"rv1" ()));
+  Dpif.set_revalidator_enabled dp true;
+  let pkt () =
+    let p =
+      Ovs_packet.Build.udp ~src_ip:0x0A000002 ~dst_ip:0x0A000001
+        ~src_port:1111 ~dst_port:2222 ()
+    in
+    p.Ovs_packet.Buffer.in_port <- 0;
+    p
+  in
+  let charge _ _ = () in
+  Dpif.process dp charge (pkt ());
+  (* a higher-priority drop rule steals the megaflow's lookup: the sweep
+     must mark it dirty, re-translate, and evict the stale entry *)
+  Pipeline.add_flow pipeline ~table:0 ~priority:100
+    (Match_.with_field (Match_.catchall ()) FK.Field.Nw_dst 0x0A000001)
+    [];
+  ignore (Dpif.revalidate_incremental dp);
+  Dpif.process dp charge (pkt ());
+  golden "dpif/revalidator-show"
+    {|revalidator: enabled
+  megaflows tracked: 1
+  sweeps: 1
+  rules added: 1, removed: 0 (diffed against snapshot)
+  dirty: 1, re-translated: 1, evicted: 1|}
+    (appctl_ok "dpif/revalidator-show"
+       (Tools.appctl ~dp "dpif/revalidator-show"))
+
 let test_fault_list _rig _rt _health =
   golden "fault/list"
     {|plan "golden" (seed 7) at 100.00 us:
@@ -185,6 +232,9 @@ let () =
             (with_fixture test_latency_show_empty);
           Alcotest.test_case "latency-show" `Quick
             (with_fixture test_latency_show);
+          Alcotest.test_case "revalidator-show disabled" `Quick
+            (with_fixture test_revalidator_show_empty);
+          Alcotest.test_case "revalidator-show" `Quick test_revalidator_show;
           Alcotest.test_case "fault/list" `Quick (with_fixture test_fault_list);
           Alcotest.test_case "policy/show" `Quick test_policy_show;
           Alcotest.test_case "policy/check" `Quick test_policy_check;

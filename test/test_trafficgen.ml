@@ -96,6 +96,68 @@ let prop_zipf_deterministic =
       let mk () = Pktgen.create ~seed ~mix ~n_flows:64 ~frame_len:64 () in
       hashes (mk ()) 100 = hashes (mk ()) 100)
 
+(* -- connection churn -- *)
+
+(* Drive a churning generator through a fixed virtual-time schedule and
+   record (rebirth events, packet stream): two generators with the same
+   seed must agree on both — rebirths are pure in (seed, slot,
+   generation), so the whole flow schedule is reproducible. *)
+let churn_schedule () =
+  let g =
+    Pktgen.create ~seed:21 ~mix:(Pktgen.Zipf 0.9)
+      ~churn:{ Pktgen.flows_per_s = 1000. } ~n_flows:100 ~frame_len:64 ()
+  in
+  let events = ref [] and stream = ref [] in
+  for tick = 1 to 40 do
+    let now = float_of_int tick *. 25e6 (* 25 ms *) in
+    let reborn = Pktgen.churn_tick g ~now in
+    events := (tick, reborn) :: !events;
+    for _ = 1 to 5 do
+      stream := (Pktgen.next g).Ovs_packet.Buffer.rss_hash :: !stream
+    done
+  done;
+  (g, List.rev !events, List.rev !stream)
+
+let test_churn_deterministic () =
+  let _, ev1, st1 = churn_schedule () in
+  let _, ev2, st2 = churn_schedule () in
+  Alcotest.(check bool) "same seed, same rebirth schedule" true (ev1 = ev2);
+  Alcotest.(check (list int)) "same seed, same packet stream" st1 st2;
+  Alcotest.(check bool) "churn actually happened" true
+    (List.exists (fun (_, r) -> r <> []) ev1)
+
+let test_churn_rebirth_changes_flow () =
+  let g =
+    Pktgen.create ~seed:3 ~churn:{ Pktgen.flows_per_s = 100. } ~n_flows:10
+      ~frame_len:64 ()
+  in
+  let before =
+    Array.map (fun p -> p.Ovs_packet.Buffer.rss_hash) g.Pktgen.templates
+  in
+  (* one full slot lifetime: every slot must have been reborn once *)
+  ignore (Pktgen.churn_tick g ~now:(Pktgen.slot_lifetime_ns g *. 1.01));
+  Array.iteri
+    (fun i h ->
+      Alcotest.(check bool)
+        (Printf.sprintf "slot %d reborn" i)
+        true
+        (g.Pktgen.templates.(i).Ovs_packet.Buffer.rss_hash <> h))
+    before
+
+let test_churn_reset_replays () =
+  let g, ev1, st1 = churn_schedule () in
+  Pktgen.reset g;
+  let events = ref [] and stream = ref [] in
+  for tick = 1 to 40 do
+    let now = float_of_int tick *. 25e6 in
+    events := (tick, Pktgen.churn_tick g ~now) :: !events;
+    for _ = 1 to 5 do
+      stream := (Pktgen.next g).Ovs_packet.Buffer.rss_hash :: !stream
+    done
+  done;
+  Alcotest.(check bool) "reset replays rebirths" true (ev1 = List.rev !events);
+  Alcotest.(check (list int)) "reset replays the stream" st1 (List.rev !stream)
+
 (* -- Scenario relationships (the evaluation's qualitative claims) -- *)
 
 let quick cfg = Scenario.run { cfg with Scenario.warmup = 2000; measure = 10_000 }
@@ -309,6 +371,12 @@ let () =
           Alcotest.test_case "zipf deterministic" `Quick test_pktgen_zipf_deterministic;
           Alcotest.test_case "zipf reset replays" `Quick test_pktgen_zipf_reset_replays;
           Alcotest.test_case "zipf skew" `Quick test_pktgen_zipf_skew;
+          Alcotest.test_case "churn deterministic" `Quick
+            test_churn_deterministic;
+          Alcotest.test_case "churn rebirth changes flow" `Quick
+            test_churn_rebirth_changes_flow;
+          Alcotest.test_case "churn reset replays" `Quick
+            test_churn_reset_replays;
         ]
         @ List.map QCheck_alcotest.to_alcotest [ prop_zipf_deterministic ] );
       ( "scenario",
