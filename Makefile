@@ -1,5 +1,5 @@
 # Tier-1 verification in one command.
-.PHONY: all check build test smoke bench chaos ccache mc multicore latency ndr policy scale clean
+.PHONY: all check build test smoke bench chaos ccache mc multicore latency ndr policy scale reconfig clean
 
 all: build
 
@@ -74,7 +74,17 @@ policy:
 scale:
 	dune exec bench/main.exe -- scale --json
 
-check: build test smoke chaos ccache mc multicore latency ndr policy scale
+# Live reconfiguration under load: OVSDB-driven churn plans applied
+# through the FLOW_MOD wire path against running traffic on every engine
+# leg, gating the two-phase shadow-table upgrade hitless (offered ==
+# delivered exactly, zero vanished packets), the naive in-place swap
+# measurably lossy, and the incremental revalidator 0-divergent at every
+# churn event; plus the atomic classifier-pointer cutover on real OCaml
+# domains. Writes BENCH_reconfig.json.
+reconfig:
+	dune exec bench/main.exe -- reconfig --json
+
+check: build test smoke chaos ccache mc multicore latency ndr policy scale reconfig
 
 bench:
 	dune exec bench/main.exe

@@ -464,7 +464,7 @@ let chaos_exp () =
       | Some ns ->
           row "pmd_crash vs the Sec 6 upgrade model: %a@."
             Ovs_core.Upgrade.pp_downtime
-            (Ovs_core.Upgrade.compare_downtime ~measured_recovery_ns:ns);
+            (Ovs_core.Upgrade.compare_downtime ~measured_recovery_ns:ns ());
           row "@.--- dpif/health-show after the crash run ---@.%s@."
             r.Chaos.row_res.Scenario.c_health
       | None -> ())
@@ -1768,6 +1768,258 @@ let scale_exp () =
     row "wrote BENCH_scale.json@."
   end
 
+(* ------------------------------------------- live reconfiguration churn *)
+
+module Reconfig = Ovs_ofproto.Reconfig
+
+(* the replacement table set a swap installs: same forwarding behaviour,
+   different rule shapes, so the swap genuinely replaces the classifier
+   while traffic must keep flowing *)
+let reconfig_swap_flows =
+  [
+    "table=0,priority=300,udp,in_port=0,actions=output:1";
+    "table=0,priority=200,in_port=0,actions=output:1";
+    "table=0,priority=50,actions=output:1";
+  ]
+
+(* a timed churn plan over the measured window [0, t_total]: three rule
+   events that intersect live megaflows, then the whole-table swap at 60%
+   with 40% of the traffic left to absorb its consequences *)
+let reconfig_plan ~naive ~t_total =
+  let swap_kw = if naive then "swap-naive" else "swap" in
+  String.concat "\n"
+    [
+      "# timed control churn against a running rig";
+      Printf.sprintf
+        "@%.9f insert table=0,priority=400,udp,in_port=0,actions=output:1"
+        (0.20 *. t_total);
+      Printf.sprintf
+        "@%.9f modify table=0,priority=400,udp,in_port=0,actions=output:1"
+        (0.35 *. t_total);
+      Printf.sprintf "@%.9f delete table=0,udp,in_port=0" (0.50 *. t_total);
+      Printf.sprintf "@%.9f %s %s" (0.60 *. t_total) swap_kw
+        (String.concat "; " reconfig_swap_flows);
+    ]
+
+let reconfig_to_json (runs : Scenario.reconfig_result list)
+    ~(mc : Engine.stats * string list * int) ~two_phase_rec ~naive_rec =
+  let b = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n  \"experiment\": \"reconfig\",\n  \"runs\": [\n";
+  List.iteri
+    (fun i (r : Scenario.reconfig_result) ->
+      add "    {\"plan\": \"%s\", \"leg\": \"%s\", \"offered\": %d, " r.Scenario.rc_plan
+        r.Scenario.rc_leg r.Scenario.rc_offered;
+      add "\"delivered\": %d, \"drops\": %d, \"vanished\": %d, "
+        r.Scenario.rc_delivered r.Scenario.rc_drops r.Scenario.rc_vanished;
+      add "\"conserved\": %b, \"flow_mods\": %d, \"ovsdb_rows\": %d, "
+        r.Scenario.rc_conserved r.Scenario.rc_flow_mods r.Scenario.rc_ovsdb_rows;
+      add "\"divergences\": %d, \"upcalls\": %d,\n     \"events\": [\n"
+        r.Scenario.rc_divergences r.Scenario.rc_upcalls;
+      List.iteri
+        (fun j (e : Scenario.churn_event) ->
+          add
+            "       {\"at_s\": %.9f, \"label\": \"%s\", \"flow_mods\": %d, \
+             \"dirty\": %d, \"retx\": %d, \"evicted\": %d, \"divergences\": \
+             %d, \"upcalls\": %d}%s\n"
+            e.Scenario.e_at_s e.Scenario.e_label e.Scenario.e_flow_mods
+            e.Scenario.e_dirty e.Scenario.e_retx e.Scenario.e_evicted
+            e.Scenario.e_divergences e.Scenario.e_upcalls
+            (if j < List.length r.Scenario.rc_events - 1 then "," else ""))
+        r.Scenario.rc_events;
+      add "     ]";
+      (match r.Scenario.rc_upgrade with
+      | Some u ->
+          add
+            ",\n     \"upgrade\": {\"style\": \"%s\", \"shadow_rules\": %d, \
+             \"evicted\": %d, \"upcall_burst\": %d, \"offered\": %d, \
+             \"delivered\": %d, \"lost\": %d, \"recovery_ns\": %.0f}"
+            (Reconfig.pp_style u.Reconfig.up_style)
+            u.Reconfig.up_shadow_rules u.Reconfig.up_evicted
+            u.Reconfig.up_upcall_burst u.Reconfig.up_offered
+            u.Reconfig.up_delivered u.Reconfig.up_lost u.Reconfig.up_recovery_ns
+      | None -> ());
+      add "}%s\n" (if i < List.length runs - 1 then "," else ""))
+    runs;
+  let stats, violations, at_cutover = mc in
+  add "  ],\n";
+  add
+    "  \"multicore\": {\"domains\": %d, \"offered\": %d, \"delivered\": %d, \
+     \"dropped\": %d, \"upcalls\": %d, \"violations\": %d, \
+     \"delivered_at_cutover\": %d},\n"
+    stats.Engine.s_units stats.Engine.s_offered stats.Engine.s_delivered
+    stats.Engine.s_dropped stats.Engine.s_upcalls (List.length violations)
+    at_cutover;
+  add
+    "  \"downtime\": {\"two_phase_recovery_ns\": %.0f, \
+     \"naive_recovery_ns\": %.0f}\n"
+    two_phase_rec naive_rec;
+  add "}\n";
+  Buffer.contents b
+
+let reconfig_exp () =
+  section "Reconfig: OVSDB-driven control churn with hitless two-phase upgrade";
+  let measure = 20_000 and frame_len = 64 and gbps = 25. in
+  (* virtual duration of the measured window, for placing plan events *)
+  let pkt_ns = 8. *. float_of_int (frame_len + 20) /. gbps in
+  let t_total = float_of_int measure *. pkt_ns /. 1e9 in
+  let legs =
+    [
+      ("kernel", Dpif.Kernel);
+      ("afxdp", Dpif.Afxdp Dpif.afxdp_default);
+      ("dpdk", Dpif.Dpdk);
+    ]
+  in
+  let run ~naive ~latency kind =
+    let plan =
+      Reconfig.plan_of_string
+        ~name:(if naive then "churn-naive" else "churn-two-phase")
+        (reconfig_plan ~naive ~t_total)
+    in
+    Scenario.run_reconfig
+      (Scenario.config ~kind ~frame_len ~gbps ~warmup:2_000 ~measure ~latency ())
+      plan
+  in
+  row "%-8s %-16s %8s %9s %6s %9s %9s %5s %7s@." "leg" "plan" "offered"
+    "delivered" "drops" "vanished" "flow_mods" "div" "upcalls";
+  let report (r : Scenario.reconfig_result) =
+    row "%-8s %-16s %8d %9d %6d %9d %9d %5d %7d@." r.Scenario.rc_leg
+      r.Scenario.rc_plan r.Scenario.rc_offered r.Scenario.rc_delivered
+      r.Scenario.rc_drops r.Scenario.rc_vanished r.Scenario.rc_flow_mods
+      r.Scenario.rc_divergences r.Scenario.rc_upcalls;
+    List.iter
+      (fun (e : Scenario.churn_event) ->
+        row
+          "    @%.6fs %-14s mods %2d dirty %3d retx %3d evicted %3d upcalls \
+           %3d@."
+          e.Scenario.e_at_s e.Scenario.e_label e.Scenario.e_flow_mods
+          e.Scenario.e_dirty e.Scenario.e_retx e.Scenario.e_evicted
+          e.Scenario.e_upcalls)
+      r.Scenario.rc_events;
+    if r.Scenario.rc_divergences <> 0 then
+      fail_check "reconfig %s/%s: %d revalidator-oracle divergences"
+        r.Scenario.rc_leg r.Scenario.rc_plan r.Scenario.rc_divergences
+  in
+  (* -- the two-phase plan on every engine leg: must be hitless -- *)
+  let two_phase =
+    List.map
+      (fun (name, kind) ->
+        let r = run ~naive:false ~latency:(name = "dpdk") kind in
+        report r;
+        if not r.Scenario.rc_conserved then
+          fail_check
+            "reconfig %s two-phase: conservation: offered %d <> delivered %d \
+             + drops %d (in flight %d)"
+            name r.Scenario.rc_offered r.Scenario.rc_delivered
+            r.Scenario.rc_drops r.Scenario.rc_in_flight;
+        if r.Scenario.rc_vanished <> 0 then
+          fail_check "reconfig %s two-phase: %d packets vanished (want 0)" name
+            r.Scenario.rc_vanished;
+        (match r.Scenario.rc_upgrade with
+        | None -> fail_check "reconfig %s two-phase: no upgrade report" name
+        | Some u ->
+            if u.Reconfig.up_lost <> 0 then
+              fail_check "reconfig %s two-phase: swap window lost %d (want 0)"
+                name u.Reconfig.up_lost);
+        if r.Scenario.rc_ovsdb_rows <> 4 then
+          fail_check "reconfig %s: %d OVSDB rows round-tripped (want 4)" name
+            r.Scenario.rc_ovsdb_rows;
+        r)
+      legs
+  in
+  (* -- the naive in-place swap: the storm and the loss are the point -- *)
+  let naive = run ~naive:true ~latency:false Dpif.Dpdk in
+  report naive;
+  if naive.Scenario.rc_vanished <= 0 then
+    fail_check
+      "reconfig naive: expected a loss window, saw %d vanished packets"
+      naive.Scenario.rc_vanished;
+  (match naive.Scenario.rc_upgrade with
+  | None -> fail_check "reconfig naive: no upgrade report"
+  | Some u ->
+      if u.Reconfig.up_lost <= 0 then
+        fail_check "reconfig naive: swap window lost %d (want > 0)"
+          u.Reconfig.up_lost;
+      if u.Reconfig.up_upcall_burst <= 0 && u.Reconfig.up_evicted <= 0 then
+        fail_check
+          "reconfig naive: no invalidation storm (%d upcalls, %d evicted)"
+          u.Reconfig.up_upcall_burst u.Reconfig.up_evicted);
+  (* -- recovery: measured two-phase vs measured naive (Sec 6, dynamic) -- *)
+  let rec_of (r : Scenario.reconfig_result) =
+    match r.Scenario.rc_upgrade with
+    | Some u -> u.Reconfig.up_recovery_ns
+    | None -> 0.
+  in
+  let tp_rec =
+    List.fold_left
+      (fun a r -> Float.max a (rec_of r))
+      0. two_phase
+  in
+  let nv_rec = rec_of naive in
+  let static = Ovs_core.Upgrade.compare_downtime ~measured_recovery_ns:tp_rec () in
+  let dynamic =
+    Ovs_core.Upgrade.compare_downtime ~dynamic_baseline_ns:nv_rec
+      ~measured_recovery_ns:tp_rec ()
+  in
+  row "@.two-phase vs modeled restart:  %a@." Ovs_core.Upgrade.pp_downtime
+    static;
+  row "two-phase vs measured naive:   %a@." Ovs_core.Upgrade.pp_downtime
+    dynamic;
+  if nv_rec <= tp_rec then
+    fail_check
+      "reconfig: naive recovery %.0f ns should exceed two-phase %.0f ns"
+      nv_rec tp_rec;
+  (* -- the appctl views over the episode -- *)
+  (match two_phase with
+  | r :: _ -> (
+      match
+        Ovs_tools.Tools.appctl ?upgrade:r.Scenario.rc_upgrade "dpif/upgrade-show"
+      with
+      | Ovs_tools.Tools.Ok_output s -> row "@.%s@." s
+      | Ovs_tools.Tools.Not_supported e ->
+          fail_check "reconfig: dpif/upgrade-show: %s" e)
+  | [] -> ());
+  (* -- the true-parallelism cutover on OCaml domains -- *)
+  let mc =
+    Scenario.run_reconfig_multicore ~n_domains:2
+      (Scenario.config ~kind:Dpif.Dpdk ~frame_len ~measure:40_000
+         ~engine:(`Domains 2) ())
+      ~flows_before:
+        [
+          "table=0,priority=100,udp,actions=output:1";
+          "table=0,priority=10,actions=output:1";
+        ]
+      ~flows_after:[ "table=0,priority=200,actions=output:1" ]
+      ()
+  in
+  let stats, violations, at_cutover = mc in
+  row
+    "@.domains cutover: %d offered = %d delivered + %d dropped on %d domains; \
+     swap landed at %d delivered@."
+    stats.Engine.s_offered stats.Engine.s_delivered stats.Engine.s_dropped
+    stats.Engine.s_units at_cutover;
+  if stats.Engine.s_offered <> stats.Engine.s_delivered + stats.Engine.s_dropped
+  then
+    fail_check "reconfig domains: conservation: %d <> %d + %d"
+      stats.Engine.s_offered stats.Engine.s_delivered stats.Engine.s_dropped;
+  if violations <> [] then begin
+    List.iter (fun v -> row "  violation: %s@." v) violations;
+    fail_check "reconfig domains: %d oracle violations"
+      (List.length violations)
+  end;
+  if at_cutover <= 0 || at_cutover >= stats.Engine.s_delivered then
+    fail_check
+      "reconfig domains: cutover at %d delivered is not mid-run (total %d)"
+      at_cutover stats.Engine.s_delivered;
+  if !json_out then begin
+    let out = open_out "BENCH_reconfig.json" in
+    output_string out
+      (reconfig_to_json (two_phase @ [ naive ]) ~mc ~two_phase_rec:tp_rec
+         ~naive_rec:nv_rec);
+    close_out out;
+    row "wrote BENCH_reconfig.json@."
+  end
+
 (* ------------------------------------------------------------------ CLI *)
 
 let all = [
@@ -1777,7 +2029,7 @@ let all = [
   ("pmd", pmd_exp); ("stages", stages_exp); ("ablations", ablations);
   ("chaos", chaos_exp); ("ccache", ccache_exp); ("mc", mc_exp);
   ("multicore", multicore_exp); ("latency", latency_exp); ("ndr", ndr_exp);
-  ("policy", policy_exp); ("scale", scale_exp);
+  ("policy", policy_exp); ("scale", scale_exp); ("reconfig", reconfig_exp);
 ]
 
 let () =

@@ -67,9 +67,16 @@ type downtime_comparison = {
   downtime_ratio : float;  (** measured / modeled *)
 }
 
-let compare_downtime ~measured_recovery_ns =
+let compare_downtime ?dynamic_baseline_ns ~measured_recovery_ns () =
   let measured_recovery_s = measured_recovery_ns /. 1e9 in
-  let modeled_downtime_s = (upgrade Arch_userspace).dataplane_downtime_s in
+  (* With a dynamic baseline (the reconfig rig's measured naive-swap
+     recovery — the restart-and-rebuild-caches path, actually run), the
+     Sec 6 comparison stops leaning on the round static estimate. *)
+  let modeled_downtime_s =
+    match dynamic_baseline_ns with
+    | Some ns -> ns /. 1e9
+    | None -> (upgrade Arch_userspace).dataplane_downtime_s
+  in
   {
     measured_recovery_s;
     modeled_downtime_s;

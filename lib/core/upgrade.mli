@@ -29,7 +29,13 @@ type downtime_comparison = {
   downtime_ratio : float;  (** measured / modeled *)
 }
 
-val compare_downtime : measured_recovery_ns:float -> downtime_comparison
-(** [measured_recovery_ns] is virtual time from {!Ovs_datapath.Health}. *)
+val compare_downtime :
+  ?dynamic_baseline_ns:float -> measured_recovery_ns:float -> unit -> downtime_comparison
+(** [measured_recovery_ns] is virtual time from {!Ovs_datapath.Health}
+    (or the reconfig rig's two-phase cutover recovery). The baseline is
+    the static modeled userspace restart (2 s) unless
+    [dynamic_baseline_ns] supplies a measured one — the reconfig rig's
+    naive-swap recovery, the restart-and-rebuild-caches path actually
+    run, which makes the Sec 6 comparison fully dynamic. *)
 
 val pp_downtime : Format.formatter -> downtime_comparison -> unit

@@ -71,7 +71,9 @@ type meter = {
 type t = {
   flavor : flavor;
   costs : Ovs_sim.Costs.t;
-  pipeline : Ovs_ofproto.Pipeline.t;
+  mutable pipeline : Ovs_ofproto.Pipeline.t;
+      (** the classifier pointer; {!swap_pipeline} is the two-phase
+          upgrade's atomic cutover point *)
   emc : Action.odp list Ovs_flow.Emc.t option;
   mutable emc_enabled : bool;  (** ablation switch; upstream rejected the
                                    in-kernel EMC, userspace keeps it *)
@@ -205,6 +207,7 @@ let set_revalidator_enabled t v =
             Reval.record rv ~mask ~key ~actions deps);
         t.reval <- Some rv
 
+let pipeline t = t.pipeline
 let counters t = t.counters
 let csum_offload t = t.csum_offload
 let set_csum_offload t v = t.csum_offload <- v
@@ -978,3 +981,21 @@ let revalidate_check t : int * int * int =
   let a = mf_ids oracle and b = mf_ids evicted in
   let diff x y = List.length (List.filter (fun e -> not (List.mem e y)) x) in
   (List.length oracle, List.length evicted, diff a b + diff b a)
+
+(** The two-phase upgrade's cutover: atomically replace the classifier
+    pointer with a fully-populated shadow pipeline, then revalidate the
+    megaflow cache against the new tables. Between the pointer store and
+    the revalidation every lookup is still consistent — cached megaflows
+    keep forwarding with the old actions, and misses translate against
+    the complete new table set — so no packet ever sees a half-built
+    classifier (the naive path's loss window). The armed revalidator's
+    dependency snapshot references the old pipeline's rule ids, so it is
+    rebuilt: disarm, full revalidate, re-adopt the survivors. Returns the
+    number of stale megaflows evicted (the cutover's upcall-storm size). *)
+let swap_pipeline t new_pipeline =
+  let was_armed = t.reval <> None in
+  t.pipeline <- new_pipeline;
+  if was_armed then t.reval <- None;
+  let evicted = revalidate t in
+  if was_armed then set_revalidator_enabled t true;
+  evicted

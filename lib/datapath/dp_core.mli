@@ -47,6 +47,9 @@ val create :
 
 (** {1 Accessors} *)
 
+(** The live classifier pointer (what upcalls translate against). *)
+val pipeline : t -> Ovs_ofproto.Pipeline.t
+
 val conntrack : t -> Ovs_conntrack.Conntrack.t
 
 (** Replace the connection table with one sharded [n] ways by the
@@ -164,6 +167,16 @@ val dump_megaflows : t -> string list
     tables and evict stale entries, like OVS's revalidator threads.
     Returns the number of megaflows evicted. *)
 val revalidate : t -> int
+
+(** The two-phase upgrade's atomic cutover: replace the classifier
+    pointer with a fully-populated shadow pipeline, then revalidate the
+    megaflow cache against it (rebuilding the armed revalidator's
+    dependency snapshot, which referenced the old pipeline). Lookups are
+    consistent at every instant — surviving megaflows keep forwarding
+    and misses translate against the complete new tables — which is the
+    zero-loss property the naive in-place swap lacks. Returns the number
+    of stale megaflows evicted. *)
+val swap_pipeline : t -> Ovs_ofproto.Pipeline.t -> int
 
 (** {1 Incremental revalidation (lib/revalidator)} *)
 

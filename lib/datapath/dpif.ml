@@ -553,6 +553,8 @@ let ccache_selfcheck t keys = Dp_core.ccache_selfcheck t.core keys
 let dpcls_stats t = Dp_core.dpcls_stats t.core
 let flush_caches t = Dp_core.flush_caches t.core
 let revalidate t = Dp_core.revalidate t.core
+let pipeline t = Dp_core.pipeline t.core
+let swap_pipeline t p = Dp_core.swap_pipeline t.core p
 let set_ct_shards t n = Dp_core.set_ct_shards t.core n
 let set_revalidator_enabled t v = Dp_core.set_revalidator_enabled t.core v
 let revalidator_enabled t = Dp_core.revalidator_enabled t.core

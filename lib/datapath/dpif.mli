@@ -175,6 +175,17 @@ val revalidate : t -> int
 (** Re-translate installed megaflows and evict stale entries; returns the
     number evicted. *)
 
+val pipeline : t -> Ovs_ofproto.Pipeline.t
+(** The live classifier pointer (what upcalls translate against). *)
+
+val swap_pipeline : t -> Ovs_ofproto.Pipeline.t -> int
+(** The two-phase upgrade's atomic cutover: replace the classifier
+    pointer with a fully-populated shadow pipeline, then revalidate the
+    megaflow cache against it (the armed revalidator's dependency
+    snapshot is rebuilt). Surviving megaflows keep forwarding and misses
+    always translate against a complete table set, so the swap is
+    hitless. Returns the number of stale megaflows evicted. *)
+
 val set_ct_shards : t -> int -> unit
 (** Replace the connection table with one sharded [n] ways by the
     direction-symmetric 5-tuple hash (setup-time only: existing

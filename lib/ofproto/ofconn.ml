@@ -29,8 +29,18 @@ let handle_msg t ~xid (m : Ofp_codec.msg) : (int * Ofp_codec.msg) list =
       Pipeline.add_flow t.pipeline ~table:table_id ~cookie ~priority match_ actions;
       t.flow_mods <- t.flow_mods + 1;
       []
-  | Ofp_codec.Flow_mod { command = `Delete; table_id; match_; _ } ->
+  | Ofp_codec.Flow_mod { command = `Modify; table_id; priority; cookie; match_; actions } ->
+      (* OFPFC_MODIFY with our non-strict matcher: replace the rules the
+         spec covers by one rule with the new actions. Delete-then-add
+         keeps classifier invariants (max_priority, subtable GC) exact. *)
       ignore (Pipeline.del_flows ~table:table_id t.pipeline match_);
+      Pipeline.add_flow t.pipeline ~table:table_id ~cookie ~priority match_ actions;
+      t.flow_mods <- t.flow_mods + 1;
+      []
+  | Ofp_codec.Flow_mod { command = `Delete; table_id; match_; _ } ->
+      (* table 0xFF is OFPTT_ALL: delete from every table *)
+      let table = if table_id = 0xFF then None else Some table_id in
+      ignore (Pipeline.del_flows ?table t.pipeline match_);
       t.flow_mods <- t.flow_mods + 1;
       []
   | Ofp_codec.Flow_stats_request { table_id } ->

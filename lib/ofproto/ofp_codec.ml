@@ -28,7 +28,7 @@ type msg =
     }
   | Packet_out of { in_port : int; actions : Action.t list; data : Bytes.t }
   | Flow_mod of {
-      command : [ `Add | `Delete ];
+      command : [ `Add | `Modify | `Delete ];
       table_id : int;
       priority : int;
       cookie : int;
@@ -510,6 +510,7 @@ let encode_instructions w (actions : Action.t list) =
 
 let decode_instructions r : Action.t list =
   let actions = ref [] and goto = ref None and meter = ref None in
+  let saw_apply = ref false in
   while R.remaining r > 0 do
     let typ = R.u16 r in
     let len = R.u16 r in
@@ -519,6 +520,7 @@ let decode_instructions r : Action.t list =
     | 1 -> goto := Some (R.u8 body)
     | 6 -> meter := Some (R.u32 body)
     | 4 ->
+        saw_apply := true;
         R.skip body 4;
         while R.remaining body > 0 do
           match decode_action body with
@@ -528,6 +530,12 @@ let decode_instructions r : Action.t list =
     | _ -> ()  (* ignore unknown instructions, as real switches do *)
   done;
   let base = List.rev !actions in
+  (* an empty apply-actions instruction is the wire form of an explicit
+     drop (that is how {!encode_action} emits [Action.Drop]); restore it
+     so a matched rule drops visibly instead of emitting nothing *)
+  let base =
+    if base = [] && !saw_apply && !goto = None then [ Action.Drop ] else base
+  in
   let base = match !meter with Some id -> Action.Meter id :: base | None -> base in
   match !goto with Some t -> base @ [ Action.Goto_table t ] | None -> base
 
@@ -591,7 +599,7 @@ let encode ?(xid = 0) (m : msg) : Bytes.t =
       W.u64 w (Int64.of_int cookie);
       W.u64 w 0L (* cookie mask *);
       W.u8 w table_id;
-      W.u8 w (match command with `Add -> 0 | `Delete -> 3);
+      W.u8 w (match command with `Add -> 0 | `Modify -> 1 | `Delete -> 3);
       W.u16 w 0 (* idle timeout *);
       W.u16 w 0 (* hard timeout *);
       W.u16 w priority;
@@ -681,7 +689,9 @@ let decode (b : Bytes.t) : msg * int * int =
         let cookie = Int64.to_int (R.u64 body) in
         let _mask = R.u64 body in
         let table_id = R.u8 body in
-        let command = if R.u8 body = 3 then `Delete else `Add in
+        let command =
+          match R.u8 body with 3 -> `Delete | 1 -> `Modify | _ -> `Add
+        in
         let _idle = R.u16 body in
         let _hard = R.u16 body in
         let priority = R.u16 body in

@@ -547,6 +547,60 @@ let mc_replay artifact =
   | Ok s -> Ok_output s
   | Error e -> Not_supported ("mc/replay: " ^ e)
 
+module Reconfig = Ovs_ofproto.Reconfig
+module Ofconn = Ovs_ofproto.Ofconn
+
+(** [ovs-appctl dpif/upgrade-show]: the last live-upgrade episode's bill —
+    style, shadow-table size, the invalidation storm it caused and its
+    traffic window. A process that has never cut over says so. *)
+let upgrade_show (report : Reconfig.upgrade_report option) =
+  match report with
+  | None ->
+      Ok_output
+        "upgrade: none performed (run a swap through the reconfig rig first)"
+  | Some r ->
+      let lines = ref [] in
+      Reconfig.render_upgrade r (fun s -> lines := s :: !lines);
+      Ok_output (String.concat "\n" (List.rev !lines))
+
+(** [ovs-appctl ovsdb/churn-apply PLAN]: parse a churn plan, store it as
+    OVSDB rows, and let the database monitor drive every operation onto
+    the datapath's classifier through the FLOW_MOD wire path — the
+    control loop in one command. Swap ops are rejected here (they need
+    the traffic rig); megaflows are revalidated after the churn. *)
+let churn_apply (dp : Dpif.t) plan_text =
+  match Reconfig.plan_of_string ~name:"appctl" plan_text with
+  | exception Reconfig.Reconfig_error e -> Not_supported ("ovsdb/churn-apply: " ^ e)
+  | plan ->
+      let has_swap =
+        List.exists
+          (fun (ev : Reconfig.event) ->
+            List.exists
+              (function Reconfig.Swap _ -> true | _ -> false)
+              ev.Reconfig.ops)
+          plan.Reconfig.events
+      in
+      if has_swap then
+        Not_supported
+          "ovsdb/churn-apply: swap ops need the reconfig rig (bench -- reconfig)"
+      else begin
+        let db = Ovs_ovsdb.Db.create ~schema:Reconfig.schema () in
+        let conn = Ofconn.create ~pipeline:(Dpif.pipeline dp) () in
+        let unregister, applied = Reconfig.attach db ~conn () in
+        Reconfig.store_plan db plan;
+        unregister ();
+        let evicted = Dpif.revalidate dp in
+        Ok_output
+          (Printf.sprintf
+             "applied %d ops from %d OVSDB rows (%d flow_mods, %d errors); \
+              %d rules now installed, %d megaflows revalidated away"
+             !applied
+             (Ovs_ovsdb.Db.row_count db ~table:"Churn_op")
+             conn.Ofconn.flow_mods conn.Ofconn.errors
+             (Ovs_ofproto.Pipeline.flow_count (Dpif.pipeline dp))
+             evicted)
+      end
+
 module Policy = Ovs_policy.Policy
 module Pol_compile = Ovs_policy.Compile
 module Pol_check = Ovs_policy.Check
@@ -600,7 +654,8 @@ let policy_check name =
     commands drive the global injector directly, and [mc/replay] runs a
     schedule-explorer artifact through a fresh model. *)
 let appctl ?(pmds : Pmd.report list = []) ?(dp : Dpif.t option)
-    ?(health : Health.t option) cmd =
+    ?(health : Health.t option) ?(upgrade : Reconfig.upgrade_report option)
+    cmd =
   let with_dp f =
     match dp with
     | Some dp -> f dp
@@ -618,7 +673,11 @@ let appctl ?(pmds : Pmd.report list = []) ?(dp : Dpif.t option)
   let mc_prefix = "mc/replay " in
   let policy_show_prefix = "policy/show " in
   let policy_check_prefix = "policy/check " in
+  let churn_prefix = "ovsdb/churn-apply " in
   match cmd with
+  | "dpif/upgrade-show" -> upgrade_show upgrade
+  | "ovsdb/churn-apply" ->
+      Not_supported "usage: ovsdb/churn-apply PLAN (@T op spec; one per line)"
   | "dpif-netdev/pmd-stats-show" -> Ok_output (pmd_stats_show pmds)
   | "dpif-netdev/pmd-rxq-show" -> Ok_output (pmd_rxq_show pmds)
   | "coverage/show" -> Ok_output (coverage_show ())
@@ -643,6 +702,8 @@ let appctl ?(pmds : Pmd.report list = []) ?(dp : Dpif.t option)
   | "policy/show" | "policy/check" ->
       Not_supported
         (Printf.sprintf "usage: %s NAME (see policy/show for names)" cmd)
+  | _ when prefixed churn_prefix ->
+      with_dp (fun dp -> churn_apply dp (arg churn_prefix))
   | _ when prefixed policy_show_prefix -> policy_show (arg policy_show_prefix)
   | _ when prefixed policy_check_prefix -> policy_check (arg policy_check_prefix)
   | _ when prefixed mc_prefix -> mc_replay (arg mc_prefix)

@@ -923,3 +923,420 @@ let run_chaos (cfg : config) (plan : Faults.plan) : chaos_result =
     c_health = health_text;
     c_latency_count = lat_count;
   }
+
+(* -- live reconfiguration: OVSDB-driven control churn on a running rig -- *)
+
+module Reconfig = Ovs_ofproto.Reconfig
+module Ofconn = Ovs_ofproto.Ofconn
+module Reval = Ovs_revalidator.Revalidator
+
+(** What one churn event cost, measured between its application and the
+    next event (or the end of the run): the revalidator's dirty set, the
+    re-translations, the megaflows evicted, the oracle divergences (must
+    be 0) and the upcall burst the invalidation storm provoked. *)
+type churn_event = {
+  e_at_s : float;
+  e_label : string;  (** ["flow_mods"], ["swap two-phase"] or ["swap naive"] *)
+  e_flow_mods : int;
+  e_dirty : int;
+  e_retx : int;
+  e_evicted : int;
+  e_divergences : int;
+  e_upcalls : int;
+}
+
+(** One reconfiguration run: [cfg.measure] packets offered while the
+    plan's events fire on the virtual clock. Conservation is the same
+    exact bookkeeping as {!run_chaos}, with one addition: [rc_vanished]
+    counts packets that are neither delivered nor in any drop counter —
+    table-miss packets translated against an incomplete classifier emit
+    no actions and vanish uncounted, which is precisely the naive swap's
+    loss window. A hitless run has [rc_vanished = 0] and conserves. *)
+type reconfig_result = {
+  rc_plan : string;
+  rc_leg : string;
+  rc_offered : int;
+  rc_delivered : int;
+  rc_drops : int;
+  rc_vanished : int;  (** offered - delivered - drops: the loss window *)
+  rc_in_flight : int;
+  rc_conserved : bool;  (** delivered + drops = offered, nothing in flight *)
+  rc_events : churn_event list;
+  rc_flow_mods : int;  (** FLOW_MODs that travelled the wire *)
+  rc_ovsdb_rows : int;  (** churn rows round-tripped through the database *)
+  rc_divergences : int;  (** incremental vs flush-all, summed (want 0) *)
+  rc_upcalls : int;
+  rc_upgrade : Reconfig.upgrade_report option;  (** the last swap's bill *)
+  rc_lat_count : int;  (** sojourn samples, -1 with latency off *)
+  rc_p50_ns : float;
+  rc_p99_ns : float;
+}
+
+(* Everything recorded when a swap begins, so its report can be settled
+   exactly once the run has drained (in-flight = 0). *)
+type swap_mark = {
+  m_style : Reconfig.swap_style;
+  m_w0 : Time.ns;
+  m_off0 : int;
+  m_del0 : int;
+  m_drops0 : int;
+  m_ups0 : int;
+  m_shadow_rules : int;
+  m_mods : int;
+  m_evicted : int;
+}
+
+(** Apply [plan] against a running rig while traffic flows. Every rule
+    change rides the wire (OVSDB rows -> FLOW_MOD bytes -> {!Ofconn});
+    the incremental revalidator is armed and checked against the
+    flush-all oracle at every event. [naive_window] is how many packets
+    the naive swap leaves in flight between its delete barrage and its
+    replacement adds — the loss window the two-phase path closes. *)
+let run_reconfig ?(naive_window = 512) (cfg : config) (plan : Reconfig.plan) :
+    reconfig_result =
+  let r = setup cfg in
+  let machine = r.r_machine and dp = r.r_dp in
+  let phy0 = r.r_phy0 and phy1 = r.r_phy1 in
+  (* the generator is its own line-rate core, exactly as in run_chaos:
+     virtual wall time must advance even when forwarding stalls *)
+  let loadgen =
+    match r.r_loadgen with Some lg -> lg | None -> Cpu.ctx machine "loadgen"
+  in
+  let pkt_ns = 1e9 /. Netdev.line_rate_pps phy0 ~frame_len:cfg.frame_len in
+  drive r cfg.warmup;
+  Dpif.set_revalidator_enabled dp true;
+
+  (* the churn phase starts from a clean slate *)
+  quiesce r;
+  Pktgen.reset r.r_gen;
+  List.iter Cpu.reset machine.Cpu.ctxs;
+  Dpif.reset_measurement dp;
+  (match r.r_rt with Some rt -> Pmd.reset_stats rt | None -> ());
+
+  (* the plan rides the management channel: stored as one OVSDB
+     transaction, then read back row by row — the switch never sees the
+     in-memory plan object *)
+  let db = Ovs_ovsdb.Db.create ~schema:Reconfig.schema () in
+  Reconfig.store_plan db plan;
+  let ovsdb_rows = Ovs_ovsdb.Db.row_count db ~table:"Churn_op" in
+  let plan = Reconfig.load_plan db ~name:plan.Reconfig.plan_name in
+
+  let tx () = phy1.Netdev.stats.Netdev.tx_packets in
+  let ups () = (Dpif.counters dp).Dp_core.upcalls in
+  let xsk_drops () =
+    match Dpif.xsks dp ~port_no:r.r_p0 with
+    | Some xs ->
+        Array.fold_left
+          (fun a x -> a + x.Xsk.rx_dropped_no_frame + x.Xsk.rx_dropped_ring_full)
+          0 xs
+    | None -> 0
+  in
+  let vdev_rxd () =
+    List.fold_left
+      (fun a (d, _) -> a + d.Netdev.stats.Netdev.rx_dropped)
+      0 r.r_vdevs
+  in
+  let tx0 = tx () in
+  let rxd0 = phy0.Netdev.stats.Netdev.rx_dropped in
+  let xsk0 = xsk_drops () in
+  let dp0 = (Dpif.counters dp).Dp_core.dropped in
+  let vdev0 = vdev_rxd () in
+  let drops () =
+    phy0.Netdev.stats.Netdev.rx_dropped - rxd0
+    + ((Dpif.counters dp).Dp_core.dropped - dp0)
+    + (xsk_drops () - xsk0)
+    + (vdev_rxd () - vdev0)
+  in
+
+  let offered = ref 0 and injected = ref 0 in
+  let flow_mods = ref 0 and divergences = ref 0 in
+  let events = ref [] and burst_mark = ref None in
+  let marks = ref None and rec_pending = ref None and recovery = ref 0. in
+
+  (* recovery probe: the first delivery after a swap's new table set is
+     in place closes the measured outage *)
+  let probe_recovery () =
+    match !rec_pending with
+    | Some (w0, txm) when tx () > txm ->
+        recovery := Cpu.wall machine -. w0;
+        rec_pending := None
+    | _ -> ()
+  in
+  let inject n =
+    let stop = !injected + n in
+    while !injected < stop do
+      let m = Int.min batch (stop - !injected) in
+      for _ = 1 to m do
+        let pkt = Pktgen.next r.r_gen in
+        Cpu.charge loadgen Cpu.User pkt_ns;
+        if cfg.latency then pkt.Ovs_packet.Buffer.birth_ns <- Cpu.busy loadgen;
+        ignore (Netdev.rss_enqueue phy0 pkt : bool);
+        (* under Rx_drop a refused packet is a counted rx drop: offered
+           either way, and the drop term balances the books *)
+        incr offered;
+        incr injected
+      done;
+      Engine_vt.note_offered r.r_eng m;
+      poll_sweep r;
+      probe_recovery ()
+    done
+  in
+
+  (* close the previous event's upcall-burst window *)
+  let close_burst () =
+    match (!burst_mark, !events) with
+    | Some u0, e :: rest ->
+        events := { e with e_upcalls = ups () - u0 } :: rest;
+        burst_mark := None
+    | _ -> ()
+  in
+  let reval_cum () =
+    match Dpif.revalidator_stats dp with
+    | Some s -> (s.Reval.st_dirty, s.Reval.st_retranslated, s.Reval.st_evicted)
+    | None -> (0, 0, 0)
+  in
+  let apply_event (ev : Reconfig.event) =
+    close_burst ();
+    let u_start = ups () in
+    let d0, rt0, _ = reval_cum () in
+    let n_mods = ref 0 and evicted = ref 0 and divs = ref 0 in
+    let label = ref "flow_mods" in
+    let plain, swaps =
+      List.partition
+        (function Reconfig.Swap _ -> false | _ -> true)
+        ev.Reconfig.ops
+    in
+    if plain <> [] then begin
+      let conn = Ofconn.create ~pipeline:(Dpif.pipeline dp) () in
+      n_mods := !n_mods + Reconfig.apply_ops conn plain;
+      (* the rule diff hits the megaflow cache: incremental sweep,
+         proved against the flush-all oracle *)
+      let _full, incr_ev, div = Dpif.revalidate_check dp in
+      evicted := !evicted + incr_ev;
+      divs := !divs + div
+    end;
+    List.iter
+      (function
+        | Reconfig.Swap { swap_style = Reconfig.Two_phase; swap_flows } ->
+            label := "swap two-phase";
+            let w0 = Cpu.wall machine in
+            let m0 =
+              {
+                m_style = Reconfig.Two_phase;
+                m_w0 = w0;
+                m_off0 = !offered;
+                m_del0 = tx () - tx0;
+                m_drops0 = drops ();
+                m_ups0 = ups ();
+                m_shadow_rules = 0;
+                m_mods = 0;
+                m_evicted = 0;
+              }
+            in
+            (* phase 1: populate the complete shadow off to the side —
+               the live classifier serves traffic untouched meanwhile *)
+            let shadow, smods =
+              Reconfig.build_shadow ~like:(Dpif.pipeline dp) swap_flows
+            in
+            (* phase 2: one pointer store + megaflow revalidation *)
+            let ev_evicted = Dpif.swap_pipeline dp shadow in
+            n_mods := !n_mods + smods;
+            evicted := !evicted + ev_evicted;
+            marks :=
+              Some
+                {
+                  m0 with
+                  m_shadow_rules = Ovs_ofproto.Pipeline.flow_count shadow;
+                  m_mods = smods;
+                  m_evicted = ev_evicted;
+                };
+            rec_pending := Some (w0, tx ())
+        | Reconfig.Swap { swap_style = Reconfig.Naive; swap_flows } ->
+            label := "swap naive";
+            let w0 = Cpu.wall machine in
+            let m0 =
+              {
+                m_style = Reconfig.Naive;
+                m_w0 = w0;
+                m_off0 = !offered;
+                m_del0 = tx () - tx0;
+                m_drops0 = drops ();
+                m_ups0 = ups ();
+                m_shadow_rules = 0;
+                m_mods = 0;
+                m_evicted = 0;
+              }
+            in
+            (* in-place: delete everything, revalidate (storm #1 — the
+               cache follows the now-empty tables), let traffic run into
+               the hole, then install the replacement and revalidate
+               again (storm #2 evicts the drop-cached misses) *)
+            let conn = Ofconn.create ~pipeline:(Dpif.pipeline dp) () in
+            let dm = Reconfig.apply_ops conn [ Reconfig.Delete "" ] in
+            let _, ev1, div1 = Dpif.revalidate_check dp in
+            inject (Int.min naive_window (Int.max 0 (cfg.measure - !injected)));
+            let am =
+              Reconfig.apply_ops conn
+                (List.map (fun l -> Reconfig.Insert l) swap_flows)
+            in
+            let _, ev2, div2 = Dpif.revalidate_check dp in
+            n_mods := !n_mods + dm + am;
+            evicted := !evicted + ev1 + ev2;
+            divs := !divs + div1 + div2;
+            marks := Some { m0 with m_mods = dm + am; m_evicted = ev1 + ev2 };
+            rec_pending := Some (w0, tx ())
+        | _ -> ())
+      swaps;
+    let d1, rt1, _ = reval_cum () in
+    flow_mods := !flow_mods + !n_mods;
+    divergences := !divergences + !divs;
+    events :=
+      {
+        e_at_s = ev.Reconfig.at_s;
+        e_label = !label;
+        e_flow_mods = !n_mods;
+        (* a swap rebuilds the revalidator (fresh counters): clamp *)
+        e_dirty = Int.max 0 (d1 - d0);
+        e_retx = Int.max 0 (rt1 - rt0);
+        e_evicted = !evicted;
+        e_divergences = !divs;
+        e_upcalls = 0;  (* settled by close_burst at the next event *)
+      }
+      :: !events;
+    burst_mark := Some u_start
+  in
+
+  let pending = ref plan.Reconfig.events in
+  let fire_due () =
+    match !pending with
+    | ev :: rest when Cpu.wall machine >= ev.Reconfig.at_s *. 1e9 ->
+        pending := rest;
+        apply_event ev;
+        true
+    | _ -> false
+  in
+  while !injected < cfg.measure do
+    inject (Int.min batch (cfg.measure - !injected));
+    while fire_due () do () done
+  done;
+  (* drain: events past the traffic tail still fire on the idle clock *)
+  let iters = ref 0 in
+  while (!pending <> [] || in_flight r > 0) && !iters < 200_000 do
+    incr iters;
+    Cpu.charge loadgen Cpu.User (Time.us 1.);
+    ignore (fire_due () : bool);
+    poll_sweep r;
+    probe_recovery ()
+  done;
+  close_burst ();
+  (* a swap that never saw a post-cutover delivery charges the whole
+     remaining run as its outage *)
+  (match !rec_pending with
+  | Some (w0, _) ->
+      recovery := Cpu.wall machine -. w0;
+      rec_pending := None
+  | None -> ());
+
+  let delivered = tx () - tx0 in
+  let total_drops = drops () in
+  let infl = in_flight r in
+  let vanished = !offered - delivered - total_drops - infl in
+  let upgrade =
+    match !marks with
+    | None -> None
+    | Some m ->
+        let w_off = !offered - m.m_off0 in
+        let w_del = delivered - m.m_del0 in
+        let w_drops = total_drops - m.m_drops0 in
+        Some
+          {
+            Reconfig.up_style = m.m_style;
+            up_leg = Dpif.kind_name cfg.kind;
+            up_shadow_rules = m.m_shadow_rules;
+            up_flow_mods = m.m_mods;
+            up_evicted = m.m_evicted;
+            up_upcall_burst = ups () - m.m_ups0;
+            up_offered = w_off;
+            up_delivered = w_del;
+            up_lost = w_off - w_del - w_drops;
+            up_recovery_ns = !recovery;
+          }
+  in
+  let lat = Dpif.latency dp in
+  {
+    rc_plan = plan.Reconfig.plan_name;
+    rc_leg = Dpif.kind_name cfg.kind;
+    rc_offered = !offered;
+    rc_delivered = delivered;
+    rc_drops = total_drops;
+    rc_vanished = vanished;
+    rc_in_flight = infl;
+    rc_conserved = (!offered = delivered + total_drops) && infl = 0;
+    rc_events = List.rev !events;
+    rc_flow_mods = !flow_mods;
+    rc_ovsdb_rows = ovsdb_rows;
+    rc_divergences = !divergences;
+    rc_upcalls = ups ();
+    rc_upgrade = upgrade;
+    rc_lat_count =
+      (if cfg.latency then Ovs_sim.Quantiles.count lat else -1);
+    rc_p50_ns = (if cfg.latency then Ovs_sim.Quantiles.p50 lat else 0.);
+    rc_p99_ns = (if cfg.latency then Ovs_sim.Quantiles.p99 lat else 0.);
+  }
+
+(** The real-parallelism cutover: drive the P2P rig on OCaml domains
+    while the slow path consults a live classifier pointer held in an
+    [Atomic.t]; halfway through the offered target the shadow pipeline
+    (built through the wire, as always) replaces it in one atomic store.
+    PMD domains keep polling throughout — there is no barrier. Returns
+    the engine stats, the oracle violations (armed), and how many
+    packets had been delivered when the cutover landed (proof it
+    happened mid-run). Both rule sets must forward the template flows:
+    the hitless property under domains is that the atomic pointer swap
+    never presents a half-built classifier to a racing translation. *)
+let run_reconfig_multicore ?(n_domains = 2) (cfg : config)
+    ~(flows_before : string list) ~(flows_after : string list) () :
+    Engine.stats * string list * int =
+  (match cfg.topology with
+  | P2P -> ()
+  | _ -> invalid_arg "Scenario.run_reconfig_multicore: only P2P");
+  let wire_pipeline flows =
+    let like = Ovs_ofproto.Pipeline.create ~n_tables:4 () in
+    Ovs_ofproto.Pipeline.set_ports like [ 0; 1 ];
+    let p, _mods = Reconfig.build_shadow ~like flows in
+    p
+  in
+  let live = Atomic.make (wire_pipeline flows_before) in
+  let gen =
+    Pktgen.create ~mix:cfg.mix ~n_flows:cfg.n_flows ~frame_len:cfg.frame_len ()
+  in
+  let templates =
+    Array.map
+      (fun (b : Ovs_packet.Buffer.t) ->
+        Bytes.sub b.Ovs_packet.Buffer.data b.Ovs_packet.Buffer.start
+          b.Ovs_packet.Buffer.len)
+      gen.Pktgen.templates
+  in
+  let translate key =
+    (Ovs_ofproto.Pipeline.translate (Atomic.get live) key)
+      .Ovs_ofproto.Pipeline.odp_actions
+    <> []
+  in
+  let ecfg =
+    Engine_domains.config ~n_domains ~frame_len:cfg.frame_len
+      ~target:cfg.measure ~upcall_capacity:cfg.upcall_capacity ~oracles:true
+      ~translate ~templates ()
+  in
+  let eng = Engine_domains.create ecfg in
+  let cut_at = cfg.measure / 2 in
+  Engine_domains.start eng;
+  let seen = ref 0 and spins = ref 0 in
+  while !seen < cut_at && !spins < 1_000_000_000 do
+    incr spins;
+    seen := !seen + Engine_domains.step eng
+  done;
+  (* the cutover: one atomic store while every PMD domain races on *)
+  Atomic.set live (wire_pipeline flows_after);
+  let at_cutover = !seen in
+  let stats = Engine_domains.stop eng in
+  (stats, Engine_domains.violations eng, at_cutover)

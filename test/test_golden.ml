@@ -205,6 +205,70 @@ let test_fault_list _rig _rt _health =
   storm: upcall_storm window [150.00 us, 1.00 ms]  fired 0|}
     (appctl_ok "fault/list" (Tools.appctl "fault/list"))
 
+(* upgrade-show: a process that never cut over renders the honest empty
+   surface; a report from a finished swap pins the full rendering *)
+let test_upgrade_show_none () =
+  golden "dpif/upgrade-show (none)"
+    {|upgrade: none performed (run a swap through the reconfig rig first)|}
+    (appctl_ok "dpif/upgrade-show" (Tools.appctl "dpif/upgrade-show"))
+
+let test_upgrade_show () =
+  let module Reconfig = Ovs_ofproto.Reconfig in
+  let report =
+    {
+      Reconfig.up_style = Reconfig.Two_phase;
+      up_leg = "DPDK";
+      up_shadow_rules = 3;
+      up_flow_mods = 3;
+      up_evicted = 1;
+      up_upcall_burst = 1;
+      up_offered = 18944;
+      up_delivered = 18944;
+      up_lost = 0;
+      up_recovery_ns = 48340.;
+    }
+  in
+  golden "dpif/upgrade-show"
+    {|upgrade: two-phase cutover on DPDK
+  shadow rules: 3 (3 flow_mods on the wire)
+  invalidation storm: 1 megaflows evicted, 1 upcalls
+  window: offered 18944 delivered 18944 lost 0
+  time to recovery: 48340 ns|}
+    (appctl_ok "dpif/upgrade-show"
+       (Tools.appctl ~upgrade:report "dpif/upgrade-show"))
+
+(* churn-apply: a one-table standalone datapath, a two-op plan committed
+   as OVSDB rows and applied through the monitor; the live surface
+   reports exactly what travelled the wire and what the classifier holds *)
+let churn_dp () =
+  let module Pipeline = Ovs_ofproto.Pipeline in
+  let pipeline = Pipeline.create ~n_tables:1 () in
+  Pipeline.add_flow pipeline ~table:0 ~priority:0
+    (Ovs_ofproto.Match_.catchall ())
+    [ Ovs_ofproto.Action.Output 1 ];
+  let dp = Dpif.create ~kind:Dpif.Dpdk ~pipeline () in
+  ignore (Dpif.add_port dp (Netdev.create ~name:"ca0" ()));
+  ignore (Dpif.add_port dp (Netdev.create ~name:"ca1" ()));
+  dp
+
+let test_churn_apply () =
+  golden "ovsdb/churn-apply"
+    {|applied 2 ops from 2 OVSDB rows (2 flow_mods, 0 errors); 1 rules now installed, 0 megaflows revalidated away|}
+    (appctl_ok "ovsdb/churn-apply"
+       (Tools.appctl ~dp:(churn_dp ())
+          "ovsdb/churn-apply @0 insert \
+           table=0,priority=10,udp,actions=output:1\n\
+           @0.001 delete table=0,udp"))
+
+let test_churn_apply_no_dp () =
+  match Tools.appctl "ovsdb/churn-apply @0 insert table=0,actions=output:1" with
+  | Tools.Not_supported e ->
+      golden "ovsdb/churn-apply (no datapath)"
+        {|ovsdb/churn-apply @0 insert table=0,actions=output:1: no datapath supplied|}
+        e
+  | Tools.Ok_output _ ->
+      Alcotest.fail "churn-apply without a datapath should be unsupported"
+
 (* policy/show + policy/check need no datapath fixture: the catalog,
    the compiler and the checker are all deterministic pure code *)
 let test_policy_show () =
@@ -236,6 +300,10 @@ let () =
             (with_fixture test_revalidator_show_empty);
           Alcotest.test_case "revalidator-show" `Quick test_revalidator_show;
           Alcotest.test_case "fault/list" `Quick (with_fixture test_fault_list);
+          Alcotest.test_case "upgrade-show none" `Quick test_upgrade_show_none;
+          Alcotest.test_case "upgrade-show" `Quick test_upgrade_show;
+          Alcotest.test_case "churn-apply" `Quick test_churn_apply;
+          Alcotest.test_case "churn-apply no dp" `Quick test_churn_apply_no_dp;
           Alcotest.test_case "policy/show" `Quick test_policy_show;
           Alcotest.test_case "policy/check" `Quick test_policy_check;
         ] );
